@@ -1,0 +1,62 @@
+"""Ablation: the paper's future-work asynchronous task queuing.
+
+Section V: "when the single task is time-consuming to GPU, some
+asynchronous task queuing mechanism must be introduced to keep CPUs busy
+and reduce the waiting time."  We implement bounded-depth asynchronous
+submission and measure where it pays:
+
+- tight queue bound (GPU starves between synchronous submissions):
+  async feeding recovers throughput;
+- deep queue bound: async *hurts* slightly — one rank holding several
+  slots displaces other ranks to CPU fallbacks;
+- heavy Romberg tasks (the paper's stated motivation): waiting dominates,
+  async keeps the CPUs productive.
+"""
+
+from conftest import emit
+
+from repro.bench.reporting import format_table
+from repro.bench.workloads import romberg_workload
+from repro.core.hybrid import HybridConfig, HybridRunner
+
+
+def _run(tasks, depth, maxlen, n_gpus=1):
+    cfg = HybridConfig(n_gpus=n_gpus, max_queue_length=maxlen, async_depth=depth)
+    return HybridRunner(cfg).run(tasks).makespan_s
+
+
+def test_ablation_async_submission(benchmark, ion_tasks, results_dir):
+    heavy_tasks = romberg_workload(k=11)
+
+    def sweep():
+        return {
+            ("simpson", 2, "sync"): _run(ion_tasks, 0, 2),
+            ("simpson", 2, "async4"): _run(ion_tasks, 4, 2),
+            ("simpson", 12, "sync"): _run(ion_tasks, 0, 12),
+            ("simpson", 12, "async4"): _run(ion_tasks, 4, 12),
+            ("romberg11", 6, "sync"): _run(heavy_tasks, 0, 6, n_gpus=2),
+            ("romberg11", 6, "async4"): _run(heavy_tasks, 4, 6, n_gpus=2),
+        }
+
+    t = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [w, m, mode, f"{t[(w, m, mode)]:.1f}"]
+        for (w, m, mode) in sorted(t)
+    ]
+    emit(
+        results_dir,
+        "ablation_async",
+        format_table(
+            ["workload", "maxlen", "mode", "time (s)"],
+            rows,
+            title="Ablation — synchronous vs asynchronous submission",
+        ),
+    )
+
+    # Starved short queue: async recovers GPU utilization.
+    assert t[("simpson", 2, "async4")] < t[("simpson", 2, "sync")]
+    # Deep queue: bounded regression only.
+    assert t[("simpson", 12, "async4")] <= t[("simpson", 12, "sync")] * 1.15
+    # Heavy tasks: async must not lose (the paper's motivation case).
+    assert t[("romberg11", 6, "async4")] <= t[("romberg11", 6, "sync")] * 1.05

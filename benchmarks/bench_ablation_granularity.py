@@ -1,0 +1,53 @@
+"""Ablation: the third granularity (Element) the paper discusses in text.
+
+Section III-B: "the optimum granularity is ion, because if element is
+used (one element includes several ions), the logic of the kernel will
+become more complex so that it is not suitable to run on GPU."  The
+element kernel's branch divergence is modelled as an efficiency factor;
+this bench quantifies the resulting end-to-end ordering Level < Element
+< Ion ... or wherever the host/device tradeoff lands it.
+"""
+
+from conftest import emit
+
+from repro.bench.reporting import format_table
+from repro.bench.workloads import paper_level_workload
+from repro.core.granularity import Granularity, WorkloadSpec, build_tasks
+from repro.core.hybrid import HybridConfig, HybridRunner
+
+
+def test_ablation_granularity_ordering(
+    benchmark, ion_tasks, serial_seconds, results_dir
+):
+    level_tasks = paper_level_workload()
+    element_tasks = build_tasks(WorkloadSpec(granularity=Granularity.ELEMENT))
+
+    def sweep():
+        out = {}
+        for name, tasks in (
+            ("ion", ion_tasks),
+            ("level", level_tasks),
+            ("element", element_tasks),
+        ):
+            res = HybridRunner(
+                HybridConfig(n_gpus=3, max_queue_length=12)
+            ).run(tasks)
+            out[name] = serial_seconds / res.makespan_s
+        return out
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [[name, f"{speedups[name]:.1f}"] for name in ("level", "ion", "element")]
+    emit(
+        results_dir,
+        "ablation_granularity",
+        format_table(
+            ["granularity", "speedup over serial (3 GPUs)"],
+            rows,
+            title="Ablation — task granularity (Section III-B)",
+        ),
+    )
+
+    # Ion is the optimum; both alternatives lose.
+    assert speedups["ion"] > speedups["level"]
+    assert speedups["ion"] > speedups["element"]

@@ -1,0 +1,59 @@
+"""Ablation: the history-count tie-break of Algorithm 1.
+
+"If there are two or above GPUs with the same load, the GPU with the
+minimum history task count will be chosen."  Against a positional
+first-fit tie-break, the history rule equalizes per-device task counts;
+makespans barely move (the load bound does the heavy lifting), which is
+itself worth documenting.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.reporting import format_table
+from repro.core.hybrid import HybridConfig, HybridRunner
+
+
+def test_ablation_history_tiebreak(benchmark, ion_tasks, results_dir):
+    def sweep():
+        out = {}
+        for rule in ("history", "first"):
+            res = HybridRunner(
+                HybridConfig(n_gpus=4, max_queue_length=12, tie_break=rule)
+            ).run(ion_tasks)
+            out[rule] = res
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    imbalance = {}
+    for rule, res in results.items():
+        counts = res.metrics.gpu_tasks
+        imbalance[rule] = int(counts.max() - counts.min())
+        rows.append(
+            [
+                rule,
+                f"{res.makespan_s:.1f}",
+                " ".join(str(int(c)) for c in counts),
+                imbalance[rule],
+            ]
+        )
+    emit(
+        results_dir,
+        "ablation_tiebreak",
+        format_table(
+            ["tie-break", "time (s)", "tasks per GPU", "max-min"],
+            rows,
+            title="Ablation — Algorithm 1 tie-breaking rule (4 GPUs)",
+        ),
+    )
+
+    # The history rule must not distribute worse than first-fit.
+    assert imbalance["history"] <= imbalance["first"]
+    # And costs essentially nothing in makespan.
+    assert results["history"].makespan_s <= results["first"].makespan_s * 1.05
+    # Both runs completed everything.
+    for res in results.values():
+        assert res.metrics.total_tasks == len(ion_tasks)
+    assert np.all(results["history"].metrics.gpu_tasks > 0)

@@ -1,0 +1,32 @@
+"""Section IV baselines: serial grid-point time and the 13.5x MPI speedup.
+
+Paper anchors: ~0.5 million CPU hours for a 128^3 space (i.e. ~1.4 ks per
+point on the reconciled scale), integrals > 90% of serial runtime, and
+"The MPI parallel version with 24 cores can only speed up the computation
+by a factor of 13.5 relative to the original serial version."
+"""
+
+from conftest import emit
+
+from repro.bench.reporting import paper_vs_measured
+from repro.core.hybrid import HybridRunner
+
+
+def test_baseline_serial_and_mpi(benchmark, ion_tasks, serial_seconds, results_dir):
+    runner = HybridRunner()
+    mpi = benchmark(runner.run_mpi_only, ion_tasks)
+
+    serial_point = serial_seconds / 24.0
+    mpi_speedup = serial_seconds / mpi.makespan_s
+    table = paper_vs_measured(
+        "Baselines (simulated seconds)",
+        paper={"serial s/point": 1437.0, "24-core MPI speedup": 13.5},
+        measured={
+            "serial s/point": serial_point,
+            "24-core MPI speedup": mpi_speedup,
+        },
+    )
+    emit(results_dir, "baseline_mpi", table)
+
+    assert 1200.0 < serial_point < 1700.0
+    assert abs(mpi_speedup - 13.5) / 13.5 < 0.05

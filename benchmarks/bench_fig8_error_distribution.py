@@ -1,0 +1,64 @@
+"""Fig. 8: distribution of relative numerical error — real numerics.
+
+Paper: relative errors between the serial and hybrid spectra range from
+-0.0003% to +0.0033%, with more than 99% inside [0%, 0.0005%].  Our
+Simpson-64 kernel against the QAGS reference lands well inside that
+envelope (the substitution note in DESIGN.md explains why our errors are
+smaller: bins are integrated from each level's edge, eliminating the
+dominant edge-bin error of a fixed-grid kernel).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.reporting import format_table
+from repro.bench.workloads import small_real_database, small_real_grid
+from repro.physics.apec import GridPoint, SerialAPEC
+
+
+def test_fig8_error_distribution(benchmark, results_dir):
+    db = small_real_database()
+    grid = small_real_grid(n_bins=200)
+    point = GridPoint(temperature_k=1.0e7, ne_cm3=1.0)
+
+    reference = SerialAPEC(db, grid, method="qags").compute(point)
+
+    def errors():
+        gpu = SerialAPEC(db, grid, method="simpson-batch").compute(point)
+        err = gpu.relative_error_percent(reference)
+        return err[np.isfinite(err)]
+
+    err = benchmark(errors)
+
+    # Histogram in the paper's units (percent).
+    edges = np.array([-np.inf, -3e-4, 0.0, 5e-4, 1e-3, 3.3e-3, np.inf])
+    labels = [
+        "< -0.0003%",
+        "-0.0003%..0%",
+        "0%..0.0005%",
+        "0.0005%..0.001%",
+        "0.001%..0.0033%",
+        "> 0.0033%",
+    ]
+    counts, _ = np.histogram(err, bins=edges)
+    rows = [
+        [labels[i], int(counts[i]), f"{counts[i] / err.size * 100:.2f}%"]
+        for i in range(len(labels))
+    ]
+    rows.append(["min / max (%)", f"{err.min():.2e}", f"{err.max():.2e}"])
+    emit(
+        results_dir,
+        "fig8_error_distribution",
+        format_table(
+            ["relative error bin", "bins", "probability"],
+            rows,
+            title="Fig. 8 — relative error distribution, hybrid vs serial",
+        ),
+    )
+
+    # Paper envelope: everything within [-0.0003%, 0.0033%].
+    assert err.min() > -3.0e-4
+    assert err.max() < 3.3e-3
+    # ">99% of errors in 0%..0.0005%" — ours must satisfy the same bound.
+    frac_tight = np.mean((err >= -1e-12) & (err <= 5.0e-4))
+    assert frac_tight > 0.99

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the *real* numerical kernels on this machine.
+
+These are live pytest-benchmark timings (not simulation): the vectorized
+batch Simpson/Romberg kernels that play the GPU role, the scalar QAGS
+that plays the CPU role, and the fused per-ion kernel.  The measured
+vectorized/scalar throughput ratio on the host is the reproduction's
+analogue of the paper's GPU/CPU per-task ratio and is reported alongside.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+
+from repro.atomic.database import AtomicConfig, AtomicDatabase
+from repro.bench.reporting import format_table
+from repro.core.calibration import measure_live_eval_rates
+from repro.physics.apec import GridPoint, ion_emissivity_batched
+from repro.physics.spectrum import EnergyGrid
+from repro.quadrature.batch import batch_romberg, batch_simpson
+from repro.quadrature.qags import qags
+
+
+def _edge_exp(x):
+    return np.where(x >= 0.5, np.exp(-(x - 0.5) / 0.8), 0.0)
+
+
+@pytest.fixture(scope="module")
+def bins():
+    edges = np.linspace(0.3, 3.0, 2001)
+    return edges[:-1], edges[1:]
+
+
+def test_batch_simpson_kernel(benchmark, bins):
+    lo, hi = bins
+    result = benchmark(batch_simpson, _edge_exp, lo, hi, 64)
+    assert result.shape == lo.shape
+
+
+def test_batch_romberg_kernel(benchmark, bins):
+    lo, hi = bins
+    result = benchmark(batch_romberg, _edge_exp, lo, hi, 7)
+    assert result.shape == lo.shape
+
+
+def test_scalar_qags_per_bin(benchmark, bins):
+    lo, hi = bins
+
+    def fifty_bins():
+        return [qags(_edge_exp, float(a), float(b)).value for a, b in zip(lo[:50], hi[:50])]
+
+    out = benchmark(fifty_bins)
+    assert len(out) == 50
+
+
+def test_fused_ion_kernel(benchmark):
+    db = AtomicDatabase(AtomicConfig.tiny())
+    grid = EnergyGrid.from_wavelength(10.0, 45.0, 500)
+    point = GridPoint(temperature_k=1e7, ne_cm3=1.0)
+    ion = db.ions[-1]  # O+8, largest ladder in the tiny database
+    out = benchmark(ion_emissivity_batched, db, ion, point, grid)
+    assert out.shape == (500,)
+
+
+def test_vectorized_vs_scalar_ratio(benchmark, results_dir):
+    """The live 'GPU advantage' of this host's vectorized kernels."""
+    rates = benchmark.pedantic(
+        measure_live_eval_rates, args=(_edge_exp,), rounds=1, iterations=1
+    )
+    ratio = rates["vectorized_evals_per_s"] / rates["scalar_evals_per_s"]
+    emit(
+        results_dir,
+        "kernels_micro",
+        format_table(
+            ["path", "evals/s"],
+            [
+                ["vectorized batch (GPU role)", f"{rates['vectorized_evals_per_s']:.3e}"],
+                ["scalar loop (CPU role)", f"{rates['scalar_evals_per_s']:.3e}"],
+                ["ratio", f"{ratio:.0f}x"],
+            ],
+            title="Live kernel micro-benchmark on this host",
+        ),
+    )
+    assert ratio > 10.0

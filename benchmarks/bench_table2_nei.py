@@ -1,0 +1,56 @@
+"""Table II: NEI speedup on 1-4 GPUs vs the 24-core pure-MPI version.
+
+Paper row (maxlen 8): speedups 2.8 / 5.9 / 10.8 / 15.1
+                      times    3137 / 1494 / 810 / 582 s.
+
+Reproduction criterion: monotone, near-linear scaling through 4 GPUs —
+the contrast with Fig. 3's saturation after 2-3 GPUs is the point of the
+adaptability study (NEI tasks are heavy enough to keep 4 GPUs busy).
+The paper's top-end superlinearity (15.1 > 4 x 2.8/1) is not reachable in
+a work-conserving deterministic model; EXPERIMENTS.md discusses the gap.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.bench.reporting import paper_vs_measured
+from repro.core.calibration import CostModel
+from repro.core.hybrid import HybridConfig, HybridRunner
+from repro.nei.runner import NEIWorkloadSpec, build_nei_tasks
+
+PAPER_SPEEDUP = {1: 2.8, 2: 5.9, 3: 10.8, 4: 15.1}
+
+
+def test_table2_nei_speedup(benchmark, results_dir):
+    cost = CostModel(point_overhead_s=0.0)  # NEI has no per-point I/O lump
+    tasks = build_nei_tasks(NEIWorkloadSpec())
+    mpi = HybridRunner(
+        HybridConfig(n_gpus=0, max_queue_length=8, cost=cost)
+    ).run_mpi_only(tasks)
+
+    def sweep():
+        out = {}
+        for g in (1, 2, 3, 4):
+            res = HybridRunner(
+                HybridConfig(n_gpus=g, max_queue_length=8, cost=cost)
+            ).run(tasks)
+            out[g] = mpi.makespan_s / res.makespan_s
+        return out
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    emit(
+        results_dir,
+        "table2_nei",
+        paper_vs_measured(
+            "Table II — NEI speedup vs 24-core MPI (maxlen 8)",
+            PAPER_SPEEDUP,
+            speedups,
+        ),
+    )
+
+    assert speedups[1] < speedups[2] < speedups[3] < speedups[4]
+    # Near-linear: each added GPU keeps paying (>15% at the 4th).
+    assert speedups[4] / speedups[3] > 1.15
+    assert speedups[1] == pytest.approx(PAPER_SPEEDUP[1], rel=0.30)
+    assert speedups[4] == pytest.approx(PAPER_SPEEDUP[4], rel=0.35)

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it runs the
+corresponding workload through the simulator (or the real numerics for
+the accuracy experiments), prints the same rows/series the paper reports
+next to the paper's published values, asserts the reproduction's *shape*,
+and writes the table to ``benchmarks/results/<name>.txt``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+(add ``-s`` to see the tables inline; they are always written to the
+results directory regardless).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.workloads import paper_workload
+from repro.core.hybrid import HybridRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def ion_tasks():
+    """The paper's main workload: 24 points x 496 Ion tasks."""
+    return paper_workload()
+
+
+@pytest.fixture(scope="session")
+def serial_seconds(ion_tasks) -> float:
+    """Simulated serial-APEC wall time for the 24-point space."""
+    return HybridRunner().serial_time(ion_tasks)
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a results table and persist it."""
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,66 @@
+"""A production-style survey: parameter space -> multi-node schedule.
+
+The workflow a simulation group would actually run: define the
+(temperature, density, time) space from a config, auto-tune the queue
+bound on a prefix probe, then scatter the space over a cluster of hybrid
+nodes and report the schedule.  Everything here is the library's public
+API — this file is the "downstream user" test.
+
+Run:  python examples/cluster_survey.py
+"""
+
+from repro.core.autotune import autotune_queue_length, probe_prefix
+from repro.core.granularity import WorkloadSpec, build_tasks
+from repro.core.hybrid import HybridConfig, HybridRunner
+from repro.core.multinode import MultiNodeConfig, MultiNodeRunner
+from repro.core.paramspace import ParameterSpace
+
+
+def main() -> None:
+    # 1. The parameter space, as a simulation post-processing config.
+    space = ParameterSpace.from_config(
+        {
+            "temperature": {"lo": 2.0e6, "hi": 3.0e7, "n": 6, "spacing": "log"},
+            "density": {"lo": 0.5, "hi": 2.0, "n": 4},
+            "time": [0.0, 100.0],
+        }
+    )
+    print(f"parameter space: {space.shape} = {space.n_points} grid points")
+
+    # 2. The task list (ion granularity, Simpson-64 — the paper's choice).
+    tasks = build_tasks(WorkloadSpec(n_points=space.n_points))
+    print(f"workload: {len(tasks)} tasks, "
+          f"{sum(t.n_integrals for t in tasks):.2e} integrals\n")
+
+    # 3. Auto-tune the queue bound on a representative prefix.
+    node = HybridConfig(n_gpus=2, max_queue_length=2)
+    probe, probe_cfg = probe_prefix(tasks, node, tasks_per_point=40)
+    best, _times = autotune_queue_length(probe_cfg, probe)
+    node = HybridConfig(n_gpus=2, max_queue_length=best)
+    print(f"auto-tuned maximum queue length: {best}")
+
+    # 4. Single node first, then scale out.
+    single = HybridRunner(node).run(tasks)
+    print(f"\n1 node : {single.makespan_s:8.1f} s  "
+          f"(GPU share {single.metrics.gpu_task_ratio():.1%})")
+    for n_nodes in (2, 4):
+        cluster = MultiNodeRunner(
+            MultiNodeConfig(n_nodes=n_nodes, node=node)
+        ).run(tasks)
+        print(
+            f"{n_nodes} nodes: {cluster.makespan_s:8.1f} s  "
+            f"(scaling {single.makespan_s / cluster.makespan_s:.2f}x, "
+            f"imbalance {cluster.imbalance():.1%}, "
+            f"comm {cluster.comm_s:.1f} s)"
+        )
+
+    print(
+        "\nEach node runs its own Algorithm 1 scheduler — 'there is no "
+        "central load\nbalance server in the parallel program' (Section "
+        "III-A) — so scaling is\nlimited only by the equal-subspace split "
+        "and the result gather."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Fit a mock X-ray observation — the paper's motivating workflow.
+
+The paper's introduction: "it is a common task for modern astronomers to
+fit the observed spectrum with the spectrum calculated from theoretical
+models".  Each fit iteration needs a fresh model spectrum at the trial
+temperature — precisely the calculation the hybrid framework accelerates.
+
+This example: (1) generates a noisy observation of a T = 1.05e7 K plasma
+through a toy instrument response, (2) recovers the temperature by
+chi-square minimization with the fast batched kernel, (3) shows how many
+full model spectra the fit consumed, i.e. how the speedup compounds.
+
+Run:  python examples/fit_observation.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.atomic.database import AtomicConfig, AtomicDatabase
+from repro.physics.apec import GridPoint, SerialAPEC
+from repro.physics.fitting import (
+    InstrumentResponse,
+    fit_temperature,
+    mock_observation,
+)
+from repro.physics.spectrum import EnergyGrid
+
+
+def main() -> None:
+    db = AtomicDatabase(AtomicConfig(n_max=6, z_max=14))
+    grid = EnergyGrid.from_wavelength(10.0, 45.0, 150)
+    apec = SerialAPEC(db, grid, method="simpson-batch",
+                      components=("rrc", "lines", "brems"))
+    response = InstrumentResponse(grid, fwhm_kev=0.015)
+
+    t_true = 1.05e7
+    print(f"true plasma temperature: {t_true:.3e} K")
+    truth = apec.compute(GridPoint(temperature_k=t_true, ne_cm3=1.0))
+    exposure = 2.0e6 / response.apply(truth.values).max()
+    observed = mock_observation(
+        truth, response, exposure, rng=np.random.default_rng(2015)
+    )
+    print(f"observation: {observed.sum():.0f} counts over {grid.n_bins} channels\n")
+
+    t0 = time.perf_counter()
+    result = fit_temperature(
+        apec, observed, response, exposure, t_bounds=(2.0e6, 6.0e7)
+    )
+    elapsed = time.perf_counter() - t0
+
+    print(f"best-fit temperature : {result.temperature_k:.3e} K "
+          f"({result.temperature_k / t_true - 1.0:+.1%} vs truth)")
+    print(f"chi^2                : {result.chi2:.1f} / {grid.n_bins} channels")
+    print(f"model spectra needed : {result.n_model_evals}")
+    print(f"wall time            : {elapsed:.2f} s "
+          f"({elapsed / result.n_model_evals * 1e3:.0f} ms per model)\n")
+
+    ts, c2s = result.chi2_curve()
+    print("chi^2 profile (log-spaced trials):")
+    c2_min = c2s.min()
+    for t, c2 in zip(ts, c2s):
+        bar = "#" * min(60, int((c2 / c2_min - 1.0) * 15.0))
+        print(f"  T = {t:.3e} K  chi2 = {c2:9.1f} {bar}")
+
+    print(
+        "\nWith the paper's serial per-bin integration each model would "
+        "take minutes;\nthe batched kernel makes the whole fit interactive "
+        "— that compounding is the\npoint of accelerating spectral "
+        "calculation."
+    )
+
+
+if __name__ == "__main__":
+    main()

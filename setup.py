@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in pyproject.toml; this file exists so
+that ``pip install -e .`` works on offline machines without the ``wheel``
+package (legacy editable path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Accelerating Spectral Calculation through Hybrid "
+        "GPU-based Computing' (ICPP 2015)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,71 @@
+"""repro — reproduction of "Accelerating Spectral Calculation through
+Hybrid GPU-based Computing" (Xiao et al., ICPP 2015).
+
+The package rebuilds the paper's full stack in Python:
+
+- :mod:`repro.atomic` — synthetic ATOMDB-like database (496 ions);
+- :mod:`repro.quadrature` — Simpson / Romberg / Gauss-Kronrod / QAGS and
+  their vectorized batch forms (the "GPU kernels");
+- :mod:`repro.physics` — Eq. (1) RRC emissivity, CIE ion balance, and the
+  serial APEC-style calculator;
+- :mod:`repro.gpusim` — simulated Fermi/Kepler GPUs with calibrated
+  launch / transfer / compute costs;
+- :mod:`repro.cluster` — discrete-event node (MPI ranks, shared memory)
+  plus a live ``multiprocessing`` runner;
+- :mod:`repro.core` — the paper's contribution: the shared-memory
+  dynamic load-balancing scheduler (Algorithm 1), task granularity
+  (Algorithm 2), the hybrid runner, auto-tuning and metrics;
+- :mod:`repro.nei` — the NEI adaptability study (stiff ODEs, LSODA-style
+  solver, Table II workload).
+
+Quick start::
+
+    from repro import HybridConfig, HybridRunner, WorkloadSpec, build_tasks
+
+    tasks = build_tasks(WorkloadSpec())             # 24 points x 496 ions
+    runner = HybridRunner(HybridConfig(n_gpus=3))   # 24 ranks + 3 C2075s
+    result = runner.run(tasks)
+    print(result.makespan_s, result.metrics.gpu_task_ratio())
+"""
+
+from repro.core import (
+    CostModel,
+    Granularity,
+    HybridConfig,
+    HybridRunner,
+    MetricsLedger,
+    RunResult,
+    SharedMemoryScheduler,
+    Task,
+    TaskKind,
+    WorkloadSpec,
+    autotune_queue_length,
+    build_tasks,
+)
+from repro.gpusim import DeviceSpec, TESLA_C2075, TESLA_K20
+from repro.physics import EnergyGrid, GridPoint, SerialAPEC, Spectrum
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "Granularity",
+    "HybridConfig",
+    "HybridRunner",
+    "MetricsLedger",
+    "RunResult",
+    "SharedMemoryScheduler",
+    "Task",
+    "TaskKind",
+    "WorkloadSpec",
+    "autotune_queue_length",
+    "build_tasks",
+    "DeviceSpec",
+    "TESLA_C2075",
+    "TESLA_K20",
+    "EnergyGrid",
+    "GridPoint",
+    "SerialAPEC",
+    "Spectrum",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Shared harness utilities for the ``benchmarks/`` directory."""
+
+from repro.bench.workloads import (
+    paper_workload,
+    paper_level_workload,
+    romberg_workload,
+    small_real_grid,
+    small_real_database,
+)
+from repro.bench.reporting import format_table, format_series, paper_vs_measured
+
+__all__ = [
+    "paper_workload",
+    "paper_level_workload",
+    "romberg_workload",
+    "small_real_grid",
+    "small_real_database",
+    "format_table",
+    "format_series",
+    "paper_vs_measured",
+]

@@ -1,0 +1,67 @@
+"""Formatting helpers: print the same rows/series the paper reports."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "paper_vs_measured"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Plain fixed-width table (the benches print these into the log)."""
+    cols = len(headers)
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError(f"row {row!r} does not match {cols} headers")
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str, series: Mapping[str, Mapping[object, float]], title: str = ""
+) -> str:
+    """Figure-style output: one column per named series over shared x."""
+    xs = sorted({x for ys in series.values() for x in ys})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: list[object] = [x]
+        for name in series:
+            val = series[name].get(x)
+            row.append(f"{val:.2f}" if val is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def paper_vs_measured(
+    label: str,
+    paper: Mapping[object, float],
+    measured: Mapping[object, float],
+    unit: str = "",
+) -> str:
+    """Side-by-side comparison with the paper's published numbers."""
+    rows = []
+    for key in paper:
+        p = paper[key]
+        m = measured.get(key)
+        if m is None:
+            rows.append([key, f"{p:g}", "-", "-"])
+        else:
+            ratio = m / p if p else float("inf")
+            rows.append([key, f"{p:g}", f"{m:.2f}", f"{ratio:.2f}x"])
+    suffix = f" ({unit})" if unit else ""
+    return format_table(
+        ["x", f"paper{suffix}", f"measured{suffix}", "measured/paper"],
+        rows,
+        title=label,
+    )

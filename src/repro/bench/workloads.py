@@ -1,0 +1,60 @@
+"""Canonical workloads used by the benchmark harness.
+
+Each experiment in the paper's evaluation section maps to one of these
+builders; keeping them here (rather than inline in each bench file) makes
+the table/figure scripts short and guarantees the same workload is used
+wherever the paper reuses it.
+"""
+
+from __future__ import annotations
+
+from repro.atomic.database import AtomicConfig, AtomicDatabase
+from repro.core.granularity import Granularity, WorkloadSpec, build_tasks
+from repro.core.task import Task
+from repro.physics.spectrum import EnergyGrid
+
+__all__ = [
+    "paper_workload",
+    "paper_level_workload",
+    "romberg_workload",
+    "small_real_grid",
+    "small_real_database",
+]
+
+
+def paper_workload(n_points: int = 24) -> list[Task]:
+    """The paper's main test: n grid points x 496 Ion tasks, Simpson-64.
+
+    Per-point integral count lands at ~2e8, matching Fig. 1's caption.
+    """
+    return build_tasks(WorkloadSpec(n_points=n_points))
+
+
+def paper_level_workload(n_points: int = 24) -> list[Task]:
+    """The fine-grained comparison: one task per energy level."""
+    return build_tasks(
+        WorkloadSpec(n_points=n_points, granularity=Granularity.LEVEL)
+    )
+
+
+def romberg_workload(k: int, n_points: int = 24) -> list[Task]:
+    """The Fig. 6 / Table I workload: Romberg with 2^k cost scaling.
+
+    ``bins_per_level`` is halved relative to the Simpson workload so the
+    k = 7 task cost matches the Simpson-64 task cost — Table I's
+    "computation amount/task" column starts from that common baseline and
+    doubles per k step.
+    """
+    return build_tasks(
+        WorkloadSpec(n_points=n_points, method="romberg", k=k, bins_per_level=25_000)
+    )
+
+
+def small_real_grid(n_bins: int = 400) -> EnergyGrid:
+    """Fig. 7's wavelength window (10-45 Angstrom) at test resolution."""
+    return EnergyGrid.from_wavelength(10.0, 45.0, n_bins)
+
+
+def small_real_database() -> AtomicDatabase:
+    """A database small enough for real-numerics accuracy runs."""
+    return AtomicDatabase(AtomicConfig(n_max=6, z_max=14))

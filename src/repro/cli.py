@@ -1,0 +1,358 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+    python -m repro quickstart
+    python -m repro fig3
+    python -m repro fig4 --gpus 1 2
+    python -m repro fig5
+    python -m repro table1
+    python -m repro table2
+    python -m repro autotune --gpus 1
+    python -m repro spectrum --temperature 1e7 --bins 120
+    python -m repro nei-solve --element 8 --temperature 1e6
+    python -m repro fit --temperature 1.05e7
+
+Each subcommand prints the same tables the corresponding benchmark
+produces; the benchmarks remain the canonical reproduction (they assert
+shapes), the CLI is for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.reporting import format_series, format_table
+from repro.core.autotune import autotune_queue_length, probe_prefix
+from repro.core.calibration import CostModel
+from repro.core.granularity import Granularity, WorkloadSpec, build_tasks
+from repro.core.hybrid import HybridConfig, HybridRunner
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid GPU spectral calculation (ICPP 2015) — experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("quickstart", help="headline run: baselines + 3-GPU hybrid")
+    p.add_argument("--gpus", type=int, default=3)
+    p.add_argument("--maxlen", type=int, default=12)
+
+    p = sub.add_parser("fig3", help="speedup vs #GPUs, Ion vs Level granularity")
+    p.add_argument("--points", type=int, default=24)
+
+    p = sub.add_parser("fig4", help="total time vs maximum queue length")
+    p.add_argument("--gpus", type=int, nargs="+", default=[1, 2, 3, 4])
+    p.add_argument(
+        "--maxlens", type=int, nargs="+", default=[2, 4, 6, 8, 10, 12, 14]
+    )
+
+    p = sub.add_parser("fig5", help="GPU task ratio vs maximum queue length")
+    p.add_argument("--gpus", type=int, nargs="+", default=[1, 2])
+
+    p = sub.add_parser("table1", help="task distribution vs Romberg complexity")
+    p.add_argument("--ks", type=int, nargs="+", default=[7, 9, 11, 13])
+
+    p = sub.add_parser("table2", help="NEI speedups vs 24-core MPI")
+
+    p = sub.add_parser("nei-solve", help="evolve one element's NEI state")
+    p.add_argument("--element", type=int, default=8)
+    p.add_argument("--temperature", type=float, default=1.0e6)
+    p.add_argument("--t-initial", type=float, default=1.0e4)
+    p.add_argument("--density", type=float, default=1.0e10)
+
+    p = sub.add_parser("fit", help="fit a mock observation's temperature")
+    p.add_argument("--temperature", type=float, default=1.05e7)
+    p.add_argument("--bins", type=int, default=100)
+    p.add_argument("--seed", type=int, default=2015)
+
+    p = sub.add_parser("autotune", help="automatic maximum-queue-length search")
+    p.add_argument("--gpus", type=int, default=1)
+    p.add_argument("--tasks-per-point", type=int, default=60)
+
+    p = sub.add_parser("spectrum", help="compute a real RRC spectrum")
+    p.add_argument("--temperature", type=float, default=1.0e7)
+    p.add_argument("--density", type=float, default=1.0)
+    p.add_argument("--bins", type=int, default=60)
+    p.add_argument("--components", nargs="+", default=["rrc"],
+                   choices=["rrc", "lines", "brems"])
+
+    return parser
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    tasks = build_tasks(WorkloadSpec())
+    runner = HybridRunner(
+        HybridConfig(n_gpus=args.gpus, max_queue_length=args.maxlen)
+    )
+    serial = runner.serial_time(tasks)
+    mpi = runner.run_mpi_only(tasks)
+    hybrid = runner.run(tasks)
+    print(
+        format_table(
+            ["configuration", "time (s)", "speedup vs serial"],
+            [
+                ["serial APEC", f"{serial:.0f}", "1.0x"],
+                ["24-core MPI", f"{mpi.makespan_s:.0f}", f"{serial / mpi.makespan_s:.1f}x"],
+                [
+                    f"hybrid {args.gpus} GPU(s), maxlen {args.maxlen}",
+                    f"{hybrid.makespan_s:.0f}",
+                    f"{serial / hybrid.makespan_s:.1f}x",
+                ],
+            ],
+            title="Hybrid spectral calculation (24 points x 496 ions)",
+        )
+    )
+    print(
+        f"\nGPU task share {hybrid.metrics.gpu_task_ratio():.1%}, "
+        f"per-GPU tasks {[int(c) for c in hybrid.metrics.gpu_tasks]}"
+    )
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    ion = build_tasks(WorkloadSpec(n_points=args.points))
+    level = build_tasks(
+        WorkloadSpec(n_points=args.points, granularity=Granularity.LEVEL)
+    )
+    serial = HybridRunner().serial_time(ion)
+    series: dict[str, dict[int, float]] = {"Ion": {}, "Level": {}}
+    for g in (1, 2, 3, 4):
+        cfg = HybridConfig(n_gpus=g, max_queue_length=12)
+        series["Ion"][g] = serial / HybridRunner(cfg).run(ion).makespan_s
+        series["Level"][g] = serial / HybridRunner(cfg).run(level).makespan_s
+    print(format_series("#GPUs", series, title="Fig. 3 — speedup over serial"))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    tasks = build_tasks(WorkloadSpec())
+    series: dict[str, dict[int, float]] = {}
+    for g in args.gpus:
+        series[f"{g} GPU(s)"] = {
+            m: HybridRunner(
+                HybridConfig(n_gpus=g, max_queue_length=m)
+            ).run(tasks).makespan_s
+            for m in args.maxlens
+        }
+    print(format_series("maxlen", series, title="Fig. 4 — total time (s)"))
+    return 0
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    from repro.nei.runner import NEIWorkloadSpec, build_nei_tasks
+
+    cost = CostModel(point_overhead_s=0.0)
+    tasks = build_nei_tasks(NEIWorkloadSpec())
+    mpi = HybridRunner(
+        HybridConfig(n_gpus=0, max_queue_length=8, cost=cost)
+    ).run_mpi_only(tasks)
+    rows = []
+    for g in (1, 2, 3, 4):
+        res = HybridRunner(
+            HybridConfig(n_gpus=g, max_queue_length=8, cost=cost)
+        ).run(tasks)
+        rows.append(
+            [g, f"{res.makespan_s:.0f}", f"{mpi.makespan_s / res.makespan_s:.1f}x"]
+        )
+    print(
+        format_table(
+            ["#GPUs", "time (s)", "speedup vs MPI"],
+            rows,
+            title=f"Table II — NEI (MPI baseline {mpi.makespan_s:.0f} s)",
+        )
+    )
+    return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    tasks = build_tasks(WorkloadSpec())
+    cfg = HybridConfig(n_gpus=args.gpus, max_queue_length=2)
+    probe, probe_cfg = probe_prefix(tasks, cfg, tasks_per_point=args.tasks_per_point)
+    best, times = autotune_queue_length(
+        probe_cfg, probe, candidates=(2, 4, 6, 8, 10, 12, 14, 16)
+    )
+    rows = [
+        [m, f"{t:.1f}", "<- chosen" if m == best else ""]
+        for m, t in times.items()
+    ]
+    print(
+        format_table(
+            ["maxlen", "probe time (s)", ""],
+            rows,
+            title=f"Queue-length auto-tuning ({args.gpus} GPU(s))",
+        )
+    )
+    return 0
+
+
+def _cmd_spectrum(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.atomic.database import AtomicConfig, AtomicDatabase
+    from repro.physics.apec import GridPoint, SerialAPEC
+    from repro.physics.spectrum import EnergyGrid
+
+    db = AtomicDatabase(AtomicConfig(n_max=6, z_max=14))
+    grid = EnergyGrid.from_wavelength(10.0, 45.0, args.bins)
+    apec = SerialAPEC(
+        db, grid, method="simpson-batch", components=tuple(args.components)
+    )
+    spec = apec.compute(
+        GridPoint(temperature_k=args.temperature, ne_cm3=args.density)
+    ).normalized()
+    rows = [
+        [f"{wl:.2f}", f"{v:.4f}", "#" * int(round(v * 40))]
+        for wl, v in zip(grid.wavelength_centers, spec.values)
+    ]
+    step = max(1, len(rows) // 30)
+    print(
+        format_table(
+            ["wavelength (A)", "flux", ""],
+            rows[::step],
+            title=(
+                f"Normalized spectrum, T={args.temperature:.2e} K, "
+                f"components={'+'.join(args.components)}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    tasks = build_tasks(WorkloadSpec())
+    series: dict[str, dict[int, float]] = {}
+    for g in args.gpus:
+        series[f"{g} GPU(s) %"] = {
+            m: HybridRunner(
+                HybridConfig(n_gpus=g, max_queue_length=m)
+            ).run(tasks).metrics.gpu_task_ratio() * 100.0
+            for m in (2, 4, 6, 8, 10, 12, 14)
+        }
+    print(format_series("maxlen", series, title="Fig. 5 — tasks on GPUs (%)"))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.bench.workloads import romberg_workload
+
+    rows = []
+    for k in args.ks:
+        tasks = romberg_workload(k)
+        res = HybridRunner(HybridConfig(n_gpus=2, max_queue_length=6)).run(tasks)
+        m = res.metrics
+        rows.append(
+            [
+                f"2^{k}",
+                int(m.gpu_tasks.sum()),
+                f"{m.gpu_task_ratio() * 100:.2f}%",
+                f"{m.load_at_least_ratio(3, 0) * 100:.2f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["amount/task", "tasks on GPU", "ratio", "load>=3"],
+            rows,
+            title="Table I — task distribution (2 GPUs, maxlen 6)",
+        )
+    )
+    return 0
+
+
+def _cmd_nei_solve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.nei.equilibrium import equilibrium_state, relaxation_time_scale
+    from repro.nei.odes import NEISystem
+    from repro.nei.solvers import AutoSwitchSolver
+
+    z = args.element
+    sys_ = NEISystem(z=z, ne_cm3=args.density, temperature_k=args.temperature)
+    y0 = equilibrium_state(z, args.t_initial)
+    tau = relaxation_time_scale(z, args.temperature, args.density)
+    res = AutoSwitchSolver(rtol=1e-6, atol=1e-10).solve(
+        sys_.rhs, sys_.jacobian, y0, (0.0, 3.0 * tau)
+    )
+    st = res.stats
+    print(
+        f"Z={z}: {args.t_initial:.1e} K -> {args.temperature:.1e} K at "
+        f"n_e={args.density:.1e}; tau={tau:.3g} s"
+    )
+    print(
+        f"solver: {st.n_steps} steps ({st.nonstiff_steps} Adams / "
+        f"{st.stiff_steps} BDF), {st.n_switches} switches"
+    )
+    rows = [
+        [f"+{c}", f"{y0[c]:.4f}", f"{res.y_final[c]:.4f}"]
+        for c in range(z + 1)
+        if y0[c] > 1e-4 or res.y_final[c] > 1e-4
+    ]
+    print(format_table(["charge", "initial", "final"], rows, title="ion fractions"))
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.atomic.database import AtomicConfig, AtomicDatabase
+    from repro.physics.apec import GridPoint, SerialAPEC
+    from repro.physics.fitting import (
+        InstrumentResponse,
+        fit_temperature,
+        mock_observation,
+    )
+    from repro.physics.spectrum import EnergyGrid
+
+    db = AtomicDatabase(AtomicConfig.tiny())
+    grid = EnergyGrid.from_wavelength(10.0, 45.0, args.bins)
+    apec = SerialAPEC(db, grid, method="simpson-batch")
+    response = InstrumentResponse(grid, fwhm_kev=0.015)
+    truth = apec.compute(GridPoint(temperature_k=args.temperature, ne_cm3=1.0))
+    exposure = 1e6 / max(response.apply(truth.values).max(), 1e-300)
+    observed = mock_observation(
+        truth, response, exposure, rng=np.random.default_rng(args.seed)
+    )
+    result = fit_temperature(
+        apec, observed, response, exposure, t_bounds=(2e6, 6e7)
+    )
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["true temperature", f"{args.temperature:.4e} K"],
+                ["fitted temperature", f"{result.temperature_k:.4e} K"],
+                ["relative error", f"{result.temperature_k / args.temperature - 1:+.2%}"],
+                ["chi^2 / channels", f"{result.chi2:.1f} / {args.bins}"],
+                ["model evaluations", result.n_model_evals],
+            ],
+            title="Temperature fit",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "quickstart": _cmd_quickstart,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "autotune": _cmd_autotune,
+    "spectrum": _cmd_spectrum,
+    "nei-solve": _cmd_nei_solve,
+    "fit": _cmd_fit,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Simulated MPI node: event engine, shared memory, message passing.
+
+The paper runs 24 MPI processes on one physical node sharing 1-4 GPUs
+through POSIX shared memory.  This package provides the deterministic
+stand-ins:
+
+- :mod:`repro.cluster.simclock` — a discrete-event engine with
+  generator-based processes (the "MPI ranks" of the simulation);
+- :mod:`repro.cluster.sharedmem` — the shared load/history counter arrays
+  with atomic operations (the ``shmat`` segment of Algorithm 1);
+- :mod:`repro.cluster.mpi` — a miniature message-passing layer (send /
+  recv / bcast / scatter / gather) over the event engine;
+- :mod:`repro.cluster.shm` — a *real* ``multiprocessing`` shared-memory
+  runner demonstrating the same scheduler on live processes.
+"""
+
+from repro.cluster.simclock import SimClock, Signal, Interrupt, ProcessHandle
+from repro.cluster.sharedmem import SharedSegment, SharedArray
+from repro.cluster.mpi import MiniComm
+
+__all__ = [
+    "SimClock",
+    "Signal",
+    "Interrupt",
+    "ProcessHandle",
+    "SharedSegment",
+    "SharedArray",
+    "MiniComm",
+]

@@ -1,0 +1,125 @@
+"""Miniature message-passing over the event engine.
+
+The paper wraps APEC in MPI: the main program reads inputs, spawns ranks,
+scatters sub-spaces of the parameter grid, and gathers results.  This
+module provides just those collectives — plus point-to-point send/recv —
+with mpi4py-like semantics, implemented on :class:`SimClock` signals so
+ranks are ordinary simulation processes.
+
+Message latency is configurable (default zero: intra-node MPI costs are
+negligible next to task times; the model exists so the ablation benches
+can charge a per-message cost to a client-server scheduler).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.cluster.simclock import Signal, SimClock
+
+__all__ = ["MiniComm"]
+
+
+@dataclass
+class _Mailbox:
+    messages: deque = field(default_factory=deque)
+    waiting: Optional[Signal] = None
+
+
+class MiniComm:
+    """A communicator over ``size`` simulated ranks.
+
+    The communication methods are generators: ranks must ``yield from``
+    them, exactly like blocking MPI calls.
+    """
+
+    def __init__(self, clock: SimClock, size: int, latency: float = 0.0) -> None:
+        if size < 1:
+            raise ValueError("communicator needs at least one rank")
+        if latency < 0.0:
+            raise ValueError("latency must be non-negative")
+        self.clock = clock
+        self.size = size
+        self.latency = latency
+        # mailboxes[dst][src_tagged_key] would allow tags; keep (dst, src).
+        self._boxes: dict[tuple[int, int], _Mailbox] = {
+            (dst, src): _Mailbox() for dst in range(size) for src in range(size)
+        }
+        self._barrier_waiting: list[Signal] = []
+        self._barrier_count = 0
+
+    def _box(self, dst: int, src: int) -> _Mailbox:
+        try:
+            return self._boxes[(dst, src)]
+        except KeyError:
+            raise ValueError(
+                f"rank out of range: dst={dst} src={src} size={self.size}"
+            ) from None
+
+    def send(self, payload: object, dest: int, source: int) -> Generator:
+        """Non-buffered-cost send; completes after the configured latency."""
+        box = self._box(dest, source)
+        if self.latency:
+            yield self.latency
+        box.messages.append(payload)
+        if box.waiting is not None:
+            sig, box.waiting = box.waiting, None
+            sig.fire(self.clock)
+
+    def recv(self, source: int, dest: int) -> Generator:
+        """Blocking receive from ``source``; returns the payload."""
+        box = self._box(dest, source)
+        while not box.messages:
+            if box.waiting is None:
+                box.waiting = self.clock.signal(f"recv{dest}<-{source}")
+            yield box.waiting
+        return box.messages.popleft()
+
+    def bcast(self, payload: object, root: int, rank: int) -> Generator:
+        """Broadcast from ``root``; every rank gets the payload."""
+        if rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    yield from self.send(payload, dst, root)
+            return payload
+        return (yield from self.recv(root, rank))
+
+    def scatter(self, chunks: Optional[list], root: int, rank: int) -> Generator:
+        """Scatter one chunk per rank from ``root``."""
+        if rank == root:
+            if chunks is None or len(chunks) != self.size:
+                raise ValueError(
+                    f"root must pass exactly {self.size} chunks"
+                )
+            for dst in range(self.size):
+                if dst != root:
+                    yield from self.send(chunks[dst], dst, root)
+            return chunks[root]
+        return (yield from self.recv(root, rank))
+
+    def gather(self, payload: object, root: int, rank: int) -> Generator:
+        """Gather payloads to ``root``; root returns the ordered list."""
+        if rank == root:
+            out: list = [None] * self.size
+            out[root] = payload
+            for src in range(self.size):
+                if src != root:
+                    out[src] = yield from self.recv(src, root)
+            return out
+        yield from self.send(payload, root, rank)
+        return None
+
+    def barrier(self, rank: int) -> Generator:
+        """All ranks block until everyone arrives."""
+        self._barrier_count += 1
+        if self._barrier_count == self.size:
+            self._barrier_count = 0
+            waiting, self._barrier_waiting = self._barrier_waiting, []
+            for sig in waiting:
+                sig.fire(self.clock)
+            return
+        sig = self.clock.signal(f"barrier.rank{rank}")
+        self._barrier_waiting.append(sig)
+        yield sig

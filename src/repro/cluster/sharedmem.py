@@ -1,0 +1,93 @@
+"""The shared-memory segment of Algorithm 1.
+
+The paper's scheduler keeps two integer arrays in POSIX shared memory —
+the per-device *load* (active + waiting tasks) and the per-device *history
+task count* — which MPI processes attach with ``shmat()`` and mutate with
+atomic increments/decrements.
+
+Inside the single-threaded event simulation, atomicity is trivially
+guaranteed; the value of modelling it anyway is that the *same scheduler
+code* runs unchanged against :class:`SharedArray` here and against a real
+``multiprocessing`` shared array in :mod:`repro.cluster.shm` — the API is
+the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["SharedArray", "SharedSegment"]
+
+
+class SharedArray:
+    """An int64 array with the atomic operations Algorithm 1 relies on."""
+
+    def __init__(self, size: int, name: str = "") -> None:
+        if size < 1:
+            raise ValueError("shared array needs at least one slot")
+        self.name = name
+        self._data = np.zeros(size, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._data.size
+
+    def __getitem__(self, i: int) -> int:
+        return int(self._data[i])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(v) for v in self._data)
+
+    def snapshot(self) -> np.ndarray:
+        """A point-in-time copy (what a racing reader could observe)."""
+        return self._data.copy()
+
+    def atomic_add(self, i: int, delta: int) -> int:
+        """Atomically add ``delta`` to slot ``i``; returns the new value."""
+        self._data[i] += delta
+        return int(self._data[i])
+
+    def atomic_cas(self, i: int, expected: int, new: int) -> bool:
+        """Compare-and-swap; True when the swap happened."""
+        if int(self._data[i]) == expected:
+            self._data[i] = new
+            return True
+        return False
+
+    def store(self, i: int, value: int) -> None:
+        self._data[i] = value
+
+
+class SharedSegment:
+    """The full segment: one load array + one history array per node.
+
+    Mirrors the paper's layout: "The shared memory contains two types of
+    arrays, one is the load count of task queue on each device, and the
+    other is the history task count of each device."
+    """
+
+    def __init__(self, n_devices: int) -> None:
+        if n_devices < 0:
+            raise ValueError("device count must be non-negative")
+        self.n_devices = n_devices
+        self.load = SharedArray(max(1, n_devices), name="load")
+        self.history = SharedArray(max(1, n_devices), name="history")
+
+    def attach(self) -> tuple[SharedArray, SharedArray]:
+        """The ``shmat()`` of Algorithm 1: hand out the mapped arrays."""
+        return self.load, self.history
+
+    def total_load(self) -> int:
+        return sum(self.load) if self.n_devices else 0
+
+    def validate(self, max_queue_length: int) -> None:
+        """Invariant check: loads within [0, max], histories monotone >= 0."""
+        for d in range(self.n_devices):
+            load = self.load[d]
+            if load < 0 or load > max_queue_length:
+                raise ValueError(
+                    f"device {d}: load {load} outside [0, {max_queue_length}]"
+                )
+            if self.history[d] < 0:
+                raise ValueError(f"device {d}: negative history count")

@@ -1,0 +1,234 @@
+"""Algorithm 1 on *live* processes and real shared memory.
+
+The event simulation answers the paper's quantitative questions; this
+module answers a different one — does the scheduler actually work as a
+concurrent program?  It runs N worker processes and one server process
+per "GPU" (executing the vectorized batch kernel, the same role the CUDA
+device plays), with the load/history arrays in ``multiprocessing``
+shared memory and the SCHE-ALLOC scan + increment under a lock (the
+paper's atomic ops).
+
+The integrand family is fixed (the Kramers-collapsed RRC form
+``scale * exp(-(x - edge) / kt)`` above its edge) because closures do not
+pickle; it is the same integrand the spectral code integrates.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.quadrature.batch import batch_simpson
+from repro.quadrature.qags import qags
+
+__all__ = ["LiveTask", "LiveRunResult", "LiveHybridRunner", "rrc_like_integrand"]
+
+NO_DEVICE = -1
+
+
+def rrc_like_integrand(edge: float, kt: float, scale: float):
+    """The Kramers-collapsed RRC integrand as a picklable closure factory."""
+
+    def f(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x >= edge, scale * np.exp(-(x - edge) / kt), 0.0)
+
+    return f
+
+
+@dataclass(frozen=True)
+class LiveTask:
+    """One live integration task: many bins of one RRC-like integrand."""
+
+    task_id: int
+    lo: np.ndarray
+    hi: np.ndarray
+    edge: float = 0.5
+    kt: float = 1.0
+    scale: float = 1.0
+    pieces: int = 64
+
+    def gpu_compute(self) -> np.ndarray:
+        """The device-side computation: one vectorized batch call."""
+        f = rrc_like_integrand(self.edge, self.kt, self.scale)
+        lo = np.maximum(self.lo, self.edge)
+        hi = np.maximum(self.hi, lo)
+        return batch_simpson(f, lo, hi, pieces=self.pieces)
+
+    def cpu_compute(self) -> np.ndarray:
+        """The fallback: scalar adaptive QAGS per bin (slow on purpose)."""
+        f = rrc_like_integrand(self.edge, self.kt, self.scale)
+        out = np.zeros(len(self.lo))
+        for i, (a, b) in enumerate(zip(self.lo, self.hi)):
+            a = max(float(a), self.edge)
+            if b <= a:
+                continue
+            out[i] = qags(f, a, float(b), epsabs=1e-30, epsrel=1e-10).value
+        return out
+
+
+@dataclass
+class LiveRunResult:
+    """Outcome of one live run."""
+
+    wall_s: float
+    gpu_tasks: int
+    cpu_tasks: int
+    totals: dict[int, float] = field(default_factory=dict)  # task_id -> sum
+
+    @property
+    def gpu_ratio(self) -> float:
+        total = self.gpu_tasks + self.cpu_tasks
+        return self.gpu_tasks / total if total else 0.0
+
+
+def _sche_alloc(load, history, lock, max_len: int) -> int:
+    """SCHE-ALLOC over real shared arrays (scan under the lock)."""
+    with lock:
+        best, l_min, h_min = 0, load[0], history[0]
+        for d in range(1, len(load)):
+            if load[d] < l_min or (load[d] == l_min and history[d] < h_min):
+                best, l_min, h_min = d, load[d], history[d]
+        if l_min >= max_len:
+            return NO_DEVICE
+        load[best] += 1
+        history[best] += 1
+        return best
+
+
+def _sche_free(load, lock, device: int) -> None:
+    with lock:
+        load[device] -= 1
+
+
+def _gpu_server(device_idx, task_queue, reply_queues, counters, counter_lock):
+    """One simulated device: executes batch kernels FIFO until sentinel."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        worker_rank, task = item
+        result = task.gpu_compute()
+        with counter_lock:
+            counters[0] += 1  # gpu task count
+        reply_queues[worker_rank].put((task.task_id, float(result.sum())))
+
+
+def _worker(
+    rank,
+    tasks,
+    load,
+    history,
+    lock,
+    max_len,
+    device_queues,
+    reply_queue,
+    counters,
+    counter_lock,
+    results_queue,
+):
+    """One MPI-rank equivalent: Algorithm 1's per-process loop."""
+    totals: dict[int, float] = {}
+    for task in tasks:
+        device = _sche_alloc(load, history, lock, max_len)
+        if device != NO_DEVICE:
+            device_queues[device].put((rank, task))
+            task_id, total = reply_queue.get()  # synchronous wait
+            _sche_free(load, lock, device)
+            totals[task_id] = total
+        else:
+            result = task.cpu_compute()
+            with counter_lock:
+                counters[1] += 1  # cpu task count
+            totals[task.task_id] = float(result.sum())
+    results_queue.put(totals)
+
+
+class LiveHybridRunner:
+    """Run LiveTasks through real processes + shared-memory scheduling."""
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        n_devices: int = 1,
+        max_queue_length: int = 4,
+    ) -> None:
+        if n_workers < 1 or n_devices < 1:
+            raise ValueError("need at least one worker and one device")
+        if max_queue_length < 1:
+            raise ValueError("maximum queue length must be >= 1")
+        self.n_workers = n_workers
+        self.n_devices = n_devices
+        self.max_queue_length = max_queue_length
+
+    def run(self, tasks: list[LiveTask], timeout_s: float = 120.0) -> LiveRunResult:
+        """Execute; tasks are dealt round-robin to workers."""
+        ctx = mp.get_context("fork" if os.name == "posix" else "spawn")
+        load = ctx.Array("q", self.n_devices, lock=False)
+        history = ctx.Array("q", self.n_devices, lock=False)
+        lock = ctx.Lock()
+        counters = ctx.Array("q", 2, lock=False)  # [gpu, cpu]
+        counter_lock = ctx.Lock()
+        device_queues = [ctx.Queue() for _ in range(self.n_devices)]
+        reply_queues = [ctx.Queue() for _ in range(self.n_workers)]
+        results_queue = ctx.Queue()
+
+        servers = [
+            ctx.Process(
+                target=_gpu_server,
+                args=(d, device_queues[d], reply_queues, counters, counter_lock),
+                daemon=True,
+            )
+            for d in range(self.n_devices)
+        ]
+        partitions: list[list[LiveTask]] = [[] for _ in range(self.n_workers)]
+        for i, task in enumerate(tasks):
+            partitions[i % self.n_workers].append(task)
+        workers = [
+            ctx.Process(
+                target=_worker,
+                args=(
+                    r,
+                    partitions[r],
+                    load,
+                    history,
+                    lock,
+                    self.max_queue_length,
+                    device_queues,
+                    reply_queues[r],
+                    counters,
+                    counter_lock,
+                    results_queue,
+                ),
+                daemon=True,
+            )
+            for r in range(self.n_workers)
+        ]
+
+        t0 = time.perf_counter()
+        for p in servers + workers:
+            p.start()
+        totals: dict[int, float] = {}
+        try:
+            for _ in range(self.n_workers):
+                totals.update(results_queue.get(timeout=timeout_s))
+        finally:
+            for q in device_queues:
+                q.put(None)  # stop sentinels
+            deadline = time.time() + 10.0
+            for p in servers + workers:
+                p.join(timeout=max(0.1, deadline - time.time()))
+            for p in servers + workers:
+                if p.is_alive():
+                    p.terminate()
+        wall = time.perf_counter() - t0
+        return LiveRunResult(
+            wall_s=wall,
+            gpu_tasks=int(counters[0]),
+            cpu_tasks=int(counters[1]),
+            totals=totals,
+        )

@@ -1,0 +1,186 @@
+"""Deterministic discrete-event engine with generator processes.
+
+A tiny SimPy-flavoured kernel, just large enough for the hybrid runner:
+
+- :class:`SimClock` owns virtual time and the event heap;
+- a *process* is a generator that yields either a float (sleep for that
+  many virtual seconds), a :class:`Signal` (block until fired), or another
+  :class:`ProcessHandle` (join);
+- :class:`Signal` is a one-shot broadcast: every waiter resumes when it
+  fires, and waits on an already-fired signal return immediately.
+
+Determinism: events at equal times run in schedule order (a monotone
+sequence number breaks ties), so a given workload always produces the
+identical trace — the property that makes every figure reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, Optional, Union
+
+__all__ = ["SimClock", "Signal", "Interrupt", "ProcessHandle"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is killed while waiting."""
+
+
+@dataclass
+class Signal:
+    """One-shot event; processes yield it to block until :meth:`fire`.
+
+    ``payload`` carries an arbitrary result to waiters (e.g. a GPU task's
+    output array).
+    """
+
+    name: str = ""
+    fired: bool = False
+    payload: object = None
+    _waiters: list["ProcessHandle"] = field(default_factory=list, repr=False)
+
+    def fire(self, clock: "SimClock", payload: object = None) -> None:
+        """Fire the signal, waking all waiters at the current time."""
+        if self.fired:
+            raise RuntimeError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.payload = payload
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            clock._schedule(0.0, proc._step, payload)
+
+    def add_callback(self, clock: "SimClock", fn: Callable[[object], None]) -> None:
+        """Run ``fn(payload)`` when the signal fires (or now, if it has)."""
+        if self.fired:
+            clock._schedule(0.0, lambda _arg: fn(self.payload), None)
+        else:
+            self._waiters.append(_FnWaiter(fn))
+
+
+class _FnWaiter:
+    """Adapter placing a plain callback in a signal's waiter list."""
+
+    def __init__(self, fn: Callable[[object], None]) -> None:
+        self._fn = fn
+
+    def _step(self, payload: object = None) -> None:
+        self._fn(payload)
+
+
+Yieldable = Union[float, int, Signal, "ProcessHandle"]
+
+
+class ProcessHandle:
+    """A running generator process; yield it from another process to join."""
+
+    def __init__(self, clock: "SimClock", gen: Generator, name: str) -> None:
+        self._clock = clock
+        self._gen = gen
+        self.name = name
+        self.done = Signal(name=f"{name}.done")
+        self.alive = True
+        self.result: object = None
+
+    def kill(self) -> None:
+        """Interrupt the process; it may catch :class:`Interrupt` to clean up."""
+        if not self.alive:
+            return
+        try:
+            self._gen.throw(Interrupt())
+        except (StopIteration, Interrupt):
+            pass
+        self._finish(None)
+
+    def _finish(self, result: object) -> None:
+        if self.alive:
+            self.alive = False
+            self.result = result
+            self.done.fire(self._clock, result)
+
+    def _step(self, send_value: object = None) -> None:
+        if not self.alive:
+            return
+        try:
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(target)
+
+    def _dispatch(self, target: Yieldable) -> None:
+        clock = self._clock
+        if isinstance(target, (float, int)):
+            if target < 0:
+                raise ValueError(
+                    f"process {self.name!r} yielded negative delay {target}"
+                )
+            clock._schedule(float(target), self._step, None)
+        elif isinstance(target, Signal):
+            if target.fired:
+                clock._schedule(0.0, self._step, target.payload)
+            else:
+                target._waiters.append(self)
+        elif isinstance(target, ProcessHandle):
+            self._dispatch(target.done)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported {target!r}; "
+                "yield a delay, a Signal, or a ProcessHandle"
+            )
+
+
+class SimClock:
+    """Virtual time plus the deterministic event heap."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable, object]] = []
+        self._seq = 0
+        self._processes: list[ProcessHandle] = []
+
+    def _schedule(self, delay: float, fn: Callable, arg: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, arg))
+
+    def at(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run a plain callback ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._schedule(delay, lambda _arg: fn(), None)
+
+    def spawn(self, gen: Generator, name: str = "proc") -> ProcessHandle:
+        """Start a generator process immediately (first step at t = now)."""
+        handle = ProcessHandle(self, gen, name)
+        self._processes.append(handle)
+        self._schedule(0.0, handle._step, None)
+        return handle
+
+    def signal(self, name: str = "") -> Signal:
+        return Signal(name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap drains (or ``until`` is passed).
+
+        Returns the final virtual time.  Raises ``RuntimeError`` if time
+        would move backwards (a corrupted heap — should be impossible, but
+        cheap to assert and invaluable when it is not).
+        """
+        while self._heap:
+            t, _seq, fn, arg = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if t < self.now:
+                raise RuntimeError(f"causality violation: {t} < {self.now}")
+            self.now = t
+            fn(arg)
+        return self.now
+
+    def run_all(self, procs: Iterable[Generator], names: Optional[list[str]] = None) -> float:
+        """Spawn all generators and run to completion; returns makespan."""
+        for i, gen in enumerate(procs):
+            name = names[i] if names else f"proc{i}"
+            self.spawn(gen, name=name)
+        return self.run()

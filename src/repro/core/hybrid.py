@@ -1,0 +1,332 @@
+"""The end-to-end hybrid runner — the architecture of Fig. 2.
+
+The main program divides the parameter space into equal subspaces (one or
+more grid points per MPI rank); each rank walks its tasks, asking the
+local scheduler for a device per task.  Admitted tasks run on the chosen
+GPU while the rank blocks (the paper's synchronous mode); rejected tasks
+run on the rank's own CPU with the serial QAGS routine.
+
+Besides the hybrid run, the runner prices the two baselines every speedup
+in the paper is quoted against:
+
+- :meth:`HybridRunner.serial_time` — the original serial APEC;
+- :meth:`HybridRunner.run_mpi_only` — the 24-rank pure-MPI version
+  (13.5x over serial, per the paper).
+
+An asynchronous mode (bounded in-flight submissions per rank) implements
+the paper's "future work" paragraph and is exercised by an ablation
+bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cluster.simclock import SimClock
+from repro.core.calibration import CostModel
+from repro.core.metrics import MetricsLedger, RunResult, TaskEvent
+from repro.core.scheduler import (
+    NO_DEVICE,
+    ClientServerScheduler,
+    RandomScheduler,
+    SharedMemoryScheduler,
+    WeightedScheduler,
+)
+from repro.core.task import Task
+from repro.gpusim.device import DeviceSpec, SimulatedGPU, TESLA_C2075
+
+__all__ = ["HybridConfig", "HybridRunner"]
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Knobs of one hybrid run (paper defaults: 24 ranks, Fermi GPUs)."""
+
+    n_workers: int = 24
+    n_gpus: int = 3
+    max_queue_length: int = 12
+    device: DeviceSpec = TESLA_C2075
+    #: Optional heterogeneous fleet: one spec per GPU (overrides
+    #: ``device`` x ``n_gpus``).  The paper's node is homogeneous; mixed
+    #: fleets exercise the scheduler's "tasks of equal size" assumption.
+    devices: Optional[tuple[DeviceSpec, ...]] = None
+    cost: CostModel = field(default_factory=CostModel)
+    #: "shared" (Algorithm 1), "client-server" (MPS-like ablation),
+    #: "random" (policy baseline), "weighted" (the future-work speed-aware
+    #: rule; uses each device's mean service time for a reference task).
+    scheduler_kind: str = "shared"
+    rpc_latency_s: float = 5.0e-4
+    #: 0 = synchronous (the paper's implementation); n > 0 allows each
+    #: rank n outstanding GPU tasks (the "future work" asynchronous mode).
+    async_depth: int = 0
+    #: Per-rank start offset modelling real MPI startup skew (ranks never
+    #: hit the scheduler in perfect lockstep); 0.2 s spreads the 24 ranks
+    #: over ~5 s, killing the artificial t=0 admission burst.
+    stagger_s: Optional[float] = 0.2
+    #: Tie-breaking rule among equally loaded devices ("history" = the
+    #: paper's minimum-history rule; "first" = positional, for ablation).
+    tie_break: str = "history"
+    #: Record a per-task TaskEvent timeline in the metrics ledger
+    #: (off by default: ~12k events per paper-scale run).
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("need at least one worker")
+        if self.n_gpus < 0:
+            raise ValueError("GPU count must be non-negative")
+        if self.max_queue_length < 1:
+            raise ValueError("maximum queue length must be >= 1")
+        if self.scheduler_kind not in (
+            "shared", "client-server", "random", "weighted"
+        ):
+            raise ValueError(f"unknown scheduler kind {self.scheduler_kind!r}")
+        if self.async_depth < 0:
+            raise ValueError("async_depth must be non-negative")
+        if self.devices is not None and len(self.devices) != self.n_gpus:
+            raise ValueError(
+                f"devices tuple has {len(self.devices)} entries for "
+                f"n_gpus={self.n_gpus}"
+            )
+
+
+class HybridRunner:
+    """Runs task lists through the simulated hybrid node."""
+
+    def __init__(self, config: HybridConfig | None = None) -> None:
+        self.config = config or HybridConfig()
+
+    # ------------------------------------------------------------------
+    # Baselines
+    # ------------------------------------------------------------------
+    def serial_time(self, tasks: list[Task]) -> float:
+        """Wall time of the original serial APEC on this workload."""
+        cost = self.config.cost
+        total = 0.0
+        points = set()
+        for task in tasks:
+            total += cost.cpu_task_serial_s(task.n_integrals, task.cpu_evals_per_integral)
+            total += cost.prep_s(task.n_levels)
+            points.add(task.point_index)
+        return total + len(points) * cost.point_overhead_s
+
+    def run_mpi_only(self, tasks: list[Task]) -> RunResult:
+        """The pure-MPI baseline: every task on its rank's CPU."""
+        cost = self.config.cost
+        per_worker = self._partition(tasks)
+        makespans = []
+        metrics = MetricsLedger(0, self.config.max_queue_length)
+        for my_tasks in per_worker:
+            t = 0.0
+            points = set()
+            for task in my_tasks:
+                points.add(task.point_index)
+                t += cost.prep_s(task.n_levels)
+                t += cost.cpu_task_mpi_s(task.n_integrals, task.cpu_evals_per_integral)
+                metrics.on_cpu_task()
+            t += len(points) * cost.point_overhead_s
+            makespans.append(t)
+        makespan = max(makespans) if makespans else 0.0
+        metrics.finalize(makespan)
+        return RunResult(
+            makespan_s=makespan, metrics=metrics, n_tasks=len(tasks), mode="mpi"
+        )
+
+    # ------------------------------------------------------------------
+    # The hybrid run
+    # ------------------------------------------------------------------
+    def run(self, tasks: list[Task]) -> RunResult:
+        """Simulate the full hybrid execution; returns the run result."""
+        cfg = self.config
+        clock = SimClock()
+        metrics = MetricsLedger(cfg.n_gpus, cfg.max_queue_length)
+        specs = cfg.devices or tuple(cfg.device for _ in range(cfg.n_gpus))
+        if cfg.scheduler_kind == "client-server":
+            sched: SharedMemoryScheduler = ClientServerScheduler(
+                cfg.n_gpus, cfg.max_queue_length, cfg.rpc_latency_s, metrics
+            )
+            sched.tie_break = cfg.tie_break
+        elif cfg.scheduler_kind == "random":
+            sched = RandomScheduler(cfg.n_gpus, cfg.max_queue_length, metrics)
+        elif cfg.scheduler_kind == "weighted":
+            reference = tasks[0].kernel if tasks else None
+            service = [
+                specs[d].service_time(reference) if reference is not None else 1.0
+                for d in range(cfg.n_gpus)
+            ]
+            sched = WeightedScheduler(
+                cfg.n_gpus, cfg.max_queue_length, service, metrics
+            )
+        else:
+            sched = SharedMemoryScheduler(
+                cfg.n_gpus, cfg.max_queue_length, metrics, tie_break=cfg.tie_break
+            )
+        gpus = [SimulatedGPU(clock, specs[d], index=d) for d in range(cfg.n_gpus)]
+        spectra: dict[int, np.ndarray] = {}
+
+        per_worker = self._partition(tasks)
+        stagger = self._stagger()
+        for rank, my_tasks in enumerate(per_worker):
+            if cfg.async_depth > 0:
+                gen = self._worker_async(
+                    rank, my_tasks, clock, sched, gpus, metrics, spectra, stagger
+                )
+            else:
+                gen = self._worker_sync(
+                    rank, my_tasks, clock, sched, gpus, metrics, spectra, stagger
+                )
+            clock.spawn(gen, name=f"rank{rank}")
+
+        makespan = clock.run()
+        metrics.finalize(makespan)
+        sched.validate()
+        if sched.segment.total_load() != 0:
+            raise RuntimeError("scheduler leaked queue slots at end of run")
+        return RunResult(
+            makespan_s=makespan,
+            metrics=metrics,
+            n_tasks=len(tasks),
+            mode="hybrid",
+            spectra=spectra,
+            gpu_utilization=[g.utilization(makespan) for g in gpus],
+        )
+
+    # ------------------------------------------------------------------
+    # Worker processes
+    # ------------------------------------------------------------------
+    def _worker_sync(
+        self, rank, my_tasks, clock, sched, gpus, metrics, spectra, stagger
+    ) -> Generator:
+        cfg = self.config
+        cost = cfg.cost
+        yield rank * stagger
+        point_share = self._point_share(my_tasks)
+        for task in my_tasks:
+            task_started = clock.now
+            # Per-point overhead (I/O, ion balance) is interleaved with the
+            # task loop in APEC, so it is amortized across the point's
+            # tasks rather than paid as a serial prelude that would starve
+            # the GPUs at startup.
+            yield cost.prep_s(task.n_levels) + point_share[task.point_index]
+            if sched.rpc_latency_s:
+                yield sched.rpc_latency_s
+            device = sched.sche_alloc(clock.now)
+            if device != NO_DEVICE:
+                yield cost.submit_overhead_s
+                submitted_at = clock.now
+                try:
+                    done = gpus[device].submit(task.kernel)
+                except RuntimeError:
+                    # The device died between admission and submission:
+                    # release the slot, revoke the phantom admission, and
+                    # degrade to the CPU path (the operational behaviour a
+                    # real node needs — the task must not vanish and the
+                    # queue must not leak).
+                    sched.sche_free(device, clock.now)
+                    metrics.on_admission_revoked(device)
+                    device = NO_DEVICE
+                if device != NO_DEVICE:
+                    payload = yield done
+                    service = gpus[device].spec.service_time(task.kernel)
+                    metrics.on_task_timing(
+                        wait_s=max(0.0, clock.now - submitted_at - service),
+                        service_s=service,
+                    )
+                    if sched.rpc_latency_s:
+                        yield sched.rpc_latency_s
+                    sched.sche_free(device, clock.now)
+                    self._accumulate(spectra, task, payload)
+                    if cfg.record_trace:
+                        metrics.on_task_event(TaskEvent(
+                            rank=rank, task_id=task.task_id, placement="gpu",
+                            device=device, start=task_started, end=clock.now,
+                        ))
+            if device == NO_DEVICE:
+                metrics.on_cpu_task()
+                yield cost.cpu_task_fallback_s(task.n_integrals, task.cpu_evals_per_integral)
+                self._accumulate(spectra, task, task.run_cpu())
+                if cfg.record_trace:
+                    metrics.on_task_event(TaskEvent(
+                        rank=rank, task_id=task.task_id, placement="cpu",
+                        device=-1, start=task_started, end=clock.now,
+                    ))
+
+    def _worker_async(
+        self, rank, my_tasks, clock, sched, gpus, metrics, spectra, stagger
+    ) -> Generator:
+        """Bounded-depth asynchronous submission (the future-work mode).
+
+        The rank keeps up to ``async_depth`` GPU tasks in flight; queue
+        slots are freed by completion callbacks rather than by the
+        blocked rank, so the GPU never waits on host wakeups.
+        """
+        cfg = self.config
+        cost = cfg.cost
+        yield rank * stagger
+        in_flight: list = []  # completion signals
+        point_share = self._point_share(my_tasks)
+
+        for task in my_tasks:
+            yield cost.prep_s(task.n_levels) + point_share[task.point_index]
+            while len(in_flight) >= cfg.async_depth:
+                oldest = in_flight.pop(0)
+                yield oldest
+            if sched.rpc_latency_s:
+                yield sched.rpc_latency_s
+            device = sched.sche_alloc(clock.now)
+            if device != NO_DEVICE:
+                yield cost.submit_overhead_s
+                done = gpus[device].submit(task.kernel)
+                done.add_callback(
+                    clock,
+                    lambda payload, d=device, t=task: (
+                        sched.sche_free(d, clock.now),
+                        self._accumulate(spectra, t, payload),
+                    ),
+                )
+                in_flight.append(done)
+            else:
+                metrics.on_cpu_task()
+                yield cost.cpu_task_fallback_s(task.n_integrals, task.cpu_evals_per_integral)
+                self._accumulate(spectra, task, task.run_cpu())
+        for sig in in_flight:
+            yield sig
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _partition(self, tasks: list[Task]) -> list[list[Task]]:
+        """Equal sub-spaces: rank r owns the points with index % n == r."""
+        n = self.config.n_workers
+        out: list[list[Task]] = [[] for _ in range(n)]
+        for task in tasks:
+            out[task.point_index % n].append(task)
+        return out
+
+    def _point_share(self, my_tasks: list[Task]) -> dict[int, float]:
+        """Per-task share of the per-point overhead, for each owned point."""
+        counts: dict[int, int] = {}
+        for task in my_tasks:
+            counts[task.point_index] = counts.get(task.point_index, 0) + 1
+        overhead = self.config.cost.point_overhead_s
+        return {p: overhead / c for p, c in counts.items()}
+
+    def _stagger(self) -> float:
+        if self.config.stagger_s is not None:
+            return self.config.stagger_s
+        # Fallback: spread rank starts across roughly one prep period.
+        return self.config.cost.prep_s(1) / max(1, self.config.n_workers)
+
+    @staticmethod
+    def _accumulate(spectra: dict, task: Task, payload: object) -> None:
+        if payload is None:
+            return
+        arr = np.asarray(payload, dtype=np.float64)
+        existing = spectra.get(task.point_index)
+        if existing is None:
+            spectra[task.point_index] = arr.copy()
+        else:
+            existing += arr

@@ -1,0 +1,195 @@
+"""Measurement ledger behind Figs. 4-6 and Tables I-II.
+
+Collected during a hybrid run:
+
+- task placement counts (per device / CPU fallback) -> Fig. 5, Table I;
+- time-weighted *load residency*: how long each device's load sat at each
+  value 0..max -> Fig. 6 and Table I's "GPU load >= 3" column;
+- per-device busy statistics and the run makespan -> Figs. 3-4;
+- per-task wait/service records for deeper diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TaskEvent", "MetricsLedger", "RunResult"]
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One task's lifetime inside a hybrid run (for timeline analysis).
+
+    ``start`` is when the owning rank began the task's prep; ``end`` is
+    when the rank moved on (result in hand).  ``device`` is -1 for CPU
+    fallback executions.
+    """
+
+    rank: int
+    task_id: int
+    placement: str  # "gpu" | "cpu"
+    device: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class MetricsLedger:
+    """Accumulates scheduling statistics over one simulated run."""
+
+    def __init__(self, n_devices: int, max_queue_length: int) -> None:
+        if n_devices < 0 or max_queue_length < 0:
+            raise ValueError("negative sizes")
+        self.n_devices = n_devices
+        self.max_queue_length = max_queue_length
+        self.gpu_tasks = np.zeros(max(1, n_devices), dtype=np.int64)
+        self.cpu_tasks = 0
+        # Load residency: residency[d, L] = virtual seconds device d spent
+        # with load exactly L.
+        self.load_residency = np.zeros(
+            (max(1, n_devices), max_queue_length + 1), dtype=np.float64
+        )
+        self._last_change = np.zeros(max(1, n_devices), dtype=np.float64)
+        self._current_load = np.zeros(max(1, n_devices), dtype=np.int64)
+        self.task_waits: list[float] = []
+        self.task_services: list[float] = []
+        self.end_time: float = 0.0
+        #: Per-task timeline records (populated only when the runner is
+        #: configured with ``record_trace=True``).
+        self.trace: list[TaskEvent] = []
+
+    # ------------------------------------------------------------------
+    # Hooks called by the scheduler / runner
+    # ------------------------------------------------------------------
+    def on_load_change(self, device: int, old: int, new: int, now: float) -> None:
+        """Close the residency interval at ``old`` and open one at ``new``."""
+        self.load_residency[device, old] += now - self._last_change[device]
+        self._last_change[device] = now
+        self._current_load[device] = new
+        if new > old:
+            self.gpu_tasks[device] += 1
+
+    def on_cpu_task(self) -> None:
+        self.cpu_tasks += 1
+
+    def on_admission_revoked(self, device: int) -> None:
+        """Undo one GPU-task count (admission whose submit failed)."""
+        if self.gpu_tasks[device] <= 0:
+            raise ValueError(f"device {device} has no admissions to revoke")
+        self.gpu_tasks[device] -= 1
+
+    def on_task_timing(self, wait_s: float, service_s: float) -> None:
+        self.task_waits.append(wait_s)
+        self.task_services.append(service_s)
+
+    def on_task_event(self, event: TaskEvent) -> None:
+        self.trace.append(event)
+
+    def to_chrome_trace(self) -> list[dict]:
+        """The task timeline as Chrome trace-event JSON objects.
+
+        Load the returned list (``json.dump`` it to a file) in
+        ``chrome://tracing`` or Perfetto: one row per rank, one per GPU,
+        complete ("X") events with microsecond timestamps.
+        """
+        events = []
+        for ev in self.trace:
+            if ev.placement == "gpu":
+                pid, tid = 1, ev.device
+                name = f"task {ev.task_id} (gpu{ev.device})"
+            else:
+                pid, tid = 0, ev.rank
+                name = f"task {ev.task_id} (cpu)"
+            events.append(
+                {
+                    "name": name,
+                    "cat": ev.placement,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": ev.start * 1e6,
+                    "dur": ev.duration * 1e6,
+                    "args": {"rank": ev.rank, "task_id": ev.task_id},
+                }
+            )
+        return events
+
+    def gantt_rows(self) -> list[tuple[int, str, float, float]]:
+        """(lane, label, start, end) rows for timeline rendering.
+
+        GPU executions get lanes ``n_ranks + device`` so devices and ranks
+        can be plotted on one chart; here lanes are simply rank for CPU
+        rows and 1000 + device for GPU rows.
+        """
+        rows = []
+        for ev in self.trace:
+            lane = 1000 + ev.device if ev.placement == "gpu" else ev.rank
+            rows.append((lane, f"{ev.placement}:{ev.task_id}", ev.start, ev.end))
+        return rows
+
+    def finalize(self, now: float) -> None:
+        """Close all residency intervals at the end of the run."""
+        for d in range(self.n_devices):
+            self.load_residency[d, self._current_load[d]] += (
+                now - self._last_change[d]
+            )
+            self._last_change[d] = now
+        self.end_time = now
+
+    # ------------------------------------------------------------------
+    # Derived quantities (the paper's reported metrics)
+    # ------------------------------------------------------------------
+    @property
+    def total_tasks(self) -> int:
+        return int(self.gpu_tasks.sum()) + self.cpu_tasks
+
+    def gpu_task_ratio(self) -> float:
+        """Fig. 5: tasks achieved by GPUs / total tasks."""
+        total = self.total_tasks
+        if total == 0:
+            return 0.0
+        return float(self.gpu_tasks.sum()) / total
+
+    def load_distribution_percent(self, device: int = 0) -> np.ndarray:
+        """Fig. 6: % of run time device spent at each load 0..max."""
+        row = self.load_residency[device]
+        total = row.sum()
+        if total == 0.0:
+            return np.zeros_like(row)
+        return row / total * 100.0
+
+    def load_at_least_ratio(self, threshold: int, device: int = 0) -> float:
+        """Table I: fraction of run time with load >= ``threshold``."""
+        row = self.load_residency[device]
+        total = row.sum()
+        if total == 0.0:
+            return 0.0
+        return float(row[threshold:].sum() / total)
+
+    def mean_wait_s(self) -> float:
+        return float(np.mean(self.task_waits)) if self.task_waits else 0.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one hybrid (or baseline) run."""
+
+    makespan_s: float
+    metrics: MetricsLedger
+    n_tasks: int
+    mode: str = "hybrid"
+    #: point_index -> accumulated per-bin spectrum (real-execution runs).
+    spectra: dict[int, np.ndarray] = field(default_factory=dict)
+    #: Device utilizations at the end of the run.
+    gpu_utilization: list[float] = field(default_factory=list)
+
+    def speedup_vs(self, baseline_s: float) -> float:
+        """Speedup of this run relative to a baseline wall time."""
+        if self.makespan_s <= 0.0:
+            raise ValueError("makespan must be positive to form a speedup")
+        return baseline_s / self.makespan_s

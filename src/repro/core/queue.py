@@ -1,0 +1,80 @@
+"""Per-device task-queue state — the data structure of Section III-A.
+
+The paper's terminology, mapped one-to-one:
+
+- *Active task*: running on the GPU (``SimulatedGPU._running``).
+- *Waiting task*: queued on the device.
+- *Load*: active + waiting — the shared-memory counter this class wraps.
+- *Maximum queue length*: the admission bound; a full device receives no
+  further tasks.
+- *History task count*: cumulative tasks ever admitted (the tie-breaker).
+
+The counters themselves live in a :class:`~repro.cluster.sharedmem.SharedSegment`
+so the scheduler manipulates exactly the arrays Algorithm 1 describes.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.sharedmem import SharedSegment
+
+__all__ = ["TaskQueue"]
+
+
+class TaskQueue:
+    """View of one device's queue slots inside the shared segment."""
+
+    def __init__(
+        self, segment: SharedSegment, device_index: int, max_length: int
+    ) -> None:
+        if not 0 <= device_index < max(1, segment.n_devices):
+            raise ValueError(
+                f"device index {device_index} outside segment of "
+                f"{segment.n_devices} devices"
+            )
+        if max_length < 1:
+            raise ValueError("maximum queue length must be >= 1")
+        self.segment = segment
+        self.device_index = device_index
+        self.max_length = max_length
+
+    @property
+    def load(self) -> int:
+        """Current load: active + waiting tasks."""
+        return self.segment.load[self.device_index]
+
+    @property
+    def history(self) -> int:
+        """History task count: total tasks ever admitted."""
+        return self.segment.history[self.device_index]
+
+    @property
+    def is_full(self) -> bool:
+        return self.load >= self.max_length
+
+    def occupy(self) -> None:
+        """Admit one task: load++ and history++ in one atomic step.
+
+        Mirrors the paper: "the scheduler will increase the current load
+        value of the GPU by one in an atomic operation" together with the
+        history count.
+        """
+        new_load = self.segment.load.atomic_add(self.device_index, 1)
+        self.segment.history.atomic_add(self.device_index, 1)
+        if new_load > self.max_length:
+            # Roll back and fail loudly: an admission beyond the bound
+            # means the caller skipped the is_full check (a logic bug).
+            self.segment.load.atomic_add(self.device_index, -1)
+            self.segment.history.atomic_add(self.device_index, -1)
+            raise RuntimeError(
+                f"device {self.device_index}: admission beyond max queue "
+                f"length {self.max_length}"
+            )
+
+    def release(self) -> None:
+        """Task finished: load-- (history is monotone, never decremented)."""
+        new_load = self.segment.load.atomic_add(self.device_index, -1)
+        if new_load < 0:
+            self.segment.load.atomic_add(self.device_index, 1)
+            raise RuntimeError(
+                f"device {self.device_index}: release without matching occupy"
+            )

@@ -1,0 +1,131 @@
+"""Offline schedule analysis: replay and validate recorded traces.
+
+A recorded :class:`~repro.core.metrics.TaskEvent` timeline is a complete
+description of one hybrid schedule.  This module re-derives scheduler
+state from the trace alone and checks it against the invariants the live
+scheduler is supposed to maintain — an independent auditor, sharing no
+code with the scheduler it audits — plus summary statistics for schedule
+post-mortems (per-rank busy fractions, device occupancy, fallback
+clustering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import TaskEvent
+
+__all__ = ["ReplayReport", "replay_trace"]
+
+
+@dataclass
+class ReplayReport:
+    """Everything the auditor derived from one trace."""
+
+    n_events: int
+    n_gpu: int
+    n_cpu: int
+    makespan_s: float
+    violations: list[str] = field(default_factory=list)
+    rank_busy_fraction: dict[int, float] = field(default_factory=dict)
+    device_task_counts: dict[int, int] = field(default_factory=dict)
+    max_concurrent_per_device: dict[int, int] = field(default_factory=dict)
+    fallback_runs: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def replay_trace(
+    trace: list[TaskEvent],
+    max_queue_length: int | None = None,
+    n_expected_tasks: int | None = None,
+) -> ReplayReport:
+    """Audit a task timeline.
+
+    Checks performed:
+
+    - every task id appears exactly once;
+    - per-rank intervals are disjoint (a synchronous rank runs one task
+      at a time);
+    - when ``max_queue_length`` is given, the number of *simultaneously
+      open* GPU events per device never exceeds it (the queue bound seen
+      from the outside);
+    - when ``n_expected_tasks`` is given, the trace is complete.
+    """
+    report = ReplayReport(
+        n_events=len(trace),
+        n_gpu=sum(1 for e in trace if e.placement == "gpu"),
+        n_cpu=sum(1 for e in trace if e.placement == "cpu"),
+        makespan_s=max((e.end for e in trace), default=0.0),
+    )
+
+    # Uniqueness / completeness.
+    ids = [e.task_id for e in trace]
+    if len(set(ids)) != len(ids):
+        report.violations.append("duplicate task ids in trace")
+    if n_expected_tasks is not None and len(ids) != n_expected_tasks:
+        report.violations.append(
+            f"trace has {len(ids)} tasks, expected {n_expected_tasks}"
+        )
+
+    # Per-rank serialization + busy fractions.
+    by_rank: dict[int, list[TaskEvent]] = {}
+    for ev in trace:
+        by_rank.setdefault(ev.rank, []).append(ev)
+    for rank, events in by_rank.items():
+        events.sort(key=lambda e: (e.start, e.end))
+        busy = 0.0
+        for a, b in zip(events, events[1:]):
+            if b.start < a.end - 1e-9:
+                report.violations.append(
+                    f"rank {rank}: overlapping tasks {a.task_id} and {b.task_id}"
+                )
+        for ev in events:
+            if ev.end < ev.start:
+                report.violations.append(
+                    f"rank {rank}: task {ev.task_id} ends before it starts"
+                )
+            busy += max(0.0, ev.duration)
+        if report.makespan_s > 0.0:
+            report.rank_busy_fraction[rank] = busy / report.makespan_s
+
+    # Device occupancy from the outside: sweep event edges.
+    by_device: dict[int, list[TaskEvent]] = {}
+    for ev in trace:
+        if ev.placement == "gpu":
+            by_device.setdefault(ev.device, []).append(ev)
+    for device, events in by_device.items():
+        report.device_task_counts[device] = len(events)
+        edges = sorted(
+            [(e.start, +1) for e in events] + [(e.end, -1) for e in events],
+            key=lambda p: (p[0], p[1]),
+        )
+        live = peak = 0
+        for _t, delta in edges:
+            live += delta
+            peak = max(peak, live)
+        report.max_concurrent_per_device[device] = peak
+        if max_queue_length is not None and peak > max_queue_length:
+            report.violations.append(
+                f"device {device}: {peak} concurrent tasks exceeds the "
+                f"queue bound {max_queue_length}"
+            )
+
+    # Fallback clustering: lengths of consecutive CPU placements in
+    # task-id order (long runs = a rank stuck on the slow path).
+    ordered = sorted(trace, key=lambda e: e.task_id)
+    run = 0
+    for ev in ordered:
+        if ev.placement == "cpu":
+            run += 1
+        elif run:
+            report.fallback_runs.append(run)
+            run = 0
+    if run:
+        report.fallback_runs.append(run)
+
+    return report

@@ -1,0 +1,83 @@
+"""Task descriptors — the scheduling unit of the hybrid framework.
+
+A task bundles (a) the GPU kernel it would launch, (b) enough information
+to price its CPU fallback, and (c) optional *real* execution callables so
+the same task object can drive either a cost-only simulation or a run
+that produces actual spectra.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.gpusim.kernel import KernelSpec
+
+__all__ = ["TaskKind", "Task"]
+
+
+class TaskKind(enum.Enum):
+    """What one task covers (the paper's granularity choices + NEI)."""
+
+    ION = "ion"  # all levels x bins of one ion (coarse, Algorithm 2)
+    LEVEL = "level"  # one level's bins (fine)
+    ELEMENT = "element"  # all ions of one element (coarser; ablation)
+    NEI_CHUNK = "nei"  # ten packed NEI timesteps (Table II)
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    Attributes
+    ----------
+    task_id:
+        Unique, dense id (doubles as deterministic ordering key).
+    kind:
+        Granularity class of the task.
+    kernel:
+        GPU cost/compute descriptor.
+    point_index:
+        Which parameter-space grid point the task belongs to.
+    cpu_execute:
+        Optional real CPU computation (the QAGS path) returning the same
+        result type as ``kernel.execute``.
+    label:
+        Human-readable tag, e.g. ``"pt3/Fe+16"``.
+    """
+
+    task_id: int
+    kind: TaskKind
+    kernel: KernelSpec
+    point_index: int = 0
+    #: Energy levels contained in the task (prices the host-side prep).
+    n_levels: int = 1
+    #: CPU work per integral on the fallback path, in integrand-eval
+    #: units; None = the cost model's QAGS default.  NEI tasks override it
+    #: (LSODA steps cost differently than quadrature).
+    cpu_evals_per_integral: Optional[int] = None
+    cpu_execute: Optional[Callable[[], object]] = field(default=None, repr=False)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise ValueError("task_id must be non-negative")
+        if self.n_levels < 0:
+            raise ValueError("n_levels must be non-negative")
+
+    @property
+    def n_integrals(self) -> int:
+        return self.kernel.n_integrals
+
+    def run_gpu(self) -> object:
+        """Execute the real GPU-path numerics (vectorized batch kernel)."""
+        if self.kernel.execute is None:
+            return None
+        return self.kernel.execute()
+
+    def run_cpu(self) -> object:
+        """Execute the real CPU-fallback numerics (scalar QAGS path)."""
+        if self.cpu_execute is None:
+            return None
+        return self.cpu_execute()

@@ -1,0 +1,249 @@
+"""Device specifications and the event-driven GPU entity.
+
+:class:`DeviceSpec` is the analytic cost model; :class:`SimulatedGPU`
+plugs it into a :class:`~repro.cluster.simclock.SimClock` as a FIFO server
+(Fermi application-level context switching: "the queued tasks are
+performed serially in their submission orders") or a limited-concurrency
+server (Kepler Hyper-Q, up to 32 connections).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.cluster.simclock import Signal, SimClock
+from repro.gpusim.kernel import KernelSpec
+
+__all__ = ["DeviceSpec", "SimulatedGPU", "TESLA_C2075", "TESLA_K20"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description + timing model of one GPU.
+
+    The headline hardware numbers (SM count, clock, peak DP GFLOPS) are
+    documentary; the three *calibrated* parameters that set every
+    experiment's shape are ``eval_rate`` (integrand evaluations per
+    second achieved by our batch kernels), ``kernel_launch_s`` and the
+    PCIe pair (latency, bandwidth).
+    """
+
+    name: str
+    architecture: str  # "fermi" | "kepler"
+    sm_count: int
+    cores_per_sm: int
+    core_clock_ghz: float
+    dp_gflops: float
+    memory_gb: float
+    pcie_bandwidth_gbs: float = 8.0  # PCIe 2.0 x16 effective
+    pcie_latency_s: float = 10.0e-6
+    kernel_launch_s: float = 8.0e-6
+    eval_rate: float = 2.16e9  # integrand evals / s (calibrated)
+    max_concurrent_kernels: int = 1
+    #: Application-level context-switch cost per task.  On Fermi each MPI
+    #: rank owns a separate CUDA context and "the queued tasks are
+    #: performed serially in their submission orders", paying a context
+    #: switch between clients; Kepler's Hyper-Q removes it.  This fixed
+    #: per-task device cost is what caps the fine-grained Level
+    #: granularity at roughly half the Ion speedup (Fig. 3).
+    context_switch_s: float = 1.7e-3
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ("fermi", "kepler"):
+            raise ValueError(f"unknown architecture {self.architecture!r}")
+        if self.eval_rate <= 0 or self.pcie_bandwidth_gbs <= 0:
+            raise ValueError("rates must be positive")
+        if self.max_concurrent_kernels < 1:
+            raise ValueError("need at least one concurrent kernel slot")
+
+    @property
+    def core_count(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    def compute_time(self, spec: KernelSpec) -> float:
+        """Pure kernel execution time (no launch, no transfer)."""
+        return spec.total_evals / (self.eval_rate * spec.efficiency)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """One PCIe transfer: fixed latency + bytes over bandwidth."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.pcie_latency_s + nbytes / (self.pcie_bandwidth_gbs * 1.0e9)
+
+    def service_time(self, spec: KernelSpec) -> float:
+        """End-to-end device time of one task.
+
+        context switch + H2D + launch + compute + D2H.
+        """
+        return (
+            self.context_switch_s
+            + self.transfer_time(spec.bytes_in)
+            + self.kernel_launch_s
+            + self.compute_time(spec)
+            + self.transfer_time(spec.bytes_out)
+        )
+
+    def with_eval_rate(self, eval_rate: float) -> "DeviceSpec":
+        """Calibration helper: same card, different achieved throughput."""
+        return replace(self, eval_rate=eval_rate)
+
+
+#: The paper's card: Fermi, 448 cores @ 1.15 GHz, 515 DP GFLOPS, 6 GB,
+#: PCIe 2.0, application-level context switching (serial task queue).
+TESLA_C2075 = DeviceSpec(
+    name="Tesla C2075",
+    architecture="fermi",
+    sm_count=14,
+    cores_per_sm=32,
+    core_clock_ghz=1.15,
+    dp_gflops=515.0,
+    memory_gb=6.0,
+    pcie_bandwidth_gbs=8.0,
+    max_concurrent_kernels=1,
+)
+
+#: Kepler with Hyper-Q: up to 32 simultaneous connections from MPI ranks,
+#: no per-client context switching.
+TESLA_K20 = DeviceSpec(
+    name="Tesla K20",
+    architecture="kepler",
+    sm_count=13,
+    cores_per_sm=192,
+    core_clock_ghz=0.706,
+    dp_gflops=1170.0,
+    memory_gb=5.0,
+    pcie_bandwidth_gbs=8.0,
+    eval_rate=4.5e9,
+    max_concurrent_kernels=32,
+    context_switch_s=0.0,
+)
+
+
+class SimulatedGPU:
+    """One GPU as a discrete-event server with phased task execution.
+
+    A task passes through three phases:
+
+    1. *ingress* — context switch + H2D transfer + kernel launch;
+    2. *compute* — SM execution at the device's eval rate;
+    3. *egress*  — D2H result transfer.
+
+    On Fermi (``max_concurrent_kernels = 1``) the phases of consecutive
+    tasks serialize entirely — application-level context switching, "the
+    queued tasks are performed serially in their submission orders".  On
+    Kepler, up to ``max_concurrent_kernels`` clients may be in flight at
+    once: their ingress/egress phases *overlap*, but the compute phases
+    still serialize through the SMs at full rate — Hyper-Q hides the
+    per-client overheads, it does not multiply the silicon.  (True
+    fine-grained SM sharing would be processor-sharing; serializing
+    compute at full rate has the same aggregate throughput and keeps the
+    event model exact.)
+
+    When a kernel carries an ``execute`` callable, the real computation
+    runs at completion time and its result becomes the signal payload.
+    """
+
+    def __init__(self, clock: SimClock, spec: DeviceSpec, index: int = 0) -> None:
+        self.clock = clock
+        self.spec = spec
+        self.index = index
+        self._waiting: deque[tuple[KernelSpec, Signal]] = deque()
+        self._active = 0  # tasks in any phase
+        self._compute_queue: deque[tuple[KernelSpec, Signal]] = deque()
+        self._compute_busy = False
+        self.busy_time = 0.0  # any-phase-active time
+        self.completed = 0
+        self._busy_since: float | None = None
+        self.failed = False
+        self._seq = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Submitted-but-unfinished tasks (all phases + device waits)."""
+        return self._active + len(self._waiting)
+
+    def fail(self) -> None:
+        """Failure injection: device stops accepting and completing work."""
+        self.failed = True
+
+    def submit(self, kernel: KernelSpec) -> Signal:
+        """Queue one task; returns the signal fired at completion."""
+        if self.failed:
+            raise RuntimeError(f"GPU {self.index} has failed")
+        self._seq += 1
+        done = self.clock.signal(f"gpu{self.index}.task{self._seq}")
+        if self._active < self.spec.max_concurrent_kernels:
+            self._start(kernel, done)
+        else:
+            self._waiting.append((kernel, done))
+        return done
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _ingress_time(self, kernel: KernelSpec) -> float:
+        return (
+            self.spec.context_switch_s
+            + self.spec.transfer_time(kernel.bytes_in)
+            + self.spec.kernel_launch_s
+        )
+
+    def _start(self, kernel: KernelSpec, done: Signal) -> None:
+        self._active += 1
+        if self._busy_since is None:
+            self._busy_since = self.clock.now
+        self.clock.at(
+            self._ingress_time(kernel),
+            lambda k=kernel, d=done: self._enter_compute(k, d),
+        )
+
+    def _enter_compute(self, kernel: KernelSpec, done: Signal) -> None:
+        if self.failed:
+            return
+        self._compute_queue.append((kernel, done))
+        self._pump_compute()
+
+    def _pump_compute(self) -> None:
+        if self._compute_busy or not self._compute_queue:
+            return
+        self._compute_busy = True
+        kernel, done = self._compute_queue.popleft()
+        self.clock.at(
+            self.spec.compute_time(kernel),
+            lambda k=kernel, d=done: self._finish_compute(k, d),
+        )
+
+    def _finish_compute(self, kernel: KernelSpec, done: Signal) -> None:
+        self._compute_busy = False
+        if not self.failed:
+            self.clock.at(
+                self.spec.transfer_time(kernel.bytes_out),
+                lambda k=kernel, d=done: self._complete(k, d),
+            )
+        self._pump_compute()
+
+    def _complete(self, kernel: KernelSpec, done: Signal) -> None:
+        if self.failed:
+            return  # results from a failed device never arrive
+        self._active -= 1
+        self.completed += 1
+        if self._active == 0 and self._busy_since is not None:
+            self.busy_time += self.clock.now - self._busy_since
+            self._busy_since = None
+        payload = kernel.execute() if kernel.execute is not None else None
+        done.fire(self.clock, payload)
+        if self._waiting and self._active < self.spec.max_concurrent_kernels:
+            kernel_next, done_next = self._waiting.popleft()
+            self._start(kernel_next, done_next)
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of the run this device had work in some phase."""
+        if makespan <= 0.0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.clock.now - self._busy_since
+        return busy / makespan

@@ -1,0 +1,76 @@
+"""Device memory accounting.
+
+The spectral workload streams small task buffers through the card, so
+capacity is never the binding constraint on a 6 GB C2075 — but a model
+that cannot run out of memory cannot be trusted when someone scales the
+bins up, so allocations are tracked against the spec'd capacity and
+exhaustion raises :class:`DeviceOutOfMemory` rather than silently
+over-committing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceMemory", "DeviceOutOfMemory", "Allocation"]
+
+
+class DeviceOutOfMemory(MemoryError):
+    """Raised when an allocation exceeds remaining device memory."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Handle for one live device buffer."""
+
+    ident: int
+    nbytes: int
+    label: str = ""
+
+
+class DeviceMemory:
+    """A bump-counter allocator with explicit free and peak tracking."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity_bytes
+        self.used = 0
+        self.peak = 0
+        self._next_id = 0
+        self._live: dict[int, Allocation] = {}
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.used
+
+    def alloc(self, nbytes: int, label: str = "") -> Allocation:
+        """Reserve ``nbytes``; raises :class:`DeviceOutOfMemory` if short."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if nbytes > self.available:
+            raise DeviceOutOfMemory(
+                f"requested {nbytes} B with only {self.available} B free "
+                f"(capacity {self.capacity} B, label={label!r})"
+            )
+        self._next_id += 1
+        handle = Allocation(ident=self._next_id, nbytes=nbytes, label=label)
+        self._live[handle.ident] = handle
+        self.used += nbytes
+        self.peak = max(self.peak, self.used)
+        return handle
+
+    def free(self, handle: Allocation) -> None:
+        """Release a live allocation; double-free raises ``KeyError``."""
+        stored = self._live.pop(handle.ident, None)
+        if stored is None:
+            raise KeyError(f"allocation {handle.ident} is not live (double free?)")
+        self.used -= stored.nbytes
+
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def reset(self) -> None:
+        """Free everything (device reset between runs)."""
+        self._live.clear()
+        self.used = 0

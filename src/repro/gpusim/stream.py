@@ -1,0 +1,56 @@
+"""CUDA-stream-flavoured ordering on the simulated device.
+
+A :class:`Stream` serializes the operations submitted to it while letting
+different streams interleave on the device — the property Algorithm 2
+relies on when several MPI ranks share one card.  On Fermi the device
+itself still executes one kernel at a time (application-level context
+switching); on Kepler up to ``max_concurrent_kernels`` streams make
+progress at once.  Both behaviours live in
+:class:`~repro.gpusim.device.SimulatedGPU`; the stream adds the
+*within-client* FIFO guarantee and a convenient completion signal chain.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.simclock import Signal
+from repro.gpusim.device import SimulatedGPU
+from repro.gpusim.kernel import KernelSpec
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """An ordered lane of kernel submissions onto one simulated GPU."""
+
+    def __init__(self, gpu: SimulatedGPU, name: str = "") -> None:
+        self.gpu = gpu
+        self.name = name or f"stream@gpu{gpu.index}"
+        self._tail: Signal | None = None
+        self.submitted = 0
+
+    def enqueue(self, kernel: KernelSpec) -> Signal:
+        """Submit after all previously enqueued work on this stream.
+
+        Returns the completion signal of *this* kernel.  Implementation:
+        if earlier work is still pending, chain the submission onto its
+        completion via a relay process on the device clock.
+        """
+        clock = self.gpu.clock
+        self.submitted += 1
+        if self._tail is None or self._tail.fired:
+            done = self.gpu.submit(kernel)
+        else:
+            done = clock.signal(f"{self.name}.k{self.submitted}")
+            prev = self._tail
+
+            def relay(_payload: object) -> None:
+                inner = self.gpu.submit(kernel)
+                inner.add_callback(clock, lambda p: done.fire(clock, p))
+
+            prev.add_callback(clock, relay)
+        self._tail = done
+        return done
+
+    def synchronize_signal(self) -> Signal | None:
+        """Signal that fires when the last enqueued kernel completes."""
+        return self._tail

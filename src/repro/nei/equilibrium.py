@@ -1,0 +1,73 @@
+"""Equilibrium start states and relaxation diagnostics.
+
+NEI evolutions start from some ionization state — commonly the CIE
+equilibrium at a pre-shock temperature — and relax toward the equilibrium
+of the *current* temperature.  The equilibrium vector is the null space of
+the NEI rate matrix (A f = 0 with sum f = 1), which must agree with the
+detailed-balance construction used by the spectral side; tests pin the
+two against each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nei.odes import nei_matrix
+from repro.physics.ionbalance import cie_fractions
+
+__all__ = ["equilibrium_state", "relaxation_time_scale"]
+
+
+def equilibrium_state(
+    z: int, temperature_k: float, ne_cm3: float = 1.0, via: str = "balance"
+) -> np.ndarray:
+    """Equilibrium ion fractions of element ``z`` at temperature T.
+
+    ``via='balance'`` uses the detailed-balance ladder (fast, shared with
+    the spectral code); ``via='nullspace'`` solves A f = 0 directly from
+    the NEI matrix — the two agree because the NEI matrix is built from
+    the same rates.
+    """
+    if via == "balance":
+        return cie_fractions(z, temperature_k)
+    if via == "nullspace":
+        a = nei_matrix(z, temperature_k, ne_cm3)
+        # Solve A f = 0 with the normalization sum(f) = 1 as an augmented
+        # least-squares system.  Rates span many decades, so rows are
+        # equilibrated first; a raw SVD null vector would be unreliable
+        # when frozen charge states contribute near-zero singular values.
+        row_scale = np.abs(a).max(axis=1)
+        row_scale[row_scale == 0.0] = 1.0
+        a_scaled = a / row_scale[:, None]
+        aug = np.vstack([a_scaled, np.ones((1, a.shape[0]))])
+        rhs = np.zeros(a.shape[0] + 1)
+        rhs[-1] = 1.0
+        f, *_ = np.linalg.lstsq(aug, rhs, rcond=None)
+        f = np.clip(f, 0.0, None)
+        total = f.sum()
+        if total <= 0.0:
+            raise RuntimeError(
+                f"degenerate null space for Z={z} at T={temperature_k}"
+            )
+        return f / total
+    raise ValueError(f"unknown method {via!r}")
+
+
+def relaxation_time_scale(z: int, temperature_k: float, ne_cm3: float) -> float:
+    """Slowest *dynamically relevant* relaxation time, in seconds.
+
+    1 / min|Re lambda| over eigenvalues within twelve decades of the
+    fastest one.  The cutoff matters: charge states that are effectively
+    frozen at the given temperature contribute eigenvalues arbitrarily
+    close to zero (beyond the exact conservation zero), which would
+    otherwise report astronomically long — and physically meaningless —
+    relaxation times.
+    """
+    a = nei_matrix(z, temperature_k, ne_cm3)
+    eigs = np.linalg.eigvals(a)
+    re = np.abs(eigs.real)
+    fastest = re.max() if re.size else 0.0
+    if fastest <= 0.0:
+        return np.inf
+    nz = re[re > 1e-12 * fastest]
+    return float(1.0 / nz.min())

@@ -1,0 +1,138 @@
+"""General first-order reaction networks — the paper's future work.
+
+The conclusion: "Our ongoing work will be focused on ... enhancing the
+adaptability of the approach to other more complex astrophysical
+applications such as solving ionization equations and nucleosynthesis
+reactive network."  The NEI system of Eq. (4) is a *chain* (tridiagonal);
+nucleosynthesis-style networks are sparse but not banded.  This module
+generalizes the substrate:
+
+- :class:`ReactionNetwork`: species + first-order channels
+  (``source -> product`` at rate k), assembled into the generator matrix
+  of y' = A y with exact per-column conservation;
+- :func:`alpha_chain_network`: a synthetic alpha-capture-like chain with
+  branches and back-channels (photodisintegration), producing the sparse,
+  stiff structure of real nucleosynthesis networks;
+- the same solvers (:mod:`repro.nei.solvers`) apply unchanged — which is
+  precisely the adaptability claim under test in the network benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Reaction", "ReactionNetwork", "alpha_chain_network"]
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """One first-order channel: ``source -> product`` at rate ``rate``."""
+
+    source: str
+    product: str
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0.0:
+            raise ValueError("rates must be non-negative")
+        if self.source == self.product:
+            raise ValueError("self-loops are not reactions")
+
+
+@dataclass
+class ReactionNetwork:
+    """A set of species coupled by first-order reactions."""
+
+    species: list[str]
+    reactions: list[Reaction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(set(self.species)) != len(self.species):
+            raise ValueError("duplicate species names")
+        self._index = {name: i for i, name in enumerate(self.species)}
+        for r in self.reactions:
+            self._check(r)
+
+    def _check(self, r: Reaction) -> None:
+        for name in (r.source, r.product):
+            if name not in self._index:
+                raise ValueError(f"unknown species {name!r}")
+
+    @property
+    def dim(self) -> int:
+        return len(self.species)
+
+    def add(self, source: str, product: str, rate: float) -> None:
+        r = Reaction(source, product, rate)
+        self._check(r)
+        self.reactions.append(r)
+
+    def matrix(self) -> np.ndarray:
+        """The generator A of y' = A y; columns sum to zero exactly."""
+        a = np.zeros((self.dim, self.dim))
+        for r in self.reactions:
+            i, j = self._index[r.product], self._index[r.source]
+            a[i, j] += r.rate
+            a[j, j] -= r.rate
+        return a
+
+    def rhs(self, t: float, y: np.ndarray) -> np.ndarray:
+        return self.matrix() @ y
+
+    def jacobian(self, t: float, y: np.ndarray) -> np.ndarray:
+        return self.matrix()
+
+    def stiffness_ratio(self) -> float:
+        eigs = np.linalg.eigvals(self.matrix())
+        re = np.abs(eigs.real)
+        fastest = re.max() if re.size else 0.0
+        if fastest <= 0.0:
+            return 1.0
+        nz = re[re > 1e-12 * fastest]
+        return float(fastest / nz.min()) if nz.size else 1.0
+
+    def sparsity(self) -> float:
+        """Fraction of zero off-diagonal entries in the generator."""
+        a = self.matrix()
+        off = a[~np.eye(self.dim, dtype=bool)]
+        return float(np.mean(off == 0.0))
+
+
+def alpha_chain_network(
+    n_stages: int = 13,
+    base_rate: float = 1.0,
+    rate_decades: float = 6.0,
+    back_fraction: float = 0.01,
+    branch_every: int = 3,
+) -> ReactionNetwork:
+    """A synthetic alpha-chain-like network (He -> C -> O -> ... -> Ni).
+
+    Forward capture rates fall geometrically over ``rate_decades`` decades
+    (heavier targets capture more slowly at fixed conditions) — the rate
+    spread that makes real networks stiff; every ``branch_every``-th stage
+    gets a side isotope with a slow leak back to the main chain, breaking
+    the banded structure; ``back_fraction`` adds photodisintegration-like
+    reverse channels.  Deterministic in its arguments.
+    """
+    if n_stages < 2:
+        raise ValueError("need at least two stages")
+    species = [f"S{i}" for i in range(n_stages)]
+    branches = [f"S{i}b" for i in range(0, n_stages, branch_every) if i > 0]
+    net = ReactionNetwork(species=species + branches)
+
+    rates = base_rate * 10.0 ** (
+        -rate_decades * np.arange(n_stages - 1) / max(1, n_stages - 2)
+    )
+    for i in range(n_stages - 1):
+        net.add(f"S{i}", f"S{i + 1}", float(rates[i]))
+        if back_fraction > 0.0:
+            net.add(f"S{i + 1}", f"S{i}", float(rates[i] * back_fraction))
+    for name in branches:
+        main = name[:-1]
+        stage = int(main[1:])
+        k = float(rates[min(stage, n_stages - 2)])
+        net.add(main, name, 0.3 * k)  # capture into the side isotope
+        net.add(name, main, 0.05 * k)  # slow decay back
+    return net

@@ -1,0 +1,111 @@
+"""Eigendecomposition propagator for constant-condition NEI.
+
+For fixed (T, n_e) the NEI system y' = A y has the closed-form solution
+y(t) = V exp(D t) V^-1 y0.  Diagonalizing once amortizes over arbitrarily
+many evaluation times and initial states — exactly the access pattern of
+a GPU NEI kernel evolving ten packed grid points with shared conditions.
+This is the fast exact path; the time-stepping solvers in
+:mod:`repro.nei.solvers` remain necessary the moment T varies along the
+track.
+
+Numerical care: rate matrices are defective-adjacent when charge states
+freeze out (near-repeated eigenvalues), so the propagator validates its
+own reconstruction error at build time and refuses silently inaccurate
+decompositions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nei.odes import NEISystem
+
+__all__ = ["EigenPropagator"]
+
+
+@dataclass
+class EigenPropagator:
+    """Precomputed spectral decomposition of one NEI rate matrix."""
+
+    eigenvalues: np.ndarray  # complex, shape (dim,)
+    modes: np.ndarray  # V, shape (dim, dim)
+    modes_inv: np.ndarray  # V^-1
+    reconstruction_error: float
+
+    @classmethod
+    def build(cls, system: NEISystem, max_condition: float = 1.0e12) -> "EigenPropagator":
+        """Diagonalize the system's (constant) rate matrix.
+
+        Raises ``ValueError`` when the eigenbasis is too ill-conditioned
+        to trust (near-defective matrix) — callers should fall back to a
+        time stepper in that case.
+        """
+        if system.temperature_profile is not None:
+            raise ValueError(
+                "eigen propagation requires constant conditions; this "
+                "system has a temperature profile"
+            )
+        a = system.matrix()
+        eigenvalues, modes = np.linalg.eig(a)
+        cond = np.linalg.cond(modes)
+        if not np.isfinite(cond) or cond > max_condition:
+            raise ValueError(
+                f"eigenbasis condition number {cond:.2e} exceeds "
+                f"{max_condition:.0e}; matrix is near-defective"
+            )
+        modes_inv = np.linalg.inv(modes)
+        recon = float(
+            np.abs(modes @ np.diag(eigenvalues) @ modes_inv - a).max()
+        )
+        scale = max(float(np.abs(a).max()), 1e-300)
+        if recon > 1e-8 * scale:
+            raise ValueError(
+                f"eigendecomposition reconstruction error {recon:.2e} "
+                "too large"
+            )
+        return cls(
+            eigenvalues=eigenvalues,
+            modes=modes,
+            modes_inv=modes_inv,
+            reconstruction_error=recon,
+        )
+
+    @property
+    def dim(self) -> int:
+        return int(self.eigenvalues.size)
+
+    def propagate(self, y0: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """y(t) for every t in ``times``; shape (len(times), dim)."""
+        y0 = np.asarray(y0, dtype=np.float64)
+        if y0.shape != (self.dim,):
+            raise ValueError(f"state must have shape ({self.dim},)")
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        coeffs = self.modes_inv @ y0  # modal amplitudes
+        # exp(lambda_i t_j): (n_times, dim)
+        phases = np.exp(np.outer(times, self.eigenvalues))
+        out = (phases * coeffs[None, :]) @ self.modes.T
+        return np.real(out)
+
+    def propagate_many(
+        self, states: np.ndarray, dt: float, n_steps: int
+    ) -> np.ndarray:
+        """Advance a batch of states by ``n_steps`` equal steps of ``dt``.
+
+        The GPU-kernel access pattern: shape (n_states, dim) in, a
+        trajectory (n_steps + 1, n_states, dim) out, all from one matrix
+        power via modal phases.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim != 2 or states.shape[1] != self.dim:
+            raise ValueError(f"states must have shape (n, {self.dim})")
+        coeffs = states @ self.modes_inv.T  # (n_states, dim) modal
+        step_phase = np.exp(self.eigenvalues * dt)  # (dim,)
+        out = np.empty((n_steps + 1, states.shape[0], self.dim))
+        current = coeffs.astype(complex)
+        out[0] = states
+        for step in range(1, n_steps + 1):
+            current = current * step_phase[None, :]
+            out[step] = np.real(current @ self.modes.T)
+        return out

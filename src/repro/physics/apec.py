@@ -1,0 +1,353 @@
+"""Serial APEC-style spectral calculator — the three nested loops of Fig. 1.
+
+For each grid point (temperature, density, time) the RRC emissivity is
+integrated over every energy bin of every level of every ion:
+
+    for ion in 496 ions:
+        for level in thousands of levels:
+            for bin in ~1e5 energy bins:
+                Lambda_RRC(bin) += integral of Eq. (1) over the bin
+
+Two execution styles are provided, mirroring the paper's CPU and GPU code
+paths:
+
+- :func:`ion_emissivity_scalar` — one scalar integration per (level, bin),
+  using QAGS (the paper's CPU fallback) or scalar Simpson;
+- :func:`ion_emissivity_batched` — all bins of all levels of one ion in
+  vectorized batches (Algorithm 2's coarse-grained kernel), with Simpson
+  (default, 64 pieces) or Romberg (accuracy-scaled by ``k``) rules.
+
+Both paths produce a per-bin array that :class:`SerialAPEC` accumulates
+into a :class:`~repro.physics.spectrum.Spectrum`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.atomic.abundances import SOLAR, AbundanceSet
+from repro.atomic.database import AtomicDatabase
+from repro.atomic.ions import Ion
+from repro.constants import K_B_KEV
+from repro.physics.ionbalance import ion_density
+from repro.physics.rrc import (
+    RRCLevelParams,
+    gaunt_factor,
+    make_level_integrand,
+    rrc_prefactor,
+)
+from repro.physics.spectrum import EnergyGrid, Spectrum
+from repro.quadrature.batch import batch_romberg, batch_simpson, simpson_weights
+from repro.quadrature.gauss_legendre import batch_gauss_legendre
+from repro.quadrature.qags import qags
+from repro.quadrature.simpson import simpson
+
+__all__ = [
+    "GridPoint",
+    "level_params_for",
+    "ion_emissivity_batched",
+    "ion_emissivity_scalar",
+    "SerialAPEC",
+]
+
+BatchMethod = Literal["simpson", "romberg", "gauss"]
+ScalarMethod = Literal["qags", "simpson"]
+
+#: Levels processed per fused-kernel chunk; bounds scratch memory at
+#: roughly chunk * n_bins * (pieces + 1) float64 elements.
+_LEVEL_CHUNK = 16
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One point of the (temperature, density, time) parameter space."""
+
+    temperature_k: float
+    ne_cm3: float
+    time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.temperature_k <= 0.0:
+            raise ValueError("temperature must be positive")
+        if self.ne_cm3 < 0.0:
+            raise ValueError("electron density must be non-negative")
+
+    @property
+    def kt_kev(self) -> float:
+        return K_B_KEV * self.temperature_k
+
+
+def level_params_for(
+    db: AtomicDatabase,
+    ion: Ion,
+    level_index: int,
+    point: GridPoint,
+    abundances: AbundanceSet = SOLAR,
+) -> RRCLevelParams:
+    """Assemble Eq. (1) parameters for one level at one grid point."""
+    ls = db.levels(ion)
+    return RRCLevelParams(
+        binding_kev=float(ls.energy_kev[level_index]),
+        n=int(ls.n_arr[level_index]),
+        c_eff=float(ls.c_eff[level_index]),
+        g_level=float(ls.degeneracy[level_index]),
+        kt_kev=point.kt_kev,
+        ne_cm3=point.ne_cm3,
+        n_ion_cm3=ion_density(
+            ion, point.temperature_k, point.ne_cm3, abundances=abundances
+        ),
+    )
+
+
+def _fused_simpson(
+    db: AtomicDatabase,
+    ion: Ion,
+    point: GridPoint,
+    grid: EnergyGrid,
+    pieces: int,
+    gaunt: bool,
+    abundances: AbundanceSet = SOLAR,
+) -> np.ndarray:
+    """All levels x all bins of one ion in chunked broadcast evaluations.
+
+    This is the software analogue of the Algorithm 2 CUDA kernel: the
+    per-level emission is accumulated *inside* the kernel, and only the
+    final n_bins array leaves (one device-to-host transfer per ion task).
+    """
+    ls = db.levels(ion)
+    n_levels = len(ls)
+    out = np.zeros(grid.n_bins, dtype=np.float64)
+    if n_levels == 0:
+        return out
+
+    n_ion = ion_density(
+        ion, point.temperature_k, point.ne_cm3, abundances=abundances
+    )
+    kt = point.kt_kev
+    prefactors = np.empty(n_levels)
+    from repro.constants import ME_C2_KEV, SIGMA_KRAMERS_CM2
+
+    base = RRCLevelParams(
+        binding_kev=float(ls.energy_kev[0]),
+        n=int(ls.n_arr[0]),
+        c_eff=float(ls.c_eff[0]),
+        g_level=float(ls.degeneracy[0]),
+        kt_kev=kt,
+        ne_cm3=point.ne_cm3,
+        n_ion_cm3=n_ion,
+    )
+    # Kramers+Milne collapse: integrand_l(E) = C_l * exp(-(E - I_l)/kT)
+    #                                        * [gaunt(E / I_l)] * (E >= I_l)
+    # with C_l = prefactor * (g_l/2) * sigma_K n_l I_l^3 / (2 m_e c^2 c_eff_l^2).
+    pref = rrc_prefactor(base)
+    c_l = (
+        pref
+        * (ls.degeneracy / 2.0)
+        * SIGMA_KRAMERS_CM2
+        * ls.n_arr
+        * ls.energy_kev**3
+        / (2.0 * ME_C2_KEV * ls.c_eff**2)
+    )
+
+    w = simpson_weights(pieces)
+    frac = np.linspace(0.0, 1.0, pieces + 1)
+
+    for start in range(0, n_levels, _LEVEL_CHUNK):
+        sl = slice(start, min(start + _LEVEL_CHUNK, n_levels))
+        i_l = ls.energy_kev[sl][:, None]  # (chunk, 1)
+        # APEC tabulates each level's RRC from its recombination edge
+        # upward, so the bin integral runs over [max(E0, I_l), E1]; bins
+        # entirely below the edge have zero width and contribute nothing.
+        lo = np.maximum(grid.lower[None, :], i_l)  # (chunk, n_bins)
+        width = np.maximum(grid.upper[None, :] - lo, 0.0)
+        x = lo[:, :, None] + width[:, :, None] * frac[None, None, :]
+        with np.errstate(over="ignore", under="ignore"):
+            y = np.exp(-(x - i_l[:, :, None]) / kt)
+            if gaunt:
+                y = y * gaunt_factor(x / i_l[:, :, None])
+        y *= c_l[sl][:, None, None]
+        h = width / pieces
+        # Simpson reduce over points, then sum the chunk's levels.
+        out += (h * (y @ w)).sum(axis=0)
+    return out
+
+
+def ion_emissivity_batched(
+    db: AtomicDatabase,
+    ion: Ion,
+    point: GridPoint,
+    grid: EnergyGrid,
+    method: BatchMethod = "simpson",
+    pieces: int = 64,
+    k: int = 7,
+    gl_points: int = 12,
+    gaunt: bool = True,
+    abundances: AbundanceSet = SOLAR,
+) -> np.ndarray:
+    """Per-bin RRC emission of one ion, computed with batch kernels.
+
+    This is the unit of work of a coarse-grained (``Ion``) GPU task.
+    ``method`` selects the pluggable kernel — the paper: "a general
+    interface of the GPU-accelerated component is developed, so that
+    different numerical integration algorithms can be connected to the
+    main program on demand".
+    """
+    if method == "simpson":
+        return _fused_simpson(db, ion, point, grid, pieces, gaunt, abundances)
+    if method in ("romberg", "gauss"):
+        ls = db.levels(ion)
+        out = np.zeros(grid.n_bins, dtype=np.float64)
+        for i in range(len(ls)):
+            p = level_params_for(db, ion, i, point, abundances)
+            f = make_level_integrand(p, gaunt=gaunt)
+            lo = np.maximum(grid.lower, p.binding_kev)
+            hi = np.maximum(grid.upper, lo)
+            if method == "romberg":
+                out += batch_romberg(f, lo, hi, k=k)
+            else:
+                out += batch_gauss_legendre(f, lo, hi, n=gl_points)
+        return out
+    raise ValueError(f"unknown batch method {method!r}")
+
+
+def ion_emissivity_scalar(
+    db: AtomicDatabase,
+    ion: Ion,
+    point: GridPoint,
+    grid: EnergyGrid,
+    method: ScalarMethod = "qags",
+    pieces: int = 64,
+    epsabs: float = 1.0e-30,
+    epsrel: float = 1.0e-10,
+    gaunt: bool = True,
+    abundances: AbundanceSet = SOLAR,
+) -> np.ndarray:
+    """Per-bin RRC emission of one ion, one scalar integral at a time.
+
+    This is the CPU fallback path of Algorithm 1 (``CPU-Integr`` calling
+    QAGS serially) and the reference for accuracy experiments.
+    """
+    ls = db.levels(ion)
+    out = np.zeros(grid.n_bins, dtype=np.float64)
+    for i in range(len(ls)):
+        p = level_params_for(db, ion, i, point, abundances)
+        f = make_level_integrand(p, gaunt=gaunt)
+        threshold = p.binding_kev
+        for b in range(grid.n_bins):
+            e0, e1 = float(grid.edges[b]), float(grid.edges[b + 1])
+            if e1 <= threshold:
+                continue  # entirely below the recombination edge
+            # Split at the edge so adaptive quadrature sees a smooth
+            # integrand (the kink at E = I is exactly representable).
+            lo = max(e0, threshold)
+            if method == "qags":
+                out[b] += qags(f, lo, e1, epsabs=epsabs, epsrel=epsrel).value
+            elif method == "simpson":
+                out[b] += simpson(f, lo, e1, pieces=pieces).value
+            else:
+                raise ValueError(f"unknown scalar method {method!r}")
+    return out
+
+
+class SerialAPEC:
+    """The original serial calculator: plain nested loops, no parallelism.
+
+    Parameters
+    ----------
+    db:
+        Atomic database (size set by its :class:`AtomicConfig`).
+    grid:
+        Output energy grid.
+    method / pieces / k:
+        Integration rule used for every (level, bin) integral.  ``qags``
+        and scalar ``simpson`` follow the scalar path; ``simpson-batch``
+        and ``romberg`` use the vectorized kernels (useful when the serial
+        reference itself would be too slow at full scale).
+    """
+
+    def __init__(
+        self,
+        db: AtomicDatabase,
+        grid: EnergyGrid,
+        method: str = "qags",
+        pieces: int = 64,
+        k: int = 7,
+        gaunt: bool = True,
+        components: tuple[str, ...] = ("rrc",),
+        abundances: AbundanceSet = SOLAR,
+    ) -> None:
+        if method not in ("qags", "simpson", "simpson-batch", "romberg", "gauss"):
+            raise ValueError(f"unknown method {method!r}")
+        unknown = set(components) - {"rrc", "lines", "brems"}
+        if unknown:
+            raise ValueError(f"unknown components {sorted(unknown)}")
+        if not components:
+            raise ValueError("need at least one emission component")
+        self.db = db
+        self.grid = grid
+        self.method = method
+        self.pieces = pieces
+        self.k = k
+        self.gaunt = gaunt
+        self.components = tuple(components)
+        self.abundances = abundances
+
+    def ion_emissivity(self, ion: Ion, point: GridPoint) -> np.ndarray:
+        if self.method in ("qags", "simpson"):
+            return ion_emissivity_scalar(
+                self.db, ion, point, self.grid,
+                method=self.method, pieces=self.pieces, gaunt=self.gaunt,
+                abundances=self.abundances,
+            )
+        batch_method = {
+            "simpson-batch": "simpson",
+            "romberg": "romberg",
+            "gauss": "gauss",
+        }[self.method]
+        return ion_emissivity_batched(
+            self.db, ion, point, self.grid,
+            method=batch_method, pieces=self.pieces, k=self.k, gaunt=self.gaunt,
+            abundances=self.abundances,
+        )
+
+    def compute(self, point: GridPoint, ions: tuple[Ion, ...] | None = None) -> Spectrum:
+        """Full spectrum at one grid point.
+
+        Sums the configured emission components: ``rrc`` (the paper's
+        workload), ``lines`` (collisional line emission) and ``brems``
+        (free-free continuum).
+        """
+        spectrum = Spectrum.zeros(
+            self.grid,
+            temperature_k=point.temperature_k,
+            ne_cm3=point.ne_cm3,
+            method=self.method,
+            components=self.components,
+        )
+        ion_set = ions if ions is not None else self.db.ions
+        if "rrc" in self.components:
+            for ion in ion_set:
+                spectrum.accumulate(self.ion_emissivity(ion, point))
+        if "lines" in self.components:
+            from repro.physics.lines import ion_line_emissivity
+
+            for ion in ion_set:
+                spectrum.accumulate(
+                    ion_line_emissivity(
+                        self.db, ion, point, self.grid,
+                        abundances=self.abundances,
+                    )
+                )
+        if "brems" in self.components:
+            from repro.physics.brems import brems_emissivity
+
+            spectrum.accumulate(
+                brems_emissivity(
+                    self.grid, point, z_max=self.db.config.z_max,
+                    abundances=self.abundances,
+                )
+            )
+        return spectrum

@@ -1,0 +1,112 @@
+"""The radiative cooling function Lambda(T).
+
+Integrating the emitted spectrum over photon energy gives the plasma's
+total radiative power — the cooling function that drives thermal
+evolution in hydro simulations (the upstream producer of the paper's
+parameter spaces).  Built directly on the same emission components the
+spectral calculator uses, so the cooling curve and the spectra are
+mutually consistent by construction.
+
+Physical expectations encoded in the tests: line + recombination
+emission dominate around 1e5-1e7 K (the "cooling hump"); free-free takes
+over at high temperature where ions are stripped; Lambda is normalized by
+n_e n_H so density dependence divides out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.atomic.database import AtomicDatabase
+from repro.physics.apec import GridPoint, SerialAPEC
+from repro.physics.spectrum import EnergyGrid
+
+__all__ = ["CoolingCurve", "cooling_function", "cooling_curve"]
+
+
+def cooling_function(
+    db: AtomicDatabase,
+    temperature_k: float,
+    grid: EnergyGrid | None = None,
+    components: tuple[str, ...] = ("rrc", "lines", "brems"),
+) -> float:
+    """Lambda(T): total emitted power per unit n_e n_H (arbitrary scale).
+
+    The integration grid defaults to a wide logarithmic energy window
+    around kT so the exponential tails are captured at any temperature.
+    """
+    if temperature_k <= 0.0:
+        raise ValueError("temperature must be positive")
+    point = GridPoint(temperature_k=temperature_k, ne_cm3=1.0)
+    if grid is None:
+        kt = point.kt_kev
+        e_lo = max(1e-4, kt * 1e-3)
+        e_hi = max(kt * 30.0, db.max_binding_energy_kev() * 3.0)
+        grid = EnergyGrid(np.geomspace(e_lo, e_hi, 241))
+    apec = SerialAPEC(db, grid, method="simpson-batch", components=components)
+    spectrum = apec.compute(point)
+    n_h = 0.83 * point.ne_cm3
+    return spectrum.total() / (point.ne_cm3 * n_h)
+
+
+@dataclass(frozen=True)
+class CoolingCurve:
+    """Lambda(T) sampled on a temperature grid."""
+
+    temperatures_k: np.ndarray
+    lambda_values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.temperatures_k.shape != self.lambda_values.shape:
+            raise ValueError("temperature/value shape mismatch")
+
+    def __len__(self) -> int:
+        return int(self.temperatures_k.size)
+
+    def interpolate(self, temperature_k: float) -> float:
+        """Log-log interpolation of Lambda at an arbitrary temperature."""
+        t = np.log10(temperature_k)
+        xs = np.log10(self.temperatures_k)
+        positive = self.lambda_values > 0.0
+        ys = np.log10(np.where(positive, self.lambda_values, 1e-300))
+        return float(10.0 ** np.interp(t, xs, ys))
+
+    def peak_temperature(self) -> float:
+        """The temperature of the cooling hump's maximum."""
+        return float(self.temperatures_k[int(np.argmax(self.lambda_values))])
+
+    def cooling_time_scale(self, temperature_k: float, ne_cm3: float) -> float:
+        """~ thermal energy / radiated power, up to the package's scale.
+
+        Only *ratios* of this quantity between temperatures/densities are
+        meaningful (the emissivity carries an arbitrary overall constant).
+        """
+        from repro.constants import K_B_KEV
+
+        lam = self.interpolate(temperature_k)
+        if lam <= 0.0:
+            return np.inf
+        n_h = 0.83 * ne_cm3
+        thermal = 3.0 * (ne_cm3 + n_h) * K_B_KEV * temperature_k / 2.0
+        return thermal / (ne_cm3 * n_h * lam)
+
+
+def cooling_curve(
+    db: AtomicDatabase,
+    t_min_k: float = 1.0e5,
+    t_max_k: float = 1.0e8,
+    n_samples: int = 25,
+    components: tuple[str, ...] = ("rrc", "lines", "brems"),
+) -> CoolingCurve:
+    """Sample Lambda(T) on a log grid."""
+    if not 0.0 < t_min_k < t_max_k:
+        raise ValueError("need 0 < t_min < t_max")
+    if n_samples < 2:
+        raise ValueError("need at least two samples")
+    temps = np.geomspace(t_min_k, t_max_k, n_samples)
+    values = np.array(
+        [cooling_function(db, float(t), components=components) for t in temps]
+    )
+    return CoolingCurve(temperatures_k=temps, lambda_values=values)

@@ -1,0 +1,55 @@
+"""Numerical integration substrate.
+
+The paper's CPU path uses QUADPACK's QAGS routine as the accurate serial
+integrator, while the GPU path runs composite Simpson (default) or Romberg
+kernels over many energy bins at once.  This package provides all of them,
+implemented from scratch:
+
+- :mod:`repro.quadrature.simpson` — composite Simpson rule (Algorithm 2's
+  per-region method).
+- :mod:`repro.quadrature.romberg` — Romberg integration with the dichotomy
+  recurrence of Eq. (3).
+- :mod:`repro.quadrature.gauss_kronrod` — Gauss–Kronrod 10–21 point pair.
+- :mod:`repro.quadrature.qags` — adaptive quadrature with interval bisection
+  and Wynn epsilon-algorithm extrapolation (the QAGS role).
+- :mod:`repro.quadrature.batch` — vectorized batch integrators: the "GPU
+  kernels" that evaluate tens of thousands of bins in one call.
+"""
+
+from repro.quadrature.result import IntegrationResult, QuadratureError
+from repro.quadrature.simpson import simpson, simpson_panels
+from repro.quadrature.romberg import romberg, romberg_table
+from repro.quadrature.gauss_kronrod import gauss_kronrod_21, GK21_NODES
+from repro.quadrature.qags import qags
+from repro.quadrature.batch import (
+    batch_simpson,
+    batch_simpson_edges,
+    batch_romberg,
+    batch_trapezoid,
+)
+from repro.quadrature.gauss_legendre import (
+    gauss_legendre,
+    batch_gauss_legendre,
+    gauss_legendre_nodes,
+)
+from repro.quadrature.adaptive_simpson import adaptive_simpson
+
+__all__ = [
+    "IntegrationResult",
+    "QuadratureError",
+    "simpson",
+    "simpson_panels",
+    "romberg",
+    "romberg_table",
+    "gauss_kronrod_21",
+    "GK21_NODES",
+    "qags",
+    "batch_simpson",
+    "batch_simpson_edges",
+    "batch_romberg",
+    "batch_trapezoid",
+    "gauss_legendre",
+    "batch_gauss_legendre",
+    "gauss_legendre_nodes",
+    "adaptive_simpson",
+]

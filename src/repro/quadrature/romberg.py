@@ -1,0 +1,100 @@
+"""Romberg integration with the dichotomy recurrence of Eq. (3).
+
+The paper's higher-accuracy GPU kernel uses Romberg integration, where the
+parameter ``k`` — "the times of dichotomy" — controls both accuracy and the
+computational amount of a single task (cost grows as 2^k).  Equation (3):
+
+    T_m^(k) = 4^m / (4^m - 1) * T_{m-1}^(k+1)  -  1 / (4^m - 1) * T_{m-1}^(k)
+
+i.e. ordinary Richardson extrapolation of the trapezoid ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.quadrature.result import IntegrationResult
+
+__all__ = ["romberg", "romberg_table", "trapezoid_ladder"]
+
+
+def trapezoid_ladder(
+    f: Callable[[np.ndarray], np.ndarray],
+    a: float,
+    b: float,
+    k: int,
+) -> np.ndarray:
+    """Trapezoid estimates T^(0)..T^(k) with 1, 2, 4, ..., 2^k panels.
+
+    Each refinement halves the step and reuses all previous samples, so the
+    total evaluation count is 2^k + 1.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    width = b - a
+    fa, fb = _eval_pair(f, a, b)
+    ladder = np.empty(k + 1, dtype=np.float64)
+    ladder[0] = 0.5 * width * (fa + fb)
+    for level in range(1, k + 1):
+        n_new = 2 ** (level - 1)
+        h = width / (2**level)
+        # Midpoints of the previous level's panels.
+        mids = a + h * (2.0 * np.arange(n_new) + 1.0)
+        fm = np.asarray(f(mids), dtype=np.float64)
+        ladder[level] = 0.5 * ladder[level - 1] + h * float(np.sum(fm))
+    return ladder
+
+
+def romberg_table(
+    f: Callable[[np.ndarray], np.ndarray],
+    a: float,
+    b: float,
+    k: int,
+) -> np.ndarray:
+    """Full Romberg tableau ``R`` with ``R[i, m] = T_m^(i-m)`` as in Eq. (3).
+
+    Returns a lower-triangular ``(k+1, k+1)`` array: column 0 is the
+    trapezoid ladder, and ``R[k, k]`` is the most-extrapolated value.
+    """
+    ladder = trapezoid_ladder(f, a, b, k)
+    table = np.zeros((k + 1, k + 1), dtype=np.float64)
+    table[:, 0] = ladder
+    for m in range(1, k + 1):
+        factor = 4.0**m
+        table[m:, m] = (factor * table[m:, m - 1] - table[m - 1 : -1, m - 1]) / (
+            factor - 1.0
+        )
+    return table
+
+
+def romberg(
+    f: Callable[[np.ndarray], np.ndarray],
+    a: float,
+    b: float,
+    k: int = 7,
+) -> IntegrationResult:
+    """Romberg-integrate ``f`` over ``[a, b]`` with ``k`` dichotomy levels.
+
+    The paper sweeps ``k`` in {7, 9, 11, 13} to scale single-task cost; the
+    evaluation count is 2^k + 1.
+    """
+    if a == b:
+        return IntegrationResult(value=0.0, abserr=0.0, neval=0)
+    table = romberg_table(f, a, b, k)
+    value = float(table[k, k])
+    if k == 0:
+        abserr = abs(value)
+    else:
+        abserr = abs(table[k, k] - table[k, k - 1])
+    return IntegrationResult(value=value, abserr=abserr, neval=2**k + 1)
+
+
+def _eval_pair(
+    f: Callable[[np.ndarray], np.ndarray], a: float, b: float
+) -> tuple[float, float]:
+    ends = np.asarray(f(np.array([a, b], dtype=np.float64)), dtype=np.float64)
+    if ends.shape != (2,):
+        raise ValueError("integrand must be vectorized (array in, array out)")
+    return float(ends[0]), float(ends[1])

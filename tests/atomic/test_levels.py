@@ -1,0 +1,129 @@
+"""Hydrogenic level structure: energies, degeneracies, cutoffs."""
+
+import numpy as np
+import pytest
+
+from repro.atomic.levels import (
+    Level,
+    build_levels,
+    effective_charge,
+    n_levels_for,
+    quantum_defect,
+)
+from repro.constants import RYDBERG_KEV
+
+
+class TestEffectiveCharge:
+    def test_bare_ion_sees_full_charge(self):
+        assert effective_charge(8, 8, 0) == 8.0
+
+    def test_screening_reduces_with_l(self):
+        low_l = effective_charge(26, 10, 0)
+        high_l = effective_charge(26, 10, 5)
+        assert low_l > high_l > 10.0
+
+    def test_bounded_by_nuclear_and_ionic_charge(self):
+        for l in range(6):
+            c_eff = effective_charge(26, 10, l)
+            assert 10.0 < c_eff <= 26.0
+
+
+class TestQuantumDefect:
+    def test_zero_for_hydrogenic(self):
+        assert quantum_defect(8, 8, 0) == 0.0
+
+    def test_decays_with_l(self):
+        d0 = quantum_defect(26, 5, 0)
+        d3 = quantum_defect(26, 5, 3)
+        assert d0 > d3 > 0.0
+
+    def test_bounded_below_one(self):
+        for z in (2, 10, 26, 31):
+            for c in (1, z // 2 or 1, z):
+                assert 0.0 <= quantum_defect(z, c, 0) < 1.0
+
+
+class TestNLevelsFor:
+    def test_full_ladder_for_bare_ion(self):
+        n_max = 10
+        assert n_levels_for(8, 8, n_max) == n_max * (n_max + 1) // 2
+
+    def test_cutoff_for_low_charge(self):
+        assert n_levels_for(26, 1, 10) < n_levels_for(26, 26, 10)
+
+    def test_at_least_one_level(self):
+        assert n_levels_for(31, 1, 1) >= 1
+
+    def test_invalid_n_max(self):
+        with pytest.raises(ValueError):
+            n_levels_for(8, 8, 0)
+
+    def test_paper_scale_thousands(self):
+        """n_max = 62 gives 1953 levels — the paper's 'thousands'."""
+        assert n_levels_for(8, 8, 62) == 1953
+
+
+class TestBuildLevels:
+    def test_hydrogen_ground_state_is_rydberg(self):
+        ls = build_levels(1, 1, 5)
+        assert ls.energy_kev[0] == pytest.approx(RYDBERG_KEV)
+
+    def test_hydrogenic_scaling_z_squared(self):
+        h = build_levels(1, 1, 3).energy_kev[0]
+        o8 = build_levels(8, 8, 3).energy_kev[0]
+        assert o8 / h == pytest.approx(64.0, rel=1e-12)
+
+    def test_energies_follow_inverse_n_squared(self):
+        ls = build_levels(8, 8, 6)
+        s_states = ls.energy_kev[ls.l_arr == 0]
+        ns = ls.n_arr[ls.l_arr == 0]
+        assert np.allclose(s_states * ns**2, s_states[0], rtol=1e-12)
+
+    def test_degeneracies(self):
+        ls = build_levels(8, 8, 4)
+        assert np.all(ls.degeneracy == 2 * (2 * ls.l_arr + 1))
+        # Total degeneracy of shell n is 2 n^2.
+        for n in range(1, 5):
+            assert ls.degeneracy[ls.n_arr == n].sum() == 2 * n * n
+
+    def test_level_ordering(self):
+        ls = build_levels(6, 3, 4)
+        pairs = list(zip(ls.n_arr, ls.l_arr))
+        assert pairs == sorted(pairs)
+
+    def test_level_materialization(self):
+        ls = build_levels(6, 3, 4)
+        lv = ls.level(0)
+        assert isinstance(lv, Level)
+        assert lv.n == 1 and lv.l == 0
+
+    def test_len(self):
+        ls = build_levels(8, 8, 4)
+        assert len(ls) == 10
+
+    def test_misaligned_arrays_rejected(self):
+        ls = build_levels(6, 3, 3)
+        with pytest.raises(ValueError):
+            type(ls)(
+                z=6,
+                charge=3,
+                n_arr=ls.n_arr,
+                l_arr=ls.l_arr[:-1],
+                energy_kev=ls.energy_kev,
+                degeneracy=ls.degeneracy,
+                c_eff=ls.c_eff,
+            )
+
+
+class TestLevelValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n=0, l=0, energy_kev=1.0, degeneracy=2),
+            dict(n=2, l=2, energy_kev=1.0, degeneracy=2),
+            dict(n=1, l=0, energy_kev=-1.0, degeneracy=2),
+        ],
+    )
+    def test_invalid_levels_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Level(**kwargs)

@@ -1,0 +1,88 @@
+"""Property-based tests on the atomic database (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atomic.cross_sections import kramers_photoionization, milne_recombination
+from repro.atomic.levels import build_levels, effective_charge, quantum_defect
+from repro.atomic.rates import ionization_rate, recombination_rate
+
+zs = st.integers(min_value=1, max_value=31)
+
+
+@st.composite
+def ion_state(draw):
+    z = draw(zs)
+    charge = draw(st.integers(min_value=1, max_value=z))
+    return z, charge
+
+
+class TestLevelProperties:
+    @given(state=ion_state(), n_max=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=80, deadline=None)
+    def test_structure_invariants(self, state, n_max):
+        z, charge = state
+        ls = build_levels(z, charge, n_max)
+        assert len(ls) >= 1
+        # Energies positive and finite.
+        assert np.all(np.isfinite(ls.energy_kev))
+        assert np.all(ls.energy_kev > 0.0)
+        # Quantum numbers valid.
+        assert np.all(ls.l_arr < ls.n_arr)
+        assert np.all(ls.n_arr >= 1)
+        # Ground state most bound.
+        assert ls.energy_kev.argmax() == 0
+        # Within fixed l, binding decreases with n.
+        for l in np.unique(ls.l_arr):
+            sel = ls.l_arr == l
+            series = ls.energy_kev[sel][np.argsort(ls.n_arr[sel])]
+            assert np.all(np.diff(series) <= 1e-15)
+
+    @given(state=ion_state(), l=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=80, deadline=None)
+    def test_effective_charge_bounds(self, state, l):
+        z, charge = state
+        c_eff = effective_charge(z, charge, l)
+        assert charge <= c_eff <= z
+        assert 0.0 <= quantum_defect(z, charge, l) < 1.0
+
+
+class TestCrossSectionProperties:
+    @given(
+        state=ion_state(),
+        n=st.integers(min_value=1, max_value=10),
+        binding=st.floats(min_value=1e-4, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nonnegative_and_monotone(self, state, n, binding):
+        z, charge = state
+        c_eff = effective_charge(z, charge, 0)
+        e_e = np.logspace(-4, 1, 40)
+        sigma = milne_recombination(e_e, binding, n, c_eff, 2.0)
+        assert np.all(sigma >= 0.0)
+        assert np.all(np.isfinite(sigma))
+        assert np.all(np.diff(sigma) <= 0.0)  # decreasing in E_e
+
+    @given(binding=st.floats(min_value=1e-4, max_value=10.0), n=st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_photoionization_threshold_behaviour(self, binding, n):
+        e = np.array([binding * 0.999, binding, binding * 1.001])
+        sigma = kramers_photoionization(e, binding, n, 5.0)
+        assert sigma[0] == 0.0
+        assert sigma[1] > 0.0
+        assert sigma[2] > 0.0
+        assert sigma[1] >= sigma[2]  # falls off above threshold
+
+
+class TestRateProperties:
+    @given(state=ion_state(), log_t=st.floats(min_value=4.0, max_value=9.0))
+    @settings(max_examples=80, deadline=None)
+    def test_rates_finite_nonnegative(self, state, log_t):
+        z, charge = state
+        t = np.array([10.0**log_t])
+        alpha = recombination_rate(z, charge, t)[0]
+        assert np.isfinite(alpha) and alpha >= 0.0
+        if charge < z:
+            s = ionization_rate(z, charge, t)[0]
+            assert np.isfinite(s) and s >= 0.0

@@ -1,0 +1,145 @@
+"""The mini message-passing layer."""
+
+import pytest
+
+from repro.cluster.mpi import MiniComm
+from repro.cluster.simclock import SimClock
+
+
+def run_ranks(size, body, latency=0.0):
+    """Spawn `size` rank processes running body(comm, rank) generators."""
+    clock = SimClock()
+    comm = MiniComm(clock, size, latency=latency)
+    handles = [clock.spawn(body(comm, r), name=f"rank{r}") for r in range(size)]
+    makespan = clock.run()
+    return makespan, [h.result for h in handles]
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def body(comm, rank):
+            if rank == 0:
+                yield from comm.send({"a": 1}, dest=1, source=0)
+                return None
+            return (yield from comm.recv(source=0, dest=1))
+
+        _, results = run_ranks(2, body)
+        assert results[1] == {"a": 1}
+
+    def test_recv_blocks_until_send(self):
+        arrival = {}
+
+        def body(comm, rank):
+            if rank == 0:
+                yield 5.0
+                yield from comm.send("late", dest=1, source=0)
+            else:
+                msg = yield from comm.recv(source=0, dest=1)
+                arrival["t"] = comm.clock.now
+                return msg
+
+        run_ranks(2, body)
+        assert arrival["t"] == 5.0
+
+    def test_message_order_preserved(self):
+        def body(comm, rank):
+            if rank == 0:
+                for i in range(3):
+                    yield from comm.send(i, dest=1, source=0)
+                return None
+            got = []
+            for _ in range(3):
+                got.append((yield from comm.recv(source=0, dest=1)))
+            return got
+
+        _, results = run_ranks(2, body)
+        assert results[1] == [0, 1, 2]
+
+    def test_latency_charged(self):
+        def body(comm, rank):
+            if rank == 0:
+                yield from comm.send("x", dest=1, source=0)
+            else:
+                yield from comm.recv(source=0, dest=1)
+
+        makespan, _ = run_ranks(2, body, latency=0.25)
+        assert makespan == pytest.approx(0.25)
+
+    def test_bad_rank_rejected(self):
+        clock = SimClock()
+        comm = MiniComm(clock, 2)
+        gen = comm.send("x", dest=5, source=0)
+        with pytest.raises(ValueError):
+            next(gen)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def body(comm, rank):
+            data = {"cfg": 7} if rank == 0 else None
+            return (yield from comm.bcast(data, root=0, rank=rank))
+
+        _, results = run_ranks(4, body)
+        assert all(r == {"cfg": 7} for r in results)
+
+    def test_scatter(self):
+        def body(comm, rank):
+            chunks = [[r] for r in range(4)] if rank == 0 else None
+            return (yield from comm.scatter(chunks, root=0, rank=rank))
+
+        _, results = run_ranks(4, body)
+        assert results == [[0], [1], [2], [3]]
+
+    def test_scatter_wrong_chunk_count(self):
+        def body(comm, rank):
+            chunks = [[1], [2]] if rank == 0 else None
+            return (yield from comm.scatter(chunks, root=0, rank=rank))
+
+        clock = SimClock()
+        comm = MiniComm(clock, 3)
+        gen = body(comm, 0)
+        with pytest.raises(ValueError):
+            list(gen)
+
+    def test_gather(self):
+        def body(comm, rank):
+            yield 0.1 * rank  # desynchronize
+            return (yield from comm.gather(rank * rank, root=0, rank=rank))
+
+        _, results = run_ranks(4, body)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_barrier_synchronizes(self):
+        times = {}
+
+        def body(comm, rank):
+            yield float(rank)  # ranks arrive at different times
+            yield from comm.barrier(rank)
+            times[rank] = comm.clock.now
+
+        run_ranks(4, body)
+        assert all(t == 3.0 for t in times.values())
+
+    def test_scatter_then_gather_roundtrip(self):
+        def body(comm, rank):
+            chunk = yield from comm.scatter(
+                [[i, i + 1] for i in range(3)] if rank == 0 else None,
+                root=0,
+                rank=rank,
+            )
+            total = sum(chunk)
+            return (yield from comm.gather(total, root=0, rank=rank))
+
+        _, results = run_ranks(3, body)
+        assert results[0] == [1, 3, 5]
+
+
+class TestValidation:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            MiniComm(SimClock(), 0)
+
+    def test_latency_validation(self):
+        with pytest.raises(ValueError):
+            MiniComm(SimClock(), 2, latency=-1.0)

@@ -1,0 +1,83 @@
+"""Shared-memory segment and atomic operations."""
+
+import pytest
+
+from repro.cluster.sharedmem import SharedArray, SharedSegment
+
+
+class TestSharedArray:
+    def test_starts_zeroed(self):
+        arr = SharedArray(4)
+        assert list(arr) == [0, 0, 0, 0]
+
+    def test_atomic_add_returns_new_value(self):
+        arr = SharedArray(2)
+        assert arr.atomic_add(0, 3) == 3
+        assert arr.atomic_add(0, -1) == 2
+        assert arr[0] == 2
+        assert arr[1] == 0
+
+    def test_cas_success_and_failure(self):
+        arr = SharedArray(1)
+        assert arr.atomic_cas(0, 0, 5)
+        assert arr[0] == 5
+        assert not arr.atomic_cas(0, 0, 9)
+        assert arr[0] == 5
+
+    def test_snapshot_is_copy(self):
+        arr = SharedArray(2)
+        snap = arr.snapshot()
+        arr.atomic_add(0, 1)
+        assert snap[0] == 0
+
+    def test_store(self):
+        arr = SharedArray(2)
+        arr.store(1, 42)
+        assert arr[1] == 42
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SharedArray(0)
+
+
+class TestSharedSegment:
+    def test_layout(self):
+        seg = SharedSegment(3)
+        load, history = seg.attach()
+        assert len(load) == 3
+        assert len(history) == 3
+        assert load is seg.load
+
+    def test_total_load(self):
+        seg = SharedSegment(3)
+        seg.load.atomic_add(0, 2)
+        seg.load.atomic_add(2, 1)
+        assert seg.total_load() == 3
+
+    def test_zero_devices_allowed(self):
+        seg = SharedSegment(0)
+        assert seg.total_load() == 0
+
+    def test_validate_detects_negative_load(self):
+        seg = SharedSegment(2)
+        seg.load.store(0, -1)
+        with pytest.raises(ValueError):
+            seg.validate(max_queue_length=4)
+
+    def test_validate_detects_overfull_queue(self):
+        seg = SharedSegment(2)
+        seg.load.store(1, 5)
+        with pytest.raises(ValueError):
+            seg.validate(max_queue_length=4)
+
+    def test_validate_detects_negative_history(self):
+        seg = SharedSegment(1)
+        seg.history.store(0, -2)
+        with pytest.raises(ValueError):
+            seg.validate(max_queue_length=4)
+
+    def test_validate_passes_on_sane_state(self):
+        seg = SharedSegment(2)
+        seg.load.atomic_add(0, 3)
+        seg.history.atomic_add(0, 10)
+        seg.validate(max_queue_length=4)

@@ -1,0 +1,68 @@
+"""The live multiprocessing runner (real processes, real shared memory)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.shm import LiveHybridRunner, LiveTask, rrc_like_integrand
+
+
+def make_tasks(n_tasks=8, n_bins=50):
+    edges = np.linspace(0.3, 2.0, n_bins + 1)
+    return [
+        LiveTask(task_id=i, lo=edges[:-1], hi=edges[1:], edge=0.5, kt=0.8)
+        for i in range(n_tasks)
+    ]
+
+
+def analytic_total(task: LiveTask) -> float:
+    lo = max(float(task.lo[0]), task.edge)
+    hi = float(task.hi[-1])
+    return task.scale * task.kt * (1.0 - np.exp(-(hi - task.edge) / task.kt))
+
+
+class TestLiveTask:
+    def test_gpu_and_cpu_paths_agree(self):
+        task = make_tasks(1)[0]
+        gpu = task.gpu_compute()
+        cpu = task.cpu_compute()
+        nz = cpu != 0.0
+        assert np.allclose(gpu[nz], cpu[nz], rtol=1e-9)
+
+    def test_totals_match_analytic(self):
+        task = make_tasks(1)[0]
+        assert task.gpu_compute().sum() == pytest.approx(analytic_total(task), rel=1e-10)
+
+    def test_integrand_factory(self):
+        f = rrc_like_integrand(edge=1.0, kt=0.5, scale=2.0)
+        x = np.array([0.5, 1.0, 1.5])
+        vals = f(x)
+        assert vals[0] == 0.0
+        assert vals[1] == pytest.approx(2.0)
+        assert vals[2] == pytest.approx(2.0 * np.exp(-1.0))
+
+
+@pytest.mark.slow
+class TestLiveHybridRunner:
+    def test_all_tasks_complete_with_correct_results(self):
+        tasks = make_tasks(12)
+        runner = LiveHybridRunner(n_workers=3, n_devices=1, max_queue_length=2)
+        res = runner.run(tasks, timeout_s=60.0)
+        assert res.gpu_tasks + res.cpu_tasks == 12
+        assert set(res.totals) == set(range(12))
+        for t in tasks:
+            assert res.totals[t.task_id] == pytest.approx(
+                analytic_total(t), rel=1e-8
+            )
+
+    def test_multiple_devices(self):
+        tasks = make_tasks(10)
+        runner = LiveHybridRunner(n_workers=2, n_devices=2, max_queue_length=4)
+        res = runner.run(tasks, timeout_s=60.0)
+        assert res.gpu_tasks + res.cpu_tasks == 10
+        assert res.gpu_ratio > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiveHybridRunner(n_workers=0)
+        with pytest.raises(ValueError):
+            LiveHybridRunner(max_queue_length=0)

@@ -1,0 +1,222 @@
+"""The discrete-event engine: determinism, causality, process semantics."""
+
+import pytest
+
+from repro.cluster.simclock import Interrupt, SimClock, Signal
+
+
+class TestScheduling:
+    def test_callbacks_in_time_order(self):
+        clock = SimClock()
+        order = []
+        clock.at(2.0, lambda: order.append("b"))
+        clock.at(1.0, lambda: order.append("a"))
+        clock.at(3.0, lambda: order.append("c"))
+        clock.run()
+        assert order == ["a", "b", "c"]
+        assert clock.now == 3.0
+
+    def test_ties_broken_by_schedule_order(self):
+        clock = SimClock()
+        order = []
+        for tag in "abc":
+            clock.at(1.0, lambda t=tag: order.append(t))
+        clock.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.at(-1.0, lambda: None)
+
+    def test_run_until(self):
+        clock = SimClock()
+        fired = []
+        clock.at(1.0, lambda: fired.append(1))
+        clock.at(5.0, lambda: fired.append(5))
+        clock.run(until=2.0)
+        assert fired == [1]
+        assert clock.now == 2.0
+        clock.run()
+        assert fired == [1, 5]
+
+    def test_nested_scheduling(self):
+        clock = SimClock()
+        seen = []
+
+        def outer():
+            seen.append(clock.now)
+            clock.at(1.5, lambda: seen.append(clock.now))
+
+        clock.at(1.0, outer)
+        clock.run()
+        assert seen == [1.0, 2.5]
+
+
+class TestProcesses:
+    def test_timeout_yields(self):
+        clock = SimClock()
+
+        def proc():
+            yield 1.0
+            yield 2.0
+            return "done"
+
+        h = clock.spawn(proc())
+        clock.run()
+        assert clock.now == 3.0
+        assert h.result == "done"
+        assert not h.alive
+
+    def test_signal_wait_and_payload(self):
+        clock = SimClock()
+        sig = clock.signal("data")
+        got = []
+
+        def waiter():
+            payload = yield sig
+            got.append((clock.now, payload))
+
+        def firer():
+            yield 2.0
+            sig.fire(clock, payload={"x": 1})
+
+        clock.spawn(waiter())
+        clock.spawn(firer())
+        clock.run()
+        assert got == [(2.0, {"x": 1})]
+
+    def test_already_fired_signal_returns_immediately(self):
+        clock = SimClock()
+        sig = clock.signal()
+        sig.fire(clock, payload=7)
+
+        def proc():
+            payload = yield sig
+            return payload
+
+        h = clock.spawn(proc())
+        clock.run()
+        assert h.result == 7
+
+    def test_double_fire_rejected(self):
+        clock = SimClock()
+        sig = clock.signal()
+        sig.fire(clock)
+        with pytest.raises(RuntimeError):
+            sig.fire(clock)
+
+    def test_join_process(self):
+        clock = SimClock()
+
+        def child():
+            yield 3.0
+            return 99
+
+        def parent():
+            h = clock.spawn(child(), name="child")
+            result = yield h
+            return (clock.now, result)
+
+        h = clock.spawn(parent())
+        clock.run()
+        assert h.result == (3.0, 99)
+
+    def test_multiple_waiters_all_wake(self):
+        clock = SimClock()
+        sig = clock.signal()
+        woken = []
+
+        def waiter(i):
+            yield sig
+            woken.append(i)
+
+        for i in range(5):
+            clock.spawn(waiter(i))
+        clock.at(1.0, lambda: sig.fire(clock))
+        clock.run()
+        assert sorted(woken) == [0, 1, 2, 3, 4]
+
+    def test_negative_yield_rejected(self):
+        clock = SimClock()
+
+        def proc():
+            yield -1.0
+
+        clock.spawn(proc())
+        with pytest.raises(ValueError):
+            clock.run()
+
+    def test_bad_yield_type_rejected(self):
+        clock = SimClock()
+
+        def proc():
+            yield "soon"
+
+        clock.spawn(proc())
+        with pytest.raises(TypeError):
+            clock.run()
+
+    def test_kill_interrupts(self):
+        clock = SimClock()
+        cleaned = []
+
+        def proc():
+            try:
+                yield 100.0
+            except Interrupt:
+                cleaned.append(True)
+                raise
+
+        h = clock.spawn(proc())
+        clock.at(1.0, h.kill)
+        clock.run()
+        assert cleaned == [True]
+        assert not h.alive
+
+    def test_add_callback(self):
+        clock = SimClock()
+        sig = clock.signal()
+        got = []
+        sig.add_callback(clock, got.append)
+        clock.at(1.0, lambda: sig.fire(clock, payload="x"))
+        clock.run()
+        assert got == ["x"]
+
+    def test_add_callback_after_fire(self):
+        clock = SimClock()
+        sig = clock.signal()
+        sig.fire(clock, payload=3)
+        got = []
+        sig.add_callback(clock, got.append)
+        clock.run()
+        assert got == [3]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def build_and_run():
+            clock = SimClock()
+            trace = []
+
+            def worker(i):
+                yield 0.1 * (i % 3)
+                trace.append((round(clock.now, 6), i))
+                yield 0.2
+                trace.append((round(clock.now, 6), i))
+
+            for i in range(10):
+                clock.spawn(worker(i))
+            clock.run()
+            return trace
+
+        assert build_and_run() == build_and_run()
+
+    def test_run_all_returns_makespan(self):
+        clock = SimClock()
+
+        def proc(d):
+            yield d
+
+        makespan = clock.run_all([proc(1.0), proc(4.0), proc(2.0)])
+        assert makespan == 4.0

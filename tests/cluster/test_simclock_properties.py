@@ -1,0 +1,122 @@
+"""Property-based tests of the event engine (hypothesis).
+
+The simulator underpins every quantitative result in the reproduction —
+causality, determinism and makespan arithmetic must hold for arbitrary
+process populations, not only the hybrid runner's shapes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.simclock import SimClock
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+@st.composite
+def process_population(draw):
+    """A set of processes, each a list of sleep durations."""
+    return draw(st.lists(delays, min_size=1, max_size=10))
+
+
+class TestClockProperties:
+    @given(population=process_population())
+    @settings(max_examples=100, deadline=None)
+    def test_makespan_is_max_process_duration(self, population):
+        clock = SimClock()
+
+        def proc(sleeps):
+            for d in sleeps:
+                yield d
+
+        makespan = clock.run_all([proc(s) for s in population])
+        assert makespan == max(sum(s) for s in population)
+
+    @given(population=process_population())
+    @settings(max_examples=60, deadline=None)
+    def test_observed_time_monotone(self, population):
+        clock = SimClock()
+        observations = []
+
+        def proc(sleeps):
+            for d in sleeps:
+                yield d
+                observations.append(clock.now)
+
+        clock.run_all([proc(s) for s in population])
+        assert observations == sorted(observations)
+
+    @given(population=process_population())
+    @settings(max_examples=60, deadline=None)
+    def test_trace_deterministic(self, population):
+        def run_once():
+            clock = SimClock()
+            trace = []
+
+            def proc(i, sleeps):
+                for d in sleeps:
+                    yield d
+                    trace.append((i, clock.now))
+
+            for i, s in enumerate(population):
+                clock.spawn(proc(i, s), name=f"p{i}")
+            clock.run()
+            return trace
+
+        assert run_once() == run_once()
+
+    @given(
+        population=process_population(),
+        fire_after=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_signal_wakes_all_waiters_at_fire_time(self, population, fire_after):
+        clock = SimClock()
+        sig = clock.signal()
+        wake_times = []
+
+        def waiter(sleeps):
+            for d in sleeps:
+                yield d
+            yield sig
+            wake_times.append(clock.now)
+
+        def firer():
+            yield fire_after
+            sig.fire(clock)
+
+        for s in population:
+            clock.spawn(waiter(s))
+        clock.spawn(firer())
+        clock.run()
+        assert len(wake_times) == len(population)
+        for t, sleeps in zip(sorted(wake_times), sorted(sum(s) for s in population)):
+            assert t >= max(fire_after, sleeps) - 1e-12
+
+    @given(population=process_population())
+    @settings(max_examples=40, deadline=None)
+    def test_join_returns_child_result(self, population):
+        clock = SimClock()
+        results = []
+
+        def child(i, sleeps):
+            for d in sleeps:
+                yield d
+            return i * 2
+
+        def parent():
+            handles = [
+                clock.spawn(child(i, s), name=f"c{i}")
+                for i, s in enumerate(population)
+            ]
+            for h in handles:
+                value = yield h
+                results.append(h.result)
+
+        clock.spawn(parent())
+        clock.run()
+        assert results == [i * 2 for i in range(len(population))]

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atomic.database import AtomicConfig, AtomicDatabase
+from repro.core.calibration import CostModel
+from repro.physics.apec import GridPoint
+from repro.physics.spectrum import EnergyGrid
+
+
+@pytest.fixture(scope="session")
+def tiny_db() -> AtomicDatabase:
+    """36 ions (Z <= 8), short level ladders — fast everywhere."""
+    db = AtomicDatabase(AtomicConfig.tiny())
+    db.validate()
+    return db
+
+
+@pytest.fixture(scope="session")
+def small_db() -> AtomicDatabase:
+    """The full 496-ion set with short ladders."""
+    return AtomicDatabase(AtomicConfig.small())
+
+
+@pytest.fixture(scope="session")
+def des_db() -> AtomicDatabase:
+    """The simulation-profile database (n_max = 5)."""
+    return AtomicDatabase(AtomicConfig(n_max=5))
+
+
+@pytest.fixture()
+def grid_small() -> EnergyGrid:
+    """50 bins over the paper's 10-45 Angstrom window."""
+    return EnergyGrid.from_wavelength(10.0, 45.0, 50)
+
+
+@pytest.fixture()
+def hot_point() -> GridPoint:
+    return GridPoint(temperature_k=1.0e7, ne_cm3=1.0)
+
+
+@pytest.fixture()
+def cost_model() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20150413)

@@ -1,0 +1,107 @@
+"""Automatic maximum-queue-length search."""
+
+import pytest
+
+from repro.atomic.database import AtomicConfig
+from repro.core.autotune import autotune_queue_length
+from repro.core.granularity import WorkloadSpec, build_tasks
+from repro.core.hybrid import HybridConfig
+
+
+@pytest.fixture(scope="module")
+def probe_tasks():
+    return build_tasks(
+        WorkloadSpec(n_points=2, bins_per_level=5_000, db_config=AtomicConfig.tiny())
+    )
+
+
+class TestAutotune:
+    def test_returns_candidate_and_times(self, probe_tasks):
+        cfg = HybridConfig(n_workers=4, n_gpus=1, max_queue_length=2)
+        best, times = autotune_queue_length(cfg, probe_tasks, candidates=(1, 2, 4, 8))
+        assert best in (1, 2, 4, 8)
+        assert set(times) <= {1, 2, 4, 8}
+        assert times[best] == min(times.values())
+
+    def test_stops_after_inflexion(self, probe_tasks):
+        """Once times stop improving, later candidates are skipped."""
+        cfg = HybridConfig(n_workers=4, n_gpus=1, max_queue_length=2)
+        _best, times = autotune_queue_length(
+            cfg, probe_tasks, candidates=(1, 2, 4, 8, 16, 32, 64), patience=1
+        )
+        # The deep-queue plateau means 64 should never be probed.
+        assert len(times) < 7
+
+    def test_deterministic(self, probe_tasks):
+        cfg = HybridConfig(n_workers=4, n_gpus=2, max_queue_length=2)
+        a = autotune_queue_length(cfg, probe_tasks, candidates=(2, 4, 6))
+        b = autotune_queue_length(cfg, probe_tasks, candidates=(2, 4, 6))
+        assert a == b
+
+    def test_small_queue_worse_than_best(self, probe_tasks):
+        """The Fig. 4 shape at miniature scale: maxlen 1 loses."""
+        cfg = HybridConfig(n_workers=4, n_gpus=1, max_queue_length=2)
+        _best, times = autotune_queue_length(cfg, probe_tasks, candidates=(1, 4, 8))
+        assert times[1] >= min(times.values())
+
+    def test_validation(self, probe_tasks):
+        cfg = HybridConfig()
+        with pytest.raises(ValueError):
+            autotune_queue_length(cfg, [], candidates=(2, 4))
+        with pytest.raises(ValueError):
+            autotune_queue_length(cfg, probe_tasks, candidates=())
+        with pytest.raises(ValueError):
+            autotune_queue_length(cfg, probe_tasks, candidates=(4, 2))
+
+
+class TestProbePrefix:
+    def test_prefix_covers_every_point(self):
+        from repro.core.autotune import probe_prefix
+        from repro.core.hybrid import HybridConfig
+
+        tasks = build_tasks(
+            WorkloadSpec(n_points=3, bins_per_level=1_000, db_config=AtomicConfig.tiny())
+        )
+        probe, cfg = probe_prefix(tasks, HybridConfig(), tasks_per_point=5)
+        points = {t.point_index for t in probe}
+        assert points == {0, 1, 2}
+        per_point = [sum(1 for t in probe if t.point_index == p) for p in points]
+        assert all(c == 5 for c in per_point)
+
+    def test_point_overhead_scaled_by_fraction(self):
+        from repro.core.autotune import probe_prefix
+        from repro.core.hybrid import HybridConfig
+
+        tasks = build_tasks(
+            WorkloadSpec(n_points=1, bins_per_level=1_000, db_config=AtomicConfig.tiny())
+        )
+        full_per_point = len(tasks)
+        base = HybridConfig()
+        _probe, cfg = probe_prefix(tasks, base, tasks_per_point=6)
+        expected = base.cost.point_overhead_s * 6 / full_per_point
+        assert cfg.cost.point_overhead_s == pytest.approx(expected)
+
+    def test_prefix_larger_than_point_is_whole_point(self):
+        from repro.core.autotune import probe_prefix
+        from repro.core.hybrid import HybridConfig
+
+        tasks = build_tasks(
+            WorkloadSpec(n_points=1, bins_per_level=1_000, db_config=AtomicConfig.tiny())
+        )
+        probe, cfg = probe_prefix(tasks, HybridConfig(), tasks_per_point=10_000)
+        assert len(probe) == len(tasks)
+        assert cfg.cost.point_overhead_s == pytest.approx(
+            HybridConfig().cost.point_overhead_s
+        )
+
+    def test_validation(self):
+        from repro.core.autotune import probe_prefix
+        from repro.core.hybrid import HybridConfig
+
+        with pytest.raises(ValueError):
+            probe_prefix([], HybridConfig(), tasks_per_point=5)
+        tasks = build_tasks(
+            WorkloadSpec(n_points=1, bins_per_level=1_000, db_config=AtomicConfig.tiny())
+        )
+        with pytest.raises(ValueError):
+            probe_prefix(tasks, HybridConfig(), tasks_per_point=0)

@@ -1,0 +1,167 @@
+"""The hybrid runner: end-to-end scheduling behaviour at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.atomic.database import AtomicConfig
+from repro.core.calibration import CostModel
+from repro.core.granularity import Granularity, WorkloadSpec, build_tasks
+from repro.core.hybrid import HybridConfig, HybridRunner
+from repro.core.task import Task, TaskKind
+from repro.gpusim.kernel import KernelSpec
+
+
+@pytest.fixture(scope="module")
+def mini_tasks():
+    """2 points x 36 ions, sized so a test run takes milliseconds."""
+    return build_tasks(
+        WorkloadSpec(n_points=2, bins_per_level=5_000, db_config=AtomicConfig.tiny())
+    )
+
+
+def mini_config(**over):
+    base = dict(n_workers=4, n_gpus=1, max_queue_length=4)
+    base.update(over)
+    return HybridConfig(**base)
+
+
+class TestBaselines:
+    def test_serial_time_additive(self, mini_tasks):
+        runner = HybridRunner(mini_config())
+        whole = runner.serial_time(mini_tasks)
+        half_a = runner.serial_time([t for t in mini_tasks if t.point_index == 0])
+        half_b = runner.serial_time([t for t in mini_tasks if t.point_index == 1])
+        assert whole == pytest.approx(half_a + half_b, rel=1e-12)
+
+    def test_mpi_only_faster_than_serial(self, mini_tasks):
+        runner = HybridRunner(mini_config())
+        serial = runner.serial_time(mini_tasks)
+        mpi = runner.run_mpi_only(mini_tasks)
+        assert mpi.makespan_s < serial
+        assert mpi.mode == "mpi"
+        assert mpi.metrics.cpu_tasks == len(mini_tasks)
+
+    def test_mpi_only_empty(self):
+        res = HybridRunner(mini_config()).run_mpi_only([])
+        assert res.makespan_s == 0.0
+
+
+class TestHybridRun:
+    def test_all_tasks_complete(self, mini_tasks):
+        res = HybridRunner(mini_config()).run(mini_tasks)
+        assert res.metrics.total_tasks == len(mini_tasks)
+        assert res.makespan_s > 0.0
+        assert res.mode == "hybrid"
+
+    def test_hybrid_beats_mpi_only(self, mini_tasks):
+        runner = HybridRunner(mini_config())
+        hybrid = runner.run(mini_tasks)
+        mpi = runner.run_mpi_only(mini_tasks)
+        assert hybrid.makespan_s < mpi.makespan_s
+
+    def test_no_gpu_degenerates_to_cpu_only(self, mini_tasks):
+        res = HybridRunner(mini_config(n_gpus=0)).run(mini_tasks)
+        assert res.metrics.cpu_tasks == len(mini_tasks)
+        assert res.metrics.gpu_task_ratio() == 0.0
+
+    def test_determinism(self, mini_tasks):
+        r1 = HybridRunner(mini_config()).run(mini_tasks)
+        r2 = HybridRunner(mini_config()).run(mini_tasks)
+        assert r1.makespan_s == r2.makespan_s
+        assert np.array_equal(r1.metrics.load_residency, r2.metrics.load_residency)
+
+    def test_more_gpus_not_slower(self, mini_tasks):
+        times = [
+            HybridRunner(mini_config(n_gpus=g)).run(mini_tasks).makespan_s
+            for g in (1, 2, 4)
+        ]
+        assert times[1] <= times[0] * 1.02
+        assert times[2] <= times[1] * 1.02
+
+    def test_queue_bound_respected(self, mini_tasks):
+        res = HybridRunner(mini_config(max_queue_length=2)).run(mini_tasks)
+        # Residency histogram has no mass beyond the bound.
+        assert res.metrics.load_residency.shape[1] == 3
+
+    def test_utilization_reported(self, mini_tasks):
+        res = HybridRunner(mini_config(n_gpus=2)).run(mini_tasks)
+        assert len(res.gpu_utilization) == 2
+        assert all(0.0 <= u <= 1.0 for u in res.gpu_utilization)
+
+    def test_real_execution_accumulates_spectra(self):
+        """Tasks with execute callables produce per-point spectra."""
+        bins = 16
+        tasks = []
+        for tid in range(8):
+            point = tid % 2
+            payload = np.full(bins, float(tid))
+            tasks.append(
+                Task(
+                    task_id=tid,
+                    kind=TaskKind.ION,
+                    kernel=KernelSpec(
+                        n_integrals=100,
+                        evals_per_integral=65,
+                        execute=(lambda p=payload: p),
+                    ),
+                    point_index=point,
+                    n_levels=1,
+                    cpu_execute=(lambda p=payload: p),
+                )
+            )
+        res = HybridRunner(mini_config(n_workers=2)).run(tasks)
+        assert set(res.spectra) == {0, 1}
+        expected0 = sum(float(t) for t in range(8) if t % 2 == 0)
+        assert np.allclose(res.spectra[0], expected0)
+
+    def test_client_server_scheduler_slower(self, mini_tasks):
+        shared = HybridRunner(mini_config()).run(mini_tasks)
+        served = HybridRunner(
+            mini_config(scheduler_kind="client-server", rpc_latency_s=5e-3)
+        ).run(mini_tasks)
+        assert served.makespan_s > shared.makespan_s
+
+    def test_async_mode_completes_everything(self, mini_tasks):
+        res = HybridRunner(mini_config(async_depth=4)).run(mini_tasks)
+        assert res.metrics.total_tasks == len(mini_tasks)
+
+    def test_async_mode_at_least_as_fast_when_gpu_bound(self, mini_tasks):
+        sync = HybridRunner(mini_config(n_gpus=1)).run(mini_tasks)
+        async_ = HybridRunner(mini_config(n_gpus=1, async_depth=4)).run(mini_tasks)
+        assert async_.makespan_s <= sync.makespan_s * 1.05
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_workers=0),
+            dict(n_gpus=-1),
+            dict(max_queue_length=0),
+            dict(scheduler_kind="mps"),
+            dict(async_depth=-1),
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            mini_config(**kwargs)
+
+
+class TestPartitioning:
+    def test_points_partitioned_by_modulo(self, mini_tasks):
+        runner = HybridRunner(mini_config(n_workers=2))
+        parts = runner._partition(mini_tasks)
+        assert all(t.point_index == 0 for t in parts[0])
+        assert all(t.point_index == 1 for t in parts[1])
+
+    def test_fallback_pricing_uses_task_override(self):
+        cost = CostModel()
+        t = Task(
+            task_id=0,
+            kind=TaskKind.NEI_CHUNK,
+            kernel=KernelSpec(n_integrals=10, evals_per_integral=100),
+            cpu_evals_per_integral=1000,
+        )
+        priced = cost.cpu_task_fallback_s(t.n_integrals, t.cpu_evals_per_integral)
+        default = cost.cpu_task_fallback_s(t.n_integrals)
+        assert priced != default

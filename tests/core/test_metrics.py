@@ -1,0 +1,80 @@
+"""MetricsLedger: residency accounting and derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import MetricsLedger, RunResult
+
+
+class TestLoadResidency:
+    def test_residency_integrates_to_makespan(self):
+        m = MetricsLedger(n_devices=1, max_queue_length=4)
+        m.on_load_change(0, 0, 1, now=1.0)
+        m.on_load_change(0, 1, 2, now=2.0)
+        m.on_load_change(0, 2, 1, now=5.0)
+        m.on_load_change(0, 1, 0, now=6.0)
+        m.finalize(10.0)
+        assert m.load_residency[0].sum() == pytest.approx(10.0)
+        assert m.load_residency[0, 0] == pytest.approx(1.0 + 4.0)
+        assert m.load_residency[0, 1] == pytest.approx(1.0 + 1.0)
+        assert m.load_residency[0, 2] == pytest.approx(3.0)
+
+    def test_distribution_percent_sums_to_100(self):
+        m = MetricsLedger(1, 3)
+        m.on_load_change(0, 0, 1, 2.0)
+        m.finalize(4.0)
+        dist = m.load_distribution_percent(0)
+        assert dist.sum() == pytest.approx(100.0)
+
+    def test_distribution_empty_run(self):
+        m = MetricsLedger(1, 3)
+        m.finalize(0.0)
+        assert np.all(m.load_distribution_percent(0) == 0.0)
+
+    def test_load_at_least_ratio(self):
+        m = MetricsLedger(1, 4)
+        m.on_load_change(0, 0, 3, 0.0)
+        m.on_load_change(0, 3, 0, 4.0)
+        m.finalize(10.0)
+        assert m.load_at_least_ratio(3) == pytest.approx(0.4)
+        assert m.load_at_least_ratio(1) == pytest.approx(0.4)
+        assert m.load_at_least_ratio(0) == pytest.approx(1.0)
+
+
+class TestTaskCounting:
+    def test_gpu_tasks_counted_on_load_increase_only(self):
+        m = MetricsLedger(2, 4)
+        m.on_load_change(0, 0, 1, 0.0)  # +1 task
+        m.on_load_change(0, 1, 0, 1.0)  # release: not a task
+        m.on_load_change(1, 0, 1, 1.0)
+        assert list(m.gpu_tasks) == [1, 1]
+
+    def test_ratio(self):
+        m = MetricsLedger(1, 4)
+        m.on_load_change(0, 0, 1, 0.0)
+        m.on_cpu_task()
+        assert m.gpu_task_ratio() == pytest.approx(0.5)
+        assert m.total_tasks == 2
+
+    def test_ratio_empty(self):
+        assert MetricsLedger(1, 4).gpu_task_ratio() == 0.0
+
+    def test_wait_statistics(self):
+        m = MetricsLedger(1, 4)
+        m.on_task_timing(wait_s=1.0, service_s=0.1)
+        m.on_task_timing(wait_s=3.0, service_s=0.1)
+        assert m.mean_wait_s() == pytest.approx(2.0)
+        assert MetricsLedger(1, 4).mean_wait_s() == 0.0
+
+
+class TestRunResult:
+    def test_speedup(self):
+        m = MetricsLedger(1, 4)
+        r = RunResult(makespan_s=10.0, metrics=m, n_tasks=5)
+        assert r.speedup_vs(100.0) == pytest.approx(10.0)
+
+    def test_speedup_zero_makespan_rejected(self):
+        m = MetricsLedger(1, 4)
+        r = RunResult(makespan_s=0.0, metrics=m, n_tasks=0)
+        with pytest.raises(ValueError):
+            r.speedup_vs(10.0)

@@ -1,0 +1,68 @@
+"""Per-device TaskQueue invariants."""
+
+import pytest
+
+from repro.cluster.sharedmem import SharedSegment
+from repro.core.queue import TaskQueue
+
+
+@pytest.fixture()
+def seg():
+    return SharedSegment(2)
+
+
+class TestTaskQueue:
+    def test_occupy_release_cycle(self, seg):
+        q = TaskQueue(seg, 0, max_length=2)
+        q.occupy()
+        assert q.load == 1
+        assert q.history == 1
+        q.release()
+        assert q.load == 0
+        assert q.history == 1
+
+    def test_is_full(self, seg):
+        q = TaskQueue(seg, 0, max_length=2)
+        assert not q.is_full
+        q.occupy()
+        q.occupy()
+        assert q.is_full
+
+    def test_occupy_beyond_bound_raises_and_rolls_back(self, seg):
+        q = TaskQueue(seg, 0, max_length=1)
+        q.occupy()
+        with pytest.raises(RuntimeError):
+            q.occupy()
+        assert q.load == 1  # rolled back
+        assert q.history == 1
+
+    def test_release_below_zero_raises_and_rolls_back(self, seg):
+        q = TaskQueue(seg, 0, max_length=1)
+        with pytest.raises(RuntimeError):
+            q.release()
+        assert q.load == 0
+
+    def test_queues_independent_per_device(self, seg):
+        q0 = TaskQueue(seg, 0, max_length=4)
+        q1 = TaskQueue(seg, 1, max_length=4)
+        q0.occupy()
+        assert q0.load == 1
+        assert q1.load == 0
+
+    def test_device_index_validated(self, seg):
+        with pytest.raises(ValueError):
+            TaskQueue(seg, 5, max_length=2)
+
+    def test_max_length_validated(self, seg):
+        with pytest.raises(ValueError):
+            TaskQueue(seg, 0, max_length=0)
+
+    def test_history_monotone_across_many_cycles(self, seg):
+        q = TaskQueue(seg, 0, max_length=3)
+        last = 0
+        for _ in range(10):
+            q.occupy()
+            assert q.history > last or q.history == last + 1
+            last = q.history
+            q.release()
+        assert q.history == 10

@@ -1,0 +1,98 @@
+"""The trace auditor: replay_trace against live runs and crafted traces."""
+
+import pytest
+
+from repro.atomic.database import AtomicConfig
+from repro.core.granularity import WorkloadSpec, build_tasks
+from repro.core.hybrid import HybridConfig, HybridRunner
+from repro.core.metrics import TaskEvent
+from repro.core.replay import replay_trace
+
+
+@pytest.fixture(scope="module")
+def audited_run():
+    tasks = build_tasks(
+        WorkloadSpec(n_points=2, bins_per_level=5_000, db_config=AtomicConfig.tiny())
+    )
+    cfg = HybridConfig(
+        n_workers=4, n_gpus=2, max_queue_length=3, record_trace=True
+    )
+    return tasks, cfg, HybridRunner(cfg).run(tasks)
+
+
+class TestAuditLiveRuns:
+    def test_clean_run_passes(self, audited_run):
+        tasks, cfg, result = audited_run
+        report = replay_trace(
+            result.metrics.trace,
+            max_queue_length=cfg.max_queue_length,
+            n_expected_tasks=len(tasks),
+        )
+        assert report.ok, report.violations
+        assert report.n_gpu + report.n_cpu == len(tasks)
+
+    def test_occupancy_respects_bound(self, audited_run):
+        _tasks, cfg, result = audited_run
+        report = replay_trace(result.metrics.trace, cfg.max_queue_length)
+        for device, peak in report.max_concurrent_per_device.items():
+            assert peak <= cfg.max_queue_length
+
+    def test_rank_busy_fractions_sane(self, audited_run):
+        _tasks, _cfg, result = audited_run
+        report = replay_trace(result.metrics.trace)
+        assert report.rank_busy_fraction
+        for frac in report.rank_busy_fraction.values():
+            assert 0.0 < frac <= 1.0 + 1e-9
+
+    def test_device_counts_match_metrics(self, audited_run):
+        _tasks, _cfg, result = audited_run
+        report = replay_trace(result.metrics.trace)
+        for device, count in report.device_task_counts.items():
+            assert count == int(result.metrics.gpu_tasks[device])
+
+
+class TestAuditCraftedTraces:
+    def test_detects_duplicate_ids(self):
+        trace = [
+            TaskEvent(0, 1, "cpu", -1, 0.0, 1.0),
+            TaskEvent(1, 1, "cpu", -1, 0.0, 1.0),
+        ]
+        report = replay_trace(trace)
+        assert not report.ok
+        assert any("duplicate" in v for v in report.violations)
+
+    def test_detects_rank_overlap(self):
+        trace = [
+            TaskEvent(0, 1, "cpu", -1, 0.0, 2.0),
+            TaskEvent(0, 2, "cpu", -1, 1.0, 3.0),
+        ]
+        report = replay_trace(trace)
+        assert any("overlapping" in v for v in report.violations)
+
+    def test_detects_queue_bound_breach(self):
+        trace = [
+            TaskEvent(r, r, "gpu", 0, 0.0, 5.0) for r in range(4)
+        ]
+        report = replay_trace(trace, max_queue_length=2)
+        assert any("exceeds the" in v for v in report.violations)
+
+    def test_detects_incomplete_trace(self):
+        trace = [TaskEvent(0, 0, "cpu", -1, 0.0, 1.0)]
+        report = replay_trace(trace, n_expected_tasks=5)
+        assert any("expected 5" in v for v in report.violations)
+
+    def test_fallback_run_lengths(self):
+        trace = [
+            TaskEvent(0, 0, "gpu", 0, 0.0, 1.0),
+            TaskEvent(0, 1, "cpu", -1, 1.0, 2.0),
+            TaskEvent(0, 2, "cpu", -1, 2.0, 3.0),
+            TaskEvent(0, 3, "gpu", 0, 3.0, 4.0),
+            TaskEvent(0, 4, "cpu", -1, 4.0, 5.0),
+        ]
+        report = replay_trace(trace)
+        assert report.fallback_runs == [2, 1]
+
+    def test_empty_trace(self):
+        report = replay_trace([])
+        assert report.ok
+        assert report.makespan_s == 0.0

@@ -1,0 +1,77 @@
+"""Property-based scheduler tests: Algorithm 1 invariants under random
+alloc/free traces (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import NO_DEVICE, SharedMemoryScheduler
+
+
+@st.composite
+def trace(draw):
+    n_devices = draw(st.integers(min_value=1, max_value=6))
+    max_len = draw(st.integers(min_value=1, max_value=8))
+    ops = draw(st.lists(st.booleans(), min_size=1, max_size=200))
+    return n_devices, max_len, ops
+
+
+class TestSchedulerInvariants:
+    @given(t=trace())
+    @settings(max_examples=150, deadline=None)
+    def test_invariants_under_random_traces(self, t):
+        """Replay random alloc(True)/free(False) sequences; frees target a
+        device we actually hold.  Invariants after every operation:
+
+        - 0 <= load[d] <= max_queue_length
+        - history[d] monotone non-decreasing
+        - sum(load) == tasks currently held
+        - NO_DEVICE iff every queue is full
+        """
+        n_devices, max_len, ops = t
+        s = SharedMemoryScheduler(n_devices, max_len)
+        held: list[int] = []
+        histories = s.histories()
+        for want_alloc in ops:
+            if want_alloc or not held:
+                d = s.sche_alloc()
+                if d == NO_DEVICE:
+                    assert all(l >= max_len for l in s.loads())
+                else:
+                    assert 0 <= d < n_devices
+                    held.append(d)
+            else:
+                s.sche_free(held.pop(0))
+            loads = s.loads()
+            assert all(0 <= l <= max_len for l in loads)
+            assert sum(loads) == len(held)
+            new_hist = s.histories()
+            assert all(b >= a for a, b in zip(histories, new_hist))
+            histories = new_hist
+            s.validate()
+
+    @given(
+        n_devices=st.integers(min_value=1, max_value=8),
+        n_tasks=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pure_alloc_spreads_evenly(self, n_devices, n_tasks):
+        """With no frees and enough capacity, loads differ by at most 1."""
+        s = SharedMemoryScheduler(n_devices, max_queue_length=1000)
+        for _ in range(n_tasks):
+            assert s.sche_alloc() != NO_DEVICE
+        loads = s.loads()
+        assert max(loads) - min(loads) <= 1
+        assert sum(loads) == n_tasks
+
+    @given(
+        n_devices=st.integers(min_value=1, max_value=4),
+        max_len=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_exactly_devices_times_maxlen(self, n_devices, max_len):
+        s = SharedMemoryScheduler(n_devices, max_len)
+        admitted = 0
+        while s.sche_alloc() != NO_DEVICE:
+            admitted += 1
+            assert admitted <= n_devices * max_len + 1
+        assert admitted == n_devices * max_len

@@ -1,0 +1,51 @@
+"""Kernel descriptors."""
+
+import pytest
+
+from repro.gpusim.kernel import (
+    BYTES_PER_BIN_RESULT,
+    BYTES_PER_LEVEL_PARAMS,
+    KernelSpec,
+)
+
+
+class TestKernelSpec:
+    def test_total_evals(self):
+        k = KernelSpec(n_integrals=100, evals_per_integral=65)
+        assert k.total_evals == 6500
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_integrals=-1, evals_per_integral=65),
+            dict(n_integrals=1, evals_per_integral=0),
+            dict(n_integrals=1, evals_per_integral=65, bytes_in=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            KernelSpec(**kwargs)
+
+    def test_ion_task_accumulates_on_device(self):
+        """Ion tasks return ONE bin array regardless of level count."""
+        k8 = KernelSpec.for_ion_task(n_levels=8, n_bins=1000, evals_per_integral=65)
+        k1 = KernelSpec.for_ion_task(n_levels=1, n_bins=1000, evals_per_integral=65)
+        assert k8.bytes_out == k1.bytes_out == 1000 * BYTES_PER_BIN_RESULT
+        assert k8.bytes_in == 8 * BYTES_PER_LEVEL_PARAMS
+        assert k8.n_integrals == 8 * 1000
+
+    def test_level_task_transfers_per_level(self):
+        """Level granularity pays one result transfer per level — the
+        paper's 'frequent memory copy' cost."""
+        ion = KernelSpec.for_ion_task(n_levels=8, n_bins=1000, evals_per_integral=65)
+        levels = [
+            KernelSpec.for_level_task(n_bins=1000, evals_per_integral=65)
+            for _ in range(8)
+        ]
+        assert sum(l.bytes_out for l in levels) == 8 * ion.bytes_out
+        assert sum(l.n_integrals for l in levels) == ion.n_integrals
+
+    def test_execute_not_compared(self):
+        a = KernelSpec(1, 1, execute=lambda: 1)
+        b = KernelSpec(1, 1, execute=lambda: 2)
+        assert a == b  # cost-wise identity ignores the callable

@@ -1,0 +1,85 @@
+"""Device memory accounting."""
+
+import pytest
+
+from repro.gpusim.memory import Allocation, DeviceMemory, DeviceOutOfMemory
+
+
+class TestDeviceMemory:
+    def test_alloc_free_cycle(self):
+        mem = DeviceMemory(1000)
+        a = mem.alloc(400, label="bins")
+        assert mem.used == 400
+        assert mem.available == 600
+        mem.free(a)
+        assert mem.used == 0
+
+    def test_oom_raises(self):
+        mem = DeviceMemory(100)
+        mem.alloc(60)
+        with pytest.raises(DeviceOutOfMemory):
+            mem.alloc(50)
+
+    def test_oom_message_includes_label(self):
+        mem = DeviceMemory(10)
+        with pytest.raises(DeviceOutOfMemory, match="emi"):
+            mem.alloc(20, label="emi")
+
+    def test_peak_tracking(self):
+        mem = DeviceMemory(1000)
+        a = mem.alloc(700)
+        mem.free(a)
+        mem.alloc(100)
+        assert mem.peak == 700
+
+    def test_double_free_rejected(self):
+        mem = DeviceMemory(100)
+        a = mem.alloc(10)
+        mem.free(a)
+        with pytest.raises(KeyError):
+            mem.free(a)
+
+    def test_foreign_handle_rejected(self):
+        mem = DeviceMemory(100)
+        with pytest.raises(KeyError):
+            mem.free(Allocation(ident=999, nbytes=10))
+
+    def test_zero_byte_alloc_allowed(self):
+        mem = DeviceMemory(100)
+        a = mem.alloc(0)
+        assert a.nbytes == 0
+        mem.free(a)
+
+    def test_negative_alloc_rejected(self):
+        mem = DeviceMemory(100)
+        with pytest.raises(ValueError):
+            mem.alloc(-1)
+
+    def test_reset(self):
+        mem = DeviceMemory(100)
+        mem.alloc(50)
+        mem.alloc(30)
+        mem.reset()
+        assert mem.used == 0
+        assert mem.live_count() == 0
+
+    def test_live_count(self):
+        mem = DeviceMemory(100)
+        a = mem.alloc(10)
+        mem.alloc(10)
+        assert mem.live_count() == 2
+        mem.free(a)
+        assert mem.live_count() == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(0)
+
+    def test_c2075_capacity_fits_ion_task(self):
+        """One Ion task's buffers fit trivially in 6 GB (sanity)."""
+        mem = DeviceMemory(int(6 * 2**30))
+        bins = mem.alloc(100_000 * 8, label="emi")
+        params = mem.alloc(2000 * 32, label="levels")
+        assert mem.available > 6 * 2**30 * 0.99
+        mem.free(bins)
+        mem.free(params)

@@ -1,0 +1,69 @@
+"""The accuracy experiments (Figs. 7-8) with real numerics.
+
+Serial QAGS reference vs the batched Simpson-64 "GPU" path, on a small
+real database and the paper's 10-45 Angstrom window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atomic.database import AtomicConfig, AtomicDatabase
+from repro.physics.apec import GridPoint, SerialAPEC
+from repro.physics.spectrum import EnergyGrid
+
+
+@pytest.fixture(scope="module")
+def accuracy_setup():
+    db = AtomicDatabase(AtomicConfig(n_max=5, z_max=10))
+    grid = EnergyGrid.from_wavelength(10.0, 45.0, 60)
+    point = GridPoint(temperature_k=1.0e7, ne_cm3=1.0)
+    ions = db.ions[10:30]  # keep QAGS runtime modest
+    ref = SerialAPEC(db, grid, method="qags").compute(point, ions=ions)
+    gpu = SerialAPEC(db, grid, method="simpson-batch").compute(point, ions=ions)
+    return ref, gpu
+
+
+class TestFig7SpectraAgree:
+    def test_normalized_fluxes_visually_identical(self, accuracy_setup):
+        """Fig. 7a vs 7b: after peak normalization the two spectra are
+        indistinguishable."""
+        ref, gpu = accuracy_setup
+        assert np.allclose(
+            ref.normalized().values, gpu.normalized().values, atol=1e-9
+        )
+
+    def test_spectrum_nontrivial(self, accuracy_setup):
+        ref, _ = accuracy_setup
+        assert ref.total() > 0.0
+        assert np.count_nonzero(ref.values) > ref.grid.n_bins // 2
+
+    def test_wavelength_window(self, accuracy_setup):
+        ref, _ = accuracy_setup
+        wl = ref.grid.wavelength_centers
+        assert wl.min() > 10.0 and wl.max() < 45.0
+
+
+class TestFig8ErrorDistribution:
+    def test_error_range_tiny(self, accuracy_setup):
+        """Paper: relative errors within [-0.0003%, +0.0033%].  Our
+        Simpson-64 bins are far inside that envelope."""
+        ref, gpu = accuracy_setup
+        err = gpu.relative_error_percent(ref)
+        err = err[np.isfinite(err)]
+        assert err.size > 0
+        assert np.abs(err).max() < 3.3e-3  # the paper's worst case, in %
+
+    def test_errors_concentrated_near_zero(self, accuracy_setup):
+        """Paper: 'more than 99% errors are located in the interval of 0%
+        to 0.0005%'."""
+        ref, gpu = accuracy_setup
+        err = gpu.relative_error_percent(ref)
+        err = err[np.isfinite(err)]
+        within = np.mean(np.abs(err) <= 5.0e-4)
+        assert within > 0.99
+
+    def test_no_systematic_bias_beyond_quadrature_order(self, accuracy_setup):
+        ref, gpu = accuracy_setup
+        err = gpu.relative_error_percent(ref)
+        err = err[np.isfinite(err)]
+        assert abs(np.mean(err)) < 1e-4  # percent

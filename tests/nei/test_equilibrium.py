@@ -1,0 +1,50 @@
+"""Equilibrium states and relaxation scales."""
+
+import numpy as np
+import pytest
+
+from repro.nei.equilibrium import equilibrium_state, relaxation_time_scale
+from repro.nei.odes import nei_matrix
+
+
+class TestEquilibriumState:
+    @pytest.mark.parametrize("z", [1, 8, 26])
+    @pytest.mark.parametrize("t", [1e5, 1e7])
+    def test_balance_and_nullspace_agree(self, z, t):
+        """Two independent constructions of the same equilibrium."""
+        f_balance = equilibrium_state(z, t, via="balance")
+        f_null = equilibrium_state(z, t, 1.0, via="nullspace")
+        assert np.abs(f_balance - f_null).max() < 1e-8
+
+    def test_nullspace_is_stationary(self):
+        a = nei_matrix(8, 1e6, 1.0)
+        f = equilibrium_state(8, 1e6, 1.0, via="nullspace")
+        assert np.abs(a @ f).max() < 1e-12 * np.abs(a).max()
+
+    def test_normalized(self):
+        f = equilibrium_state(26, 1e7)
+        assert f.sum() == pytest.approx(1.0, abs=1e-12)
+        assert np.all(f >= 0.0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            equilibrium_state(8, 1e6, via="magic")
+
+
+class TestRelaxationTimeScale:
+    def test_positive_and_finite(self):
+        tau = relaxation_time_scale(8, 1e6, 1e10)
+        assert np.isfinite(tau)
+        assert tau > 0.0
+
+    def test_inverse_in_density(self):
+        """NEI evolution depends on n_e * t: tau ~ 1/n_e."""
+        t1 = relaxation_time_scale(8, 1e6, 1e8)
+        t2 = relaxation_time_scale(8, 1e6, 1e10)
+        assert t1 / t2 == pytest.approx(100.0, rel=1e-6)
+
+    def test_frozen_modes_excluded(self):
+        """The 12-decade cutoff keeps tau physically meaningful even when
+        some charge states are effectively frozen."""
+        tau = relaxation_time_scale(8, 1e6, 1e10)
+        assert tau < 1e8  # seconds, not 1e27

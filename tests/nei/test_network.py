@@ -1,0 +1,103 @@
+"""General reaction networks (the future-work substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.nei.network import Reaction, ReactionNetwork, alpha_chain_network
+from repro.nei.solvers import AutoSwitchSolver, backward_euler, exact_linear_solution
+
+
+class TestReaction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Reaction("a", "b", -1.0)
+        with pytest.raises(ValueError):
+            Reaction("a", "a", 1.0)
+
+
+class TestReactionNetwork:
+    @pytest.fixture()
+    def simple(self):
+        net = ReactionNetwork(species=["a", "b", "c"])
+        net.add("a", "b", 2.0)
+        net.add("b", "c", 1.0)
+        net.add("c", "a", 0.1)
+        return net
+
+    def test_matrix_conserves(self, simple):
+        a = simple.matrix()
+        assert np.allclose(a.sum(axis=0), 0.0)
+
+    def test_matrix_entries(self, simple):
+        a = simple.matrix()
+        assert a[1, 0] == 2.0  # a -> b
+        assert a[0, 0] == -2.0
+        assert a[2, 1] == 1.0
+        assert a[0, 2] == 0.1
+
+    def test_rhs_and_jacobian(self, simple):
+        y = np.array([1.0, 0.5, 0.25])
+        assert np.allclose(simple.rhs(0.0, y), simple.matrix() @ y)
+        assert np.array_equal(simple.jacobian(0.0, y), simple.matrix())
+
+    def test_duplicate_species_rejected(self):
+        with pytest.raises(ValueError):
+            ReactionNetwork(species=["a", "a"])
+
+    def test_unknown_species_rejected(self, simple):
+        with pytest.raises(ValueError):
+            simple.add("a", "zz", 1.0)
+
+    def test_solver_reaches_cycle_steady_state(self, simple):
+        """A closed cycle relaxes to its stationary distribution."""
+        y0 = np.array([1.0, 0.0, 0.0])
+        res = AutoSwitchSolver(rtol=1e-8, atol=1e-12).solve(
+            simple.rhs, simple.jacobian, y0, (0.0, 200.0)
+        )
+        assert res.success
+        a = simple.matrix()
+        # Stationary: A y = 0 with sum = 1.
+        assert np.abs(a @ res.y_final).max() < 1e-6
+        assert res.y_final.sum() == pytest.approx(1.0, abs=1e-8)
+
+
+class TestAlphaChain:
+    def test_structure(self):
+        net = alpha_chain_network(n_stages=7, branch_every=3)
+        assert net.dim == 7 + 2  # S3b, S6b
+        assert net.sparsity() > 0.5  # sparse like real networks
+        assert net.stiffness_ratio() > 1e2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            alpha_chain_network(n_stages=1)
+
+    def test_mass_conservation_through_evolution(self):
+        net = alpha_chain_network(n_stages=9)
+        y0 = np.zeros(net.dim)
+        y0[0] = 1.0
+        res = backward_euler(net.rhs, net.jacobian, y0, (0.0, 50.0), 2000)
+        assert np.allclose(res.y.sum(axis=1), 1.0, atol=1e-9)
+        # Mass flows down the chain: the head empties, the tail fills.
+        assert res.y_final[0] < 0.5
+        assert res.y_final[1:].sum() > 0.5
+
+    def test_solver_matches_expm(self):
+        net = alpha_chain_network(n_stages=8, rate_decades=4.0)
+        y0 = np.zeros(net.dim)
+        y0[0] = 1.0
+        t_end = 30.0
+        exact = exact_linear_solution(net.matrix(), y0, np.array([t_end]))[0]
+        res = AutoSwitchSolver(rtol=1e-7, atol=1e-11).solve(
+            net.rhs, net.jacobian, y0, (0.0, t_end)
+        )
+        assert res.success
+        assert np.abs(res.y_final - exact).max() < 1e-5
+
+    def test_branches_populate(self):
+        net = alpha_chain_network(n_stages=7, branch_every=3)
+        y0 = np.zeros(net.dim)
+        y0[0] = 1.0
+        res = backward_euler(net.rhs, net.jacobian, y0, (0.0, 100.0), 3000)
+        idx = net.species.index("S3b")
+        assert res.y_final[idx] > 0.0

@@ -1,0 +1,53 @@
+"""Property-based tests on reaction networks (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nei.network import ReactionNetwork
+from repro.nei.solvers import backward_euler
+
+
+@st.composite
+def random_network(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    species = [f"s{i}" for i in range(n)]
+    net = ReactionNetwork(species=species)
+    n_reactions = draw(st.integers(min_value=1, max_value=15))
+    for _ in range(n_reactions):
+        i = draw(st.integers(min_value=0, max_value=n - 1))
+        j = draw(st.integers(min_value=0, max_value=n - 1))
+        if i == j:
+            j = (j + 1) % n
+        rate = draw(st.floats(min_value=1e-3, max_value=1e3))
+        net.add(species[i], species[j], rate)
+    return net
+
+
+class TestNetworkProperties:
+    @given(net=random_network())
+    @settings(max_examples=80, deadline=None)
+    def test_generator_structure(self, net):
+        a = net.matrix()
+        scale = np.abs(a).max()
+        # Conservation: columns sum to zero.
+        assert np.abs(a.sum(axis=0)).max() <= 1e-12 * max(scale, 1.0)
+        # Sign structure: M-matrix-like.
+        assert np.all(np.diag(a) <= 0.0)
+        off = a[~np.eye(net.dim, dtype=bool)]
+        assert np.all(off >= 0.0)
+        # Stability: no growing modes.
+        eigs = np.linalg.eigvals(a)
+        assert np.all(eigs.real <= 1e-9 * max(scale, 1.0))
+
+    @given(net=random_network())
+    @settings(max_examples=30, deadline=None)
+    def test_evolution_conserves_and_stays_nonnegative(self, net):
+        y0 = np.zeros(net.dim)
+        y0[0] = 1.0
+        scale = np.abs(net.matrix()).max()
+        t_end = 3.0 / max(scale, 1e-3)
+        res = backward_euler(net.rhs, net.jacobian, y0, (0.0, t_end), 400)
+        assert np.allclose(res.y.sum(axis=1), 1.0, atol=1e-9)
+        # Backward Euler preserves non-negativity for M-matrix generators.
+        assert np.all(res.y >= -1e-12)

@@ -1,0 +1,97 @@
+"""The eigendecomposition propagator."""
+
+import numpy as np
+import pytest
+
+from repro.nei.equilibrium import equilibrium_state, relaxation_time_scale
+from repro.nei.odes import NEISystem
+from repro.nei.propagator import EigenPropagator
+from repro.nei.solvers import exact_linear_solution
+
+
+@pytest.fixture(scope="module")
+def oxygen():
+    sys_ = NEISystem(z=8, ne_cm3=1e10, temperature_k=1e6)
+    y0 = equilibrium_state(8, 1e4)
+    tau = relaxation_time_scale(8, 1e6, 1e10)
+    return sys_, y0, tau
+
+
+class TestBuild:
+    def test_builds_for_nei_matrix(self, oxygen):
+        sys_, _y0, _tau = oxygen
+        prop = EigenPropagator.build(sys_)
+        assert prop.dim == 9
+        assert prop.reconstruction_error < 1e-6
+
+    def test_rejects_time_varying_system(self):
+        sys_ = NEISystem(
+            z=8, ne_cm3=1e10, temperature_k=1e6,
+            temperature_profile=lambda t: 1e6,
+        )
+        with pytest.raises(ValueError, match="constant"):
+            EigenPropagator.build(sys_)
+
+    def test_rejects_ill_conditioned(self, oxygen):
+        sys_, _y0, _tau = oxygen
+        with pytest.raises(ValueError, match="condition"):
+            EigenPropagator.build(sys_, max_condition=1.0)
+
+
+class TestPropagate:
+    def test_matches_expm(self, oxygen):
+        sys_, y0, tau = oxygen
+        prop = EigenPropagator.build(sys_)
+        times = np.array([0.1 * tau, tau, 3.0 * tau])
+        got = prop.propagate(y0, times)
+        ref = exact_linear_solution(sys_.matrix(), y0, times)
+        assert np.abs(got - ref).max() < 1e-9
+
+    def test_identity_at_zero(self, oxygen):
+        sys_, y0, _tau = oxygen
+        prop = EigenPropagator.build(sys_)
+        assert np.allclose(prop.propagate(y0, np.array([0.0]))[0], y0, atol=1e-12)
+
+    def test_conservation(self, oxygen):
+        sys_, y0, tau = oxygen
+        prop = EigenPropagator.build(sys_)
+        out = prop.propagate(y0, np.linspace(0.0, 2.0 * tau, 7))
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_shape_validation(self, oxygen):
+        sys_, _y0, _tau = oxygen
+        prop = EigenPropagator.build(sys_)
+        with pytest.raises(ValueError):
+            prop.propagate(np.zeros(3), np.array([1.0]))
+
+
+class TestPropagateMany:
+    def test_batch_matches_single(self, oxygen):
+        sys_, y0, tau = oxygen
+        prop = EigenPropagator.build(sys_)
+        eq = equilibrium_state(8, 1e6, 1e10, via="nullspace")
+        states = np.stack([y0, eq])
+        dt = 0.1 * tau
+        traj = prop.propagate_many(states, dt, n_steps=5)
+        assert traj.shape == (6, 2, 9)
+        # First state evolves like the single-state API.
+        single = prop.propagate(y0, dt * np.arange(6))
+        assert np.abs(traj[:, 0, :] - single).max() < 1e-10
+        # The equilibrium state stays put.
+        assert np.abs(traj[-1, 1, :] - eq).max() < 1e-8
+
+    def test_the_ten_point_pack(self, oxygen):
+        """The paper's packing: ten evolutions advanced together."""
+        sys_, y0, tau = oxygen
+        prop = EigenPropagator.build(sys_)
+        states = np.tile(y0, (10, 1))
+        traj = prop.propagate_many(states, 0.01 * tau, n_steps=100)
+        assert traj.shape == (101, 10, 9)
+        # All ten identical inputs stay identical.
+        assert np.abs(traj[-1] - traj[-1][0]).max() < 1e-12
+
+    def test_shape_validation(self, oxygen):
+        sys_, _y0, _tau = oxygen
+        prop = EigenPropagator.build(sys_)
+        with pytest.raises(ValueError):
+            prop.propagate_many(np.zeros((2, 3)), 1.0, 2)

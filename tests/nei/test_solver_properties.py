@@ -1,0 +1,62 @@
+"""Property-based NEI tests: conservation and solver agreement across the
+whole (Z, T0, T1, ne) family (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nei.equilibrium import equilibrium_state, relaxation_time_scale
+from repro.nei.odes import NEISystem, nei_matrix
+from repro.nei.solvers import AutoSwitchSolver, backward_euler, exact_linear_solution
+
+zs = st.sampled_from([2, 6, 8, 12, 26])
+log_temps = st.floats(min_value=4.5, max_value=8.0)
+
+
+class TestMatrixProperties:
+    @given(z=zs, log_t=log_temps, log_ne=st.floats(min_value=0.0, max_value=12.0))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_sign_structure(self, z, log_t, log_ne):
+        a = nei_matrix(z, 10.0**log_t, 10.0**log_ne)
+        scale = np.abs(a).max()
+        if scale == 0.0:
+            return
+        # Columns sum to zero (conservation).
+        assert np.abs(a.sum(axis=0)).max() < 1e-10 * scale
+        # Diagonal non-positive, off-diagonal non-negative (M-matrix-like).
+        assert np.all(np.diag(a) <= 0.0)
+        off = a[~np.eye(z + 1, dtype=bool)]
+        assert np.all(off >= 0.0)
+
+
+class TestSolverProperties:
+    @given(z=zs, log_t0=log_temps, log_t1=log_temps)
+    @settings(max_examples=20, deadline=None)
+    def test_backward_euler_tracks_exact(self, z, log_t0, log_t1):
+        ne = 1e10
+        sys_ = NEISystem(z=z, ne_cm3=ne, temperature_k=10.0**log_t1)
+        y0 = equilibrium_state(z, 10.0**log_t0)
+        tau = relaxation_time_scale(z, 10.0**log_t1, ne)
+        t_end = min(2.0 * tau, 1e6)
+        exact = exact_linear_solution(sys_.matrix(), y0, np.array([t_end]))[0]
+        res = backward_euler(sys_.rhs, sys_.jacobian, y0, (0.0, t_end), 3000)
+        # Fractions stay in [0,1] (up to first-order truncation) and
+        # conserve; final state near the exact one.
+        assert np.allclose(res.y.sum(axis=1), 1.0, atol=1e-8)
+        assert np.abs(res.y_final - exact).max() < 5e-3
+
+    @given(z=st.sampled_from([2, 6, 8]), log_t0=log_temps, log_t1=log_temps)
+    @settings(max_examples=10, deadline=None)
+    def test_autoswitch_conserves_and_converges(self, z, log_t0, log_t1):
+        ne = 1e10
+        sys_ = NEISystem(z=z, ne_cm3=ne, temperature_k=10.0**log_t1)
+        y0 = equilibrium_state(z, 10.0**log_t0)
+        tau = relaxation_time_scale(z, 10.0**log_t1, ne)
+        t_end = min(2.0 * tau, 1e6)
+        res = AutoSwitchSolver(rtol=1e-6, atol=1e-9).solve(
+            sys_.rhs, sys_.jacobian, y0, (0.0, t_end)
+        )
+        assert res.success
+        assert abs(float(res.y_final.sum()) - 1.0) < 1e-5
+        exact = exact_linear_solution(sys_.matrix(), y0, np.array([t_end]))[0]
+        assert np.abs(res.y_final - exact).max() < 1e-3

@@ -1,0 +1,169 @@
+"""The LSODA-style solver against exact references."""
+
+import numpy as np
+import pytest
+
+from repro.nei.equilibrium import equilibrium_state, relaxation_time_scale
+from repro.nei.odes import NEISystem
+from repro.nei.solvers import (
+    AutoSwitchSolver,
+    backward_euler,
+    exact_linear_solution,
+)
+
+NE = 1.0e10
+
+
+@pytest.fixture(scope="module")
+def heated_oxygen():
+    """Cold oxygen suddenly heated to 1e6 K — the classic NEI scenario."""
+    sys_ = NEISystem(z=8, ne_cm3=NE, temperature_k=1.0e6)
+    y0 = equilibrium_state(8, 1.0e4)
+    tau = relaxation_time_scale(8, 1.0e6, NE)
+    return sys_, y0, tau
+
+
+class TestExactReference:
+    def test_identity_at_t_zero(self, heated_oxygen):
+        sys_, y0, _ = heated_oxygen
+        out = exact_linear_solution(sys_.matrix(), y0, np.array([0.0]))
+        assert np.allclose(out[0], y0)
+
+    def test_conserves_total(self, heated_oxygen):
+        sys_, y0, tau = heated_oxygen
+        out = exact_linear_solution(sys_.matrix(), y0, np.array([tau, 3 * tau]))
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_relaxes_to_equilibrium(self, heated_oxygen):
+        sys_, y0, tau = heated_oxygen
+        final = exact_linear_solution(sys_.matrix(), y0, np.array([50.0 * tau]))[0]
+        eq = equilibrium_state(8, 1.0e6, NE, via="nullspace")
+        assert np.abs(final - eq).max() < 1e-6
+
+
+class TestBackwardEuler:
+    def test_converges_first_order(self, heated_oxygen):
+        sys_, y0, tau = heated_oxygen
+        t_end = tau
+        exact = exact_linear_solution(sys_.matrix(), y0, np.array([t_end]))[0]
+        e1 = np.abs(
+            backward_euler(sys_.rhs, sys_.jacobian, y0, (0, t_end), 500).y_final - exact
+        ).max()
+        e2 = np.abs(
+            backward_euler(sys_.rhs, sys_.jacobian, y0, (0, t_end), 1000).y_final - exact
+        ).max()
+        assert e1 / e2 == pytest.approx(2.0, rel=0.3)
+
+    def test_stable_at_huge_steps(self, heated_oxygen):
+        """L-stability: even 10 steps over a stiff span stay bounded."""
+        sys_, y0, tau = heated_oxygen
+        res = backward_euler(sys_.rhs, sys_.jacobian, y0, (0, 3 * tau), 10)
+        assert np.all(np.isfinite(res.y))
+        assert np.abs(res.y_final).max() < 2.0
+
+    def test_conserves_total(self, heated_oxygen):
+        sys_, y0, tau = heated_oxygen
+        res = backward_euler(sys_.rhs, sys_.jacobian, y0, (0, tau), 200)
+        assert np.allclose(res.y.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_step_validation(self, heated_oxygen):
+        sys_, y0, _ = heated_oxygen
+        with pytest.raises(ValueError):
+            backward_euler(sys_.rhs, sys_.jacobian, y0, (0, 1.0), 0)
+
+    def test_trajectory_shape(self, heated_oxygen):
+        sys_, y0, tau = heated_oxygen
+        res = backward_euler(sys_.rhs, sys_.jacobian, y0, (0, tau), 50)
+        assert res.t.shape == (51,)
+        assert res.y.shape == (51, 9)
+
+
+class TestAutoSwitchSolver:
+    def test_matches_exact_solution(self, heated_oxygen):
+        sys_, y0, tau = heated_oxygen
+        t_end = 3.0 * tau
+        exact = exact_linear_solution(sys_.matrix(), y0, np.array([t_end]))[0]
+        res = AutoSwitchSolver(rtol=1e-6, atol=1e-10).solve(
+            sys_.rhs, sys_.jacobian, y0, (0.0, t_end)
+        )
+        assert res.success
+        assert np.abs(res.y_final - exact).max() < 1e-4
+
+    def test_switches_to_stiff_mode(self, heated_oxygen):
+        """The NEI transient must trigger the Adams->BDF switch."""
+        sys_, y0, tau = heated_oxygen
+        res = AutoSwitchSolver(rtol=1e-6, atol=1e-10).solve(
+            sys_.rhs, sys_.jacobian, y0, (0.0, 3.0 * tau)
+        )
+        assert res.stats.n_switches >= 1
+        assert res.stats.stiff_steps > 0
+
+    def test_nonstiff_problem_stays_nonstiff(self):
+        """A gentle scalar decay never needs BDF."""
+        rhs = lambda t, y: -0.5 * y
+        jac = lambda t, y: np.array([[-0.5]])
+        res = AutoSwitchSolver(rtol=1e-8, atol=1e-12).solve(
+            rhs, jac, np.array([1.0]), (0.0, 4.0)
+        )
+        assert res.success
+        assert res.y_final[0] == pytest.approx(np.exp(-2.0), rel=1e-5)
+        assert res.stats.stiff_steps == 0
+
+    def test_conservation_through_solve(self, heated_oxygen):
+        sys_, y0, tau = heated_oxygen
+        res = AutoSwitchSolver(rtol=1e-6, atol=1e-10).solve(
+            sys_.rhs, sys_.jacobian, y0, (0.0, tau)
+        )
+        assert np.allclose(res.y.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_agrees_with_scipy_lsoda(self, heated_oxygen):
+        import scipy.integrate as si
+
+        sys_, y0, tau = heated_oxygen
+        t_end = 2.0 * tau
+        ours = AutoSwitchSolver(rtol=1e-7, atol=1e-11).solve(
+            sys_.rhs, sys_.jacobian, y0, (0.0, t_end)
+        )
+        ref = si.solve_ivp(
+            sys_.rhs, (0.0, t_end), y0, method="LSODA", jac=sys_.jacobian,
+            rtol=1e-9, atol=1e-12,
+        )
+        assert np.abs(ours.y_final - ref.y[:, -1]).max() < 1e-4
+
+    def test_save_every_thins_output(self, heated_oxygen):
+        sys_, y0, tau = heated_oxygen
+        dense = AutoSwitchSolver(rtol=1e-5, atol=1e-9).solve(
+            sys_.rhs, sys_.jacobian, y0, (0.0, tau), save_every=1
+        )
+        thin = AutoSwitchSolver(rtol=1e-5, atol=1e-9).solve(
+            sys_.rhs, sys_.jacobian, y0, (0.0, tau), save_every=50
+        )
+        assert len(thin.t) < len(dense.t)
+        assert np.allclose(thin.y_final, dense.y_final, atol=1e-8)
+
+    def test_max_steps_reported(self, heated_oxygen):
+        sys_, y0, tau = heated_oxygen
+        res = AutoSwitchSolver(rtol=1e-6, atol=1e-10, max_steps=5).solve(
+            sys_.rhs, sys_.jacobian, y0, (0.0, 3 * tau)
+        )
+        assert not res.success
+        assert "max_steps" in res.message
+
+    def test_invalid_span(self, heated_oxygen):
+        sys_, y0, _ = heated_oxygen
+        with pytest.raises(ValueError):
+            AutoSwitchSolver().solve(sys_.rhs, sys_.jacobian, y0, (1.0, 1.0))
+
+    def test_invalid_tolerances(self):
+        with pytest.raises(ValueError):
+            AutoSwitchSolver(rtol=0.0)
+
+    def test_work_counters_populated(self, heated_oxygen):
+        sys_, y0, tau = heated_oxygen
+        res = AutoSwitchSolver(rtol=1e-6, atol=1e-10).solve(
+            sys_.rhs, sys_.jacobian, y0, (0.0, tau)
+        )
+        st = res.stats
+        assert st.n_steps == st.stiff_steps + st.nonstiff_steps
+        assert st.n_rhs > 0
+        assert st.n_jac > 0

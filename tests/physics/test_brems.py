@@ -1,0 +1,73 @@
+"""Free-free continuum."""
+
+import numpy as np
+import pytest
+
+from repro.physics.apec import GridPoint
+from repro.physics.brems import brems_emissivity, brems_spectral_density, gaunt_ff
+from repro.physics.spectrum import EnergyGrid
+
+
+class TestGauntFF:
+    def test_order_unity(self):
+        g = gaunt_ff(np.logspace(-2, 1, 50), kt_kev=1.0)
+        assert np.all(g >= 0.2)
+        assert np.all(g < 10.0)
+
+    def test_larger_for_soft_photons(self):
+        g_soft = gaunt_ff(np.array([0.01]), 1.0)[0]
+        g_hard = gaunt_ff(np.array([5.0]), 1.0)[0]
+        assert g_soft > g_hard
+
+    def test_floor_at_high_energy(self):
+        assert gaunt_ff(np.array([100.0]), 1.0)[0] == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaunt_ff(np.array([1.0]), 0.0)
+
+
+class TestBremsSpectralDensity:
+    def test_exponential_cutoff(self):
+        pt = GridPoint(temperature_k=1e7, ne_cm3=1.0)
+        kt = pt.kt_kev
+        e = np.array([0.5, 0.5 + 3.0 * kt])
+        d = brems_spectral_density(e, pt, z_max=8)
+        # Beyond the gaunt variation, the drop is ~exp(-3).
+        assert d[1] / d[0] < np.exp(-2.0)
+
+    def test_density_squared(self):
+        e = np.array([1.0])
+        d1 = brems_spectral_density(e, GridPoint(temperature_k=1e7, ne_cm3=1.0), z_max=8)
+        d2 = brems_spectral_density(e, GridPoint(temperature_k=1e7, ne_cm3=2.0), z_max=8)
+        assert d2[0] / d1[0] == pytest.approx(4.0, rel=1e-6)
+
+    def test_hotter_plasma_harder_spectrum(self):
+        e = np.array([2.0])
+        cool = brems_spectral_density(e, GridPoint(temperature_k=5e6, ne_cm3=1.0), z_max=8)
+        hot = brems_spectral_density(e, GridPoint(temperature_k=5e7, ne_cm3=1.0), z_max=8)
+        assert hot[0] > cool[0]
+
+    def test_positive_everywhere(self):
+        pt = GridPoint(temperature_k=1e7, ne_cm3=1.0)
+        d = brems_spectral_density(np.logspace(-2, 1, 40), pt, z_max=8)
+        assert np.all(d > 0.0)
+
+
+class TestBremsEmissivity:
+    def test_bin_additivity(self):
+        pt = GridPoint(temperature_k=1e7, ne_cm3=1.0)
+        fine = EnergyGrid.linear(0.3, 1.3, 50)
+        coarse = EnergyGrid.linear(0.3, 1.3, 5)
+        e_fine = brems_emissivity(fine, pt, z_max=8)
+        e_coarse = brems_emissivity(coarse, pt, z_max=8)
+        assert e_fine.sum() == pytest.approx(e_coarse.sum(), rel=1e-9)
+
+    def test_smooth_continuum(self):
+        """No edges: adjacent bins differ only gradually."""
+        pt = GridPoint(temperature_k=1e7, ne_cm3=1.0)
+        grid = EnergyGrid.linear(0.3, 1.3, 100)
+        e = brems_emissivity(grid, pt, z_max=8)
+        ratios = e[1:] / e[:-1]
+        assert np.all(ratios > 0.9)
+        assert np.all(ratios < 1.1)

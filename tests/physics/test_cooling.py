@@ -1,0 +1,77 @@
+"""The radiative cooling function."""
+
+import numpy as np
+import pytest
+
+from repro.atomic.database import AtomicConfig, AtomicDatabase
+from repro.physics.cooling import CoolingCurve, cooling_curve, cooling_function
+
+
+@pytest.fixture(scope="module")
+def cool_db():
+    return AtomicDatabase(AtomicConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def curve(cool_db):
+    return cooling_curve(cool_db, t_min_k=2e5, t_max_k=1e8, n_samples=13)
+
+
+class TestCoolingFunction:
+    def test_positive(self, cool_db):
+        assert cooling_function(cool_db, 1e6) > 0.0
+
+    def test_density_independent(self, cool_db):
+        """Lambda divides out n_e n_H by construction."""
+        from repro.physics.apec import GridPoint, SerialAPEC
+        from repro.physics.spectrum import EnergyGrid
+
+        grid = EnergyGrid(np.geomspace(1e-3, 10.0, 121))
+        apec = SerialAPEC(cool_db, grid, method="simpson-batch",
+                          components=("rrc", "brems"))
+        lam = {}
+        for ne in (1.0, 5.0):
+            point = GridPoint(temperature_k=1e6, ne_cm3=ne)
+            total = apec.compute(point).total()
+            lam[ne] = total / (ne * 0.83 * ne)
+        assert lam[1.0] == pytest.approx(lam[5.0], rel=1e-9)
+
+    def test_validation(self, cool_db):
+        with pytest.raises(ValueError):
+            cooling_function(cool_db, 0.0)
+
+
+class TestCoolingCurve:
+    def test_all_positive_finite(self, curve):
+        assert np.all(curve.lambda_values > 0.0)
+        assert np.all(np.isfinite(curve.lambda_values))
+
+    def test_hump_in_line_dominated_band(self, curve):
+        """The cooling hump sits between 1e5 and ~1e7 K, not at the hot
+        bremsstrahlung end."""
+        peak = curve.peak_temperature()
+        assert 1e5 <= peak <= 2e7
+
+    def test_interpolation_hits_samples(self, curve):
+        i = len(curve) // 2
+        t = float(curve.temperatures_k[i])
+        assert curve.interpolate(t) == pytest.approx(
+            float(curve.lambda_values[i]), rel=1e-9
+        )
+
+    def test_cooling_time_scales_inverse_density(self, curve):
+        t1 = curve.cooling_time_scale(1e6, ne_cm3=1.0)
+        t10 = curve.cooling_time_scale(1e6, ne_cm3=10.0)
+        assert t1 / t10 == pytest.approx(10.0, rel=1e-9)
+
+    def test_hot_gas_cools_slower_than_hump_gas(self, curve):
+        hump = curve.peak_temperature()
+        assert curve.cooling_time_scale(5e7, 1.0) > curve.cooling_time_scale(hump, 1.0)
+
+    def test_validation(self, cool_db):
+        with pytest.raises(ValueError):
+            cooling_curve(cool_db, t_min_k=1e7, t_max_k=1e6)
+        with pytest.raises(ValueError):
+            cooling_curve(cool_db, n_samples=1)
+        with pytest.raises(ValueError):
+            CoolingCurve(np.zeros(3), np.zeros(2))

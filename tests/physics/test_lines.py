@@ -1,0 +1,116 @@
+"""Synthetic line emission."""
+
+import numpy as np
+import pytest
+
+from repro.atomic.ions import Ion
+from repro.physics.lines import (
+    build_line_list,
+    doppler_sigma_kev,
+    ion_line_emissivity,
+)
+from repro.physics.spectrum import EnergyGrid
+
+
+@pytest.fixture()
+def h_like_o(tiny_db):
+    return [i for i in tiny_db.ions if i.name == "O+8"][0]
+
+
+class TestDopplerSigma:
+    def test_scales_with_sqrt_temperature(self):
+        s1 = doppler_sigma_kev(np.array([1.0]), 1e6, 16.0)[0]
+        s4 = doppler_sigma_kev(np.array([1.0]), 4e6, 16.0)[0]
+        assert s4 / s1 == pytest.approx(2.0)
+
+    def test_scales_with_energy(self):
+        s = doppler_sigma_kev(np.array([1.0, 2.0]), 1e7, 16.0)
+        assert s[1] / s[0] == pytest.approx(2.0)
+
+    def test_heavier_ion_narrower(self):
+        light = doppler_sigma_kev(np.array([1.0]), 1e7, 4.0)[0]
+        heavy = doppler_sigma_kev(np.array([1.0]), 1e7, 56.0)[0]
+        assert heavy < light
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            doppler_sigma_kev(np.array([1.0]), 0.0, 16.0)
+
+
+class TestLineList:
+    def test_lyman_alpha_energy(self, tiny_db, h_like_o):
+        """The strongest H-like O line must be the 2p -> 1s transition at
+        (1 - 1/4) of the ground binding energy."""
+        lines = build_line_list(tiny_db, h_like_o)
+        ls = tiny_db.levels(h_like_o)
+        ground = float(ls.energy_kev[0])
+        assert lines.energy_kev[0] == pytest.approx(ground * 0.75, rel=1e-6)
+        assert lines.upper_n[0] == 2
+        assert lines.lower_n[0] == 1
+
+    def test_only_dipole_allowed(self, tiny_db, h_like_o):
+        lines = build_line_list(tiny_db, h_like_o)
+        # Downward transitions only.
+        assert np.all(lines.upper_n > lines.lower_n)
+        assert np.all(lines.energy_kev > 0.0)
+
+    def test_sorted_by_strength(self, tiny_db, h_like_o):
+        lines = build_line_list(tiny_db, h_like_o)
+        assert np.all(np.diff(lines.strength) <= 0.0)
+
+    def test_max_lines_cap(self, tiny_db, h_like_o):
+        lines = build_line_list(tiny_db, h_like_o, max_lines=3)
+        assert len(lines) == 3
+
+    def test_deterministic(self, tiny_db, h_like_o):
+        a = build_line_list(tiny_db, h_like_o)
+        b = build_line_list(tiny_db, h_like_o)
+        assert np.array_equal(a.energy_kev, b.energy_kev)
+
+
+class TestLineEmissivity:
+    def test_flux_conserved_across_binnings(self, tiny_db, hot_point, h_like_o):
+        fine = EnergyGrid.from_wavelength(10.0, 45.0, 400)
+        coarse = EnergyGrid.from_wavelength(10.0, 45.0, 23)
+        e_fine = ion_line_emissivity(tiny_db, h_like_o, hot_point, fine)
+        e_coarse = ion_line_emissivity(tiny_db, h_like_o, hot_point, coarse)
+        assert e_fine.sum() == pytest.approx(e_coarse.sum(), rel=1e-9)
+
+    def test_nonnegative(self, tiny_db, hot_point, grid_small):
+        for ion in tiny_db.ions[::9]:
+            e = ion_line_emissivity(tiny_db, ion, hot_point, grid_small)
+            assert np.all(e >= 0.0)
+
+    def test_lines_are_localized(self, tiny_db, hot_point, h_like_o):
+        """Most flux concentrates in few bins (lines, not continuum)."""
+        grid = EnergyGrid.from_wavelength(10.0, 45.0, 400)
+        e = ion_line_emissivity(tiny_db, h_like_o, hot_point, grid)
+        total = e.sum()
+        assert total > 0.0
+        top20 = np.sort(e)[-20:].sum()
+        assert top20 / total > 0.9
+
+    def test_density_squared_scaling(self, tiny_db, grid_small, h_like_o):
+        from repro.physics.apec import GridPoint
+
+        e1 = ion_line_emissivity(
+            tiny_db, h_like_o, GridPoint(temperature_k=1e7, ne_cm3=1.0), grid_small
+        )
+        e2 = ion_line_emissivity(
+            tiny_db, h_like_o, GridPoint(temperature_k=1e7, ne_cm3=3.0), grid_small
+        )
+        nz = e1 > 0
+        assert np.allclose(e2[nz] / e1[nz], 9.0, rtol=1e-9)
+
+    def test_zero_density_ion_silent(self, tiny_db, grid_small):
+        """Ions with ~zero CIE population emit nothing."""
+        from repro.physics.apec import GridPoint
+
+        neutral_recombining = Ion(z=8, charge=1)  # O+1 at 1e8 K: empty
+        e = ion_line_emissivity(
+            tiny_db,
+            neutral_recombining,
+            GridPoint(temperature_k=1e8, ne_cm3=1.0),
+            grid_small,
+        )
+        assert e.sum() < 1e-30

@@ -1,0 +1,133 @@
+"""The Eq. (1) integrand: shape, threshold, analytic reference."""
+
+import numpy as np
+import pytest
+
+from repro.physics.rrc import (
+    RRCLevelParams,
+    analytic_bin_integral,
+    gaunt_factor,
+    make_level_integrand,
+    rrc_integrand,
+    rrc_prefactor,
+)
+from repro.quadrature.qags import qags
+
+
+def params(**over):
+    base = dict(
+        binding_kev=0.5,
+        n=2,
+        c_eff=7.0,
+        g_level=2.0,
+        kt_kev=1.0,
+        ne_cm3=1.0,
+        n_ion_cm3=1e-4,
+    )
+    base.update(over)
+    return RRCLevelParams(**base)
+
+
+class TestRRCLevelParams:
+    @pytest.mark.parametrize(
+        "over",
+        [dict(binding_kev=0.0), dict(kt_kev=-1.0), dict(ne_cm3=-1.0)],
+    )
+    def test_invalid_rejected(self, over):
+        with pytest.raises(ValueError):
+            params(**over)
+
+    def test_temperature_roundtrip(self):
+        from repro.constants import K_B_KEV
+
+        p = params(kt_kev=0.8617333262)
+        assert p.temperature_k == pytest.approx(1e7, rel=1e-6)
+
+
+class TestGauntFactor:
+    def test_unity_at_threshold(self):
+        assert gaunt_factor(np.array([1.0]))[0] == pytest.approx(1.0)
+
+    def test_smooth_and_positive_over_decades(self):
+        x = np.logspace(0, 3, 200)
+        g = gaunt_factor(x)
+        assert np.all(np.isfinite(g))
+        assert np.all(g > 0.0)
+
+    def test_below_threshold_clamped(self):
+        assert gaunt_factor(np.array([0.5]))[0] == pytest.approx(1.0)
+
+
+class TestRRCIntegrand:
+    def test_zero_below_edge(self):
+        p = params()
+        e = np.array([0.1, 0.3, 0.4999])
+        assert np.all(rrc_integrand(e, p) == 0.0)
+
+    def test_positive_above_edge(self):
+        p = params()
+        e = np.linspace(0.5, 5.0, 50)
+        vals = rrc_integrand(e, p)
+        assert np.all(vals > 0.0)
+
+    def test_continuous_from_above_at_edge(self):
+        """f(I) equals the limit from above (closed threshold)."""
+        p = params()
+        at_edge = rrc_integrand(np.array([p.binding_kev]), p)[0]
+        just_above = rrc_integrand(np.array([p.binding_kev * (1 + 1e-12)]), p)[0]
+        assert at_edge == pytest.approx(just_above, rel=1e-9)
+        assert at_edge > 0.0
+
+    def test_exponential_decay_scale(self):
+        """Without gaunt, f(E)/f(I) = exp(-(E-I)/kT) exactly."""
+        p = params()
+        e = np.array([p.binding_kev, p.binding_kev + p.kt_kev])
+        v = rrc_integrand(e, p, gaunt=False)
+        assert v[1] / v[0] == pytest.approx(np.exp(-1.0), rel=1e-12)
+
+    def test_density_scaling(self):
+        p1 = params(ne_cm3=1.0, n_ion_cm3=1.0)
+        p2 = params(ne_cm3=3.0, n_ion_cm3=2.0)
+        e = np.array([1.0])
+        assert rrc_integrand(e, p2)[0] / rrc_integrand(e, p1)[0] == pytest.approx(6.0)
+
+    def test_prefactor_positive(self):
+        assert rrc_prefactor(params()) > 0.0
+
+    def test_scalar_and_matrix_inputs(self):
+        p = params()
+        scalar = rrc_integrand(1.0, p)
+        matrix = rrc_integrand(np.full((2, 3), 1.0), p)
+        assert matrix.shape == (2, 3)
+        assert np.allclose(matrix, float(scalar))
+
+
+class TestAnalyticBinIntegral:
+    def test_matches_qags_without_gaunt(self):
+        p = params()
+        f = make_level_integrand(p, gaunt=False)
+        for e0, e1 in [(0.4, 0.9), (0.5, 0.6), (1.0, 3.0)]:
+            lo = max(e0, p.binding_kev)
+            num = qags(f, lo, e1, epsabs=1e-30, epsrel=1e-12).value
+            exact = analytic_bin_integral(e0, e1, p)
+            assert num == pytest.approx(exact, rel=1e-9)
+
+    def test_zero_for_bins_below_edge(self):
+        p = params()
+        assert analytic_bin_integral(0.1, 0.4, p) == 0.0
+
+    def test_bin_clipped_at_edge(self):
+        p = params()
+        full = analytic_bin_integral(0.5, 1.0, p)
+        clipped = analytic_bin_integral(0.2, 1.0, p)
+        assert clipped == pytest.approx(full, rel=1e-14)
+
+    def test_reversed_bin_rejected(self):
+        with pytest.raises(ValueError):
+            analytic_bin_integral(1.0, 0.5, params())
+
+    def test_additive_over_subbins(self):
+        p = params()
+        whole = analytic_bin_integral(0.5, 2.0, p)
+        parts = analytic_bin_integral(0.5, 1.1, p) + analytic_bin_integral(1.1, 2.0, p)
+        assert whole == pytest.approx(parts, rel=1e-12)

@@ -1,0 +1,71 @@
+"""Recursive adaptive Simpson."""
+
+import numpy as np
+import pytest
+
+from repro.quadrature.adaptive_simpson import adaptive_simpson
+from repro.quadrature.qags import qags
+
+
+class TestAdaptiveSimpson:
+    def test_smooth_integrand_to_tolerance(self):
+        f = lambda x: np.exp(-x) * np.sin(3.0 * x)
+        res = adaptive_simpson(f, 0.0, 2.0, tol=1e-12)
+        ref = qags(f, 0.0, 2.0, epsrel=1e-13).value
+        assert res.converged
+        assert abs(res.value - ref) < 1e-11
+
+    def test_adapts_where_needed(self):
+        """A localized spike forces refinement only near the spike."""
+        f = lambda x: np.exp(-1000.0 * (x - 0.3) ** 2)
+        loose = adaptive_simpson(f, 0.0, 1.0, tol=1e-6)
+        tight = adaptive_simpson(f, 0.0, 1.0, tol=1e-12)
+        assert tight.neval > loose.neval
+        exact = np.sqrt(np.pi / 1000.0)  # full Gaussian; tails negligible
+        assert tight.value == pytest.approx(exact, rel=1e-9)
+
+    def test_kink_handled(self):
+        res = adaptive_simpson(lambda x: np.abs(x), -1.0, 2.0, tol=1e-12)
+        assert res.value == pytest.approx(2.5, rel=1e-10)
+
+    def test_reversed_interval(self):
+        fwd = adaptive_simpson(np.exp, 0.0, 1.0, tol=1e-10).value
+        rev = adaptive_simpson(np.exp, 1.0, 0.0, tol=1e-10).value
+        assert rev == pytest.approx(-fwd)
+
+    def test_zero_width(self):
+        res = adaptive_simpson(np.exp, 1.0, 1.0)
+        assert res.value == 0.0
+
+    def test_rrc_edge_integrand(self):
+        edge, kt = 0.7, 0.3
+        f = lambda x: np.where(x >= edge, np.exp(-(x - edge) / kt), 0.0)
+        res = adaptive_simpson(f, edge, 2.0, tol=1e-12)
+        exact = kt * (1.0 - np.exp(-(2.0 - edge) / kt))
+        assert res.value == pytest.approx(exact, rel=1e-9)
+
+    def test_depth_exhaustion_flagged_not_fatal(self):
+        """Near-singular derivative: the flag goes down, the value stays
+        accurate (Richardson correction carries it)."""
+        res = adaptive_simpson(
+            lambda x: np.sqrt(np.abs(x)), 0.0, 1.0, tol=1e-12, max_depth=12
+        )
+        assert not res.converged
+        assert res.value == pytest.approx(2.0 / 3.0, rel=1e-5)
+
+    def test_panel_budget_flagged(self):
+        f = lambda x: np.sin(200.0 * x)
+        res = adaptive_simpson(f, 0.0, 3.0, tol=1e-14, max_panels=10)
+        assert not res.converged
+        assert np.isfinite(res.value)
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            adaptive_simpson(np.exp, 0.0, 1.0, tol=0.0)
+
+    def test_agrees_with_qags_family(self):
+        """Three independent adaptive integrators, one answer."""
+        f = lambda x: np.log(1.0 + x) / (1.0 + x**2)
+        ref = qags(f, 0.0, 1.0, epsrel=1e-12).value
+        res = adaptive_simpson(f, 0.0, 1.0, tol=1e-12)
+        assert res.value == pytest.approx(ref, abs=1e-10)

@@ -1,0 +1,77 @@
+"""Gauss-Kronrod 10-21 pair: node/weight sanity and integration accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.quadrature.gauss_kronrod import (
+    G10_WEIGHTS,
+    GK21_NODES,
+    GK21_WEIGHTS,
+    gauss_kronrod_21,
+)
+
+
+class TestNodesAndWeights:
+    def test_counts(self):
+        assert GK21_NODES.shape == (21,)
+        assert GK21_WEIGHTS.shape == (21,)
+        assert G10_WEIGHTS.shape == (10,)
+
+    def test_nodes_sorted_and_symmetric(self):
+        assert np.all(np.diff(GK21_NODES) > 0)
+        assert np.allclose(GK21_NODES, -GK21_NODES[::-1])
+
+    def test_weights_positive_and_symmetric(self):
+        assert np.all(GK21_WEIGHTS > 0)
+        assert np.allclose(GK21_WEIGHTS, GK21_WEIGHTS[::-1])
+        assert np.allclose(G10_WEIGHTS, G10_WEIGHTS[::-1])
+
+    def test_kronrod_weights_sum_to_two(self):
+        assert GK21_WEIGHTS.sum() == pytest.approx(2.0, abs=1e-14)
+
+    def test_gauss_weights_sum_to_two(self):
+        assert G10_WEIGHTS.sum() == pytest.approx(2.0, abs=1e-14)
+
+    def test_gauss_nodes_interleave(self):
+        """The odd-indexed Kronrod nodes are the 10 Gauss nodes."""
+        gauss_nodes = GK21_NODES[1::2]
+        assert gauss_nodes.shape == (10,)
+        # Legendre P10 roots satisfy P10(x) = 0; check via numpy.
+        p10 = np.polynomial.legendre.Legendre.basis(10)
+        assert np.allclose(p10(gauss_nodes), 0.0, atol=1e-13)
+
+    def test_tables_read_only(self):
+        with pytest.raises(ValueError):
+            GK21_NODES[0] = 0.0
+
+
+class TestGaussKronrod21:
+    def test_exact_on_high_degree_polynomial(self):
+        """The 21-point Kronrod rule integrates degree-31 exactly."""
+        f = lambda x: x**30
+        val, _err, _ = gauss_kronrod_21(f, -1.0, 1.0)
+        assert val == pytest.approx(2.0 / 31.0, rel=1e-12)
+
+    def test_smooth_integral(self):
+        val, err, resabs = gauss_kronrod_21(np.exp, 0.0, 1.0)
+        assert val == pytest.approx(np.e - 1.0, rel=1e-14)
+        assert err >= 0.0
+        assert resabs == pytest.approx(val, rel=1e-12)  # positive integrand
+
+    def test_error_estimate_covers_true_error(self):
+        f = lambda x: np.sqrt(np.abs(x))  # kink at 0
+        val, err, _ = gauss_kronrod_21(f, -1.0, 1.0)
+        assert abs(val - 4.0 / 3.0) <= err
+
+    def test_general_interval_scaling(self):
+        val, _e, _ = gauss_kronrod_21(lambda x: x**2, 1.0, 4.0)
+        assert val == pytest.approx(21.0, rel=1e-13)
+
+    def test_resabs_for_signed_integrand(self):
+        val, _e, resabs = gauss_kronrod_21(np.sin, -1.0, 1.0)
+        assert abs(val) < 1e-14  # odd function
+        assert resabs > 0.9  # integral of |sin| on [-1,1] ~ 0.92
+
+    def test_bad_integrand_shape(self):
+        with pytest.raises(ValueError):
+            gauss_kronrod_21(lambda x: np.zeros(5), 0.0, 1.0)

@@ -1,0 +1,100 @@
+"""Romberg integration and the Eq. (3) tableau."""
+
+import numpy as np
+import pytest
+
+from repro.quadrature.romberg import romberg, romberg_table, trapezoid_ladder
+
+
+class TestTrapezoidLadder:
+    def test_ladder_length_and_eval_count(self):
+        calls = {"n": 0}
+
+        def f(x):
+            calls["n"] += len(np.atleast_1d(x))
+            return np.exp(x)
+
+        ladder = trapezoid_ladder(f, 0.0, 1.0, k=5)
+        assert ladder.shape == (6,)
+        assert calls["n"] == 2**5 + 1  # full reuse of previous samples
+
+    def test_each_level_halves_error(self):
+        exact = np.e - 1.0
+        ladder = trapezoid_ladder(np.exp, 0.0, 1.0, k=8)
+        errors = np.abs(ladder - exact)
+        ratios = errors[:-1] / errors[1:]
+        # Trapezoid is second order: refinement ratio -> 4.
+        assert np.all(ratios[2:] > 3.5)
+
+    def test_level_zero_is_plain_trapezoid(self):
+        ladder = trapezoid_ladder(np.exp, 0.0, 2.0, k=0)
+        assert ladder[0] == pytest.approx((np.exp(0) + np.exp(2)))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            trapezoid_ladder(np.exp, 0.0, 1.0, k=-1)
+
+    def test_scalar_integrand_rejected(self):
+        with pytest.raises(ValueError):
+            trapezoid_ladder(lambda x: 1.0, 0.0, 1.0, k=2)
+
+
+class TestRombergTable:
+    def test_recurrence_identity(self):
+        """Every entry must satisfy Eq. (3) exactly."""
+        table = romberg_table(np.exp, 0.0, 1.0, k=6)
+        for m in range(1, 7):
+            for i in range(m, 7):
+                factor = 4.0**m
+                expected = (
+                    factor * table[i, m - 1] - table[i - 1, m - 1]
+                ) / (factor - 1.0)
+                assert table[i, m] == pytest.approx(expected, rel=1e-14)
+
+    def test_upper_triangle_untouched(self):
+        table = romberg_table(np.exp, 0.0, 1.0, k=4)
+        for i in range(5):
+            for m in range(i + 1, 5):
+                assert table[i, m] == 0.0
+
+    def test_diagonal_converges_fastest(self):
+        exact = np.e - 1.0
+        table = romberg_table(np.exp, 0.0, 1.0, k=6)
+        assert abs(table[6, 6] - exact) < abs(table[6, 0] - exact) * 1e-6
+
+
+class TestRomberg:
+    @pytest.mark.parametrize("k", [4, 7, 9])
+    def test_high_accuracy_on_smooth(self, k):
+        exact = np.e - 1.0
+        res = romberg(np.exp, 0.0, 1.0, k=k)
+        assert res.value == pytest.approx(exact, rel=1e-10)
+        assert res.neval == 2**k + 1
+
+    def test_cost_doubles_per_k(self):
+        """The paper: single-task work grows by 2x per k step."""
+        n7 = romberg(np.exp, 0.0, 1.0, k=7).neval
+        n9 = romberg(np.exp, 0.0, 1.0, k=9).neval
+        assert (n9 - 1) == 4 * (n7 - 1)
+
+    def test_exact_on_polynomials(self):
+        res = romberg(lambda x: x**5 - 2 * x, -1.0, 2.0, k=4)
+        exact = (2.0**6 - 1.0) / 6.0 - (4.0 - 1.0)
+        assert res.value == pytest.approx(exact, rel=1e-12)
+
+    def test_zero_width(self):
+        res = romberg(np.exp, 1.0, 1.0, k=5)
+        assert res.value == 0.0
+
+    def test_error_estimate_reasonable(self):
+        res = romberg(np.sin, 0.0, np.pi, k=6)
+        assert abs(res.value - 2.0) <= max(10.0 * res.abserr, 1e-12)
+
+    def test_higher_k_more_accurate(self):
+        """Higher accuracy 'without adding extra computational complexity'
+        per evaluation — the cost is in the 2^k evals."""
+        f = lambda x: 1.0 / (1.0 + x**2)
+        exact = np.arctan(3.0)
+        e5 = abs(romberg(f, 0.0, 3.0, k=5).value - exact)
+        e8 = abs(romberg(f, 0.0, 3.0, k=8).value - exact)
+        assert e8 < e5

@@ -1,0 +1,72 @@
+"""The experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["quickstart", "--gpus", "2"],
+            ["fig3", "--points", "4"],
+            ["fig4", "--gpus", "1", "--maxlens", "2", "4"],
+            ["table2"],
+            ["autotune", "--gpus", "2"],
+            ["spectrum", "--components", "rrc", "lines"],
+            ["fig5", "--gpus", "1"],
+            ["table1", "--ks", "7", "9"],
+            ["nei-solve", "--element", "6"],
+            ["fit", "--bins", "40"],
+        ],
+    )
+    def test_all_subcommands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+    def test_spectrum_rejects_bad_component(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["spectrum", "--components", "magic"])
+
+
+@pytest.mark.slow
+class TestCommands:
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart", "--gpus", "1", "--maxlen", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "serial APEC" in out
+        assert "speedup" in out
+
+    def test_autotune_runs(self, capsys):
+        assert main(["autotune", "--gpus", "2", "--tasks-per-point", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "chosen" in out
+
+    def test_nei_solve_runs(self, capsys):
+        assert main(["nei-solve", "--element", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "ion fractions" in out
+
+    def test_fit_runs(self, capsys):
+        assert main(["fit", "--bins", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted temperature" in out
+
+    def test_spectrum_runs(self, capsys):
+        assert main(["spectrum", "--bins", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "wavelength" in out
+
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "NEI" in out

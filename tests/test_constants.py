@@ -1,0 +1,62 @@
+"""Physical constants and unit conversions."""
+
+import math
+
+import pytest
+
+from repro import constants as c
+
+
+class TestValues:
+    def test_kt_at_1e7_kelvin(self):
+        """kT(1e7 K) ~ 0.86 keV — the canonical hot-plasma scale."""
+        assert c.kt_kev(1.0e7) == pytest.approx(0.8617, rel=1e-3)
+
+    def test_rydberg(self):
+        assert c.RYDBERG_KEV == pytest.approx(13.6057e-3, rel=1e-4)
+
+    def test_hc(self):
+        assert c.HC_KEV_ANGSTROM == pytest.approx(12.398, rel=1e-4)
+
+    def test_electron_rest_mass(self):
+        assert c.ME_C2_KEV == pytest.approx(511.0, rel=1e-3)
+
+    def test_boltzmann_consistency(self):
+        """K_B in keV/K and erg/K must agree through KEV_ERG."""
+        assert c.K_B_KEV * c.KEV_ERG == pytest.approx(c.K_B_ERG, rel=1e-9)
+
+
+class TestConversions:
+    def test_wavelength_energy_roundtrip(self):
+        for wl in (1.0, 12.398, 45.0):
+            e = c.wavelength_to_energy_kev(wl)
+            assert c.energy_to_wavelength_angstrom(e) == pytest.approx(wl)
+
+    def test_known_anchor(self):
+        """12.398 A <-> 1 keV."""
+        assert c.wavelength_to_energy_kev(12.39841984) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("fn", [c.wavelength_to_energy_kev, c.energy_to_wavelength_angstrom])
+    def test_positive_input_required(self, fn):
+        with pytest.raises(ValueError):
+            fn(0.0)
+        with pytest.raises(ValueError):
+            fn(-1.0)
+
+    def test_kt_requires_positive_temperature(self):
+        with pytest.raises(ValueError):
+            c.kt_kev(0.0)
+
+
+class TestMaxwellianNorm:
+    def test_scaling_with_temperature(self):
+        """sqrt(1/(2 pi m kT)): halves when T quadruples... i.e. ~T^-1/2."""
+        n1 = c.maxwellian_norm(1.0e6)
+        n4 = c.maxwellian_norm(4.0e6)
+        assert n1 / n4 == pytest.approx(2.0, rel=1e-12)
+
+    def test_magnitude(self):
+        # 1/sqrt(2 pi m_e k T) at 1e7 K in CGS ~ 1/sqrt(7.9e-37) ~ 1.1e18.
+        val = c.maxwellian_norm(1.0e7)
+        expected = 1.0 / math.sqrt(2.0 * math.pi * c.ME_G * c.K_B_ERG * 1.0e7)
+        assert val == pytest.approx(expected, rel=1e-12)
