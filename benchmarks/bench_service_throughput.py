@@ -1,0 +1,143 @@
+"""Service-layer throughput: broker + cache + coalescer over the runner.
+
+This bench goes beyond the paper's batch experiments toward the
+ROADMAP's serving target: a Zipf-skewed Poisson trace is played through
+the admission broker at increasing offered load, and the report shows
+how the reuse machinery (spectrum cache, in-flight coalescing) holds
+completed-request throughput far above the raw compute capacity of the
+worker nodes — while backpressure keeps the queue bounded and no
+request is ever lost.
+
+Asserted shape:
+- every request completes (zero lost) at every offered load;
+- the *reuse mix* shifts with offered load: spread-out arrivals land as
+  cache hits, bursty arrivals overlap in flight and coalesce instead
+  (total reuse is fixed by the Zipf population, not by the rate);
+- sustained throughput (completions / virtual second) rises with
+  offered load despite fixed compute capacity — the reuse win;
+- with reuse disabled-by-population (every request unique, uniform),
+  throughput saturates at compute capacity and backpressure engages.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.bench.reporting import format_table
+from repro.service import ServiceConfig, TrafficSpec, generate_trace, run_trace
+
+RATES = (5.0, 20.0, 80.0)  # offered requests / virtual second
+
+
+def play(rate: float, pattern: str = "zipf", n_distinct: int = 32, **config_over):
+    trace = generate_trace(
+        TrafficSpec(
+            n_requests=150,
+            seed=7,
+            mean_interarrival_s=1.0 / rate,
+            pattern=pattern,
+            n_distinct=n_distinct,
+        )
+    )
+    broker, tickets = run_trace(trace, ServiceConfig(**config_over))
+    return broker.report(), tickets
+
+
+def test_service_throughput_under_zipf_load(benchmark, results_dir):
+    def sweep():
+        return {rate: play(rate) for rate in RATES}
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    reuse = {}
+    hits = {}
+    coalesces = {}
+    throughput = {}
+    for rate, (report, _tickets) in measured.items():
+        served = report["completions"]
+        hits[rate] = sum(s["cache_hits"] for s in report["lanes"].values())
+        coalesces[rate] = sum(s["coalesced"] for s in report["lanes"].values())
+        reuse[rate] = (hits[rate] + coalesces[rate]) / served
+        throughput[rate] = served / report["virtual_time_s"]
+        rows.append(
+            [
+                f"{rate:.0f}",
+                served,
+                report["lost"],
+                report["rejections"],
+                hits[rate],
+                coalesces[rate],
+                f"{reuse[rate]:.1%}",
+                f"{report['queue_depth_mean']:.1f}",
+                f"{throughput[rate]:.1f}",
+            ]
+        )
+    text = format_table(
+        ["offered req/s", "served", "lost", "rejected", "cache hits",
+         "coalesced", "reuse", "mean depth", "served req/s"],
+        rows,
+        title="Service throughput — 150 requests, Zipf(1.1) over 32 points",
+    )
+    emit(results_dir, "service_throughput", text)
+
+    for rate, (report, _tickets) in measured.items():
+        assert report["lost"] == 0, f"lost requests at rate {rate}"
+        assert report["completions"] == 150
+    # The reuse mix shifts from cache hits to in-flight coalescing as the
+    # arrival process compresses; throughput rises with offered load.
+    assert hits[5.0] > hits[80.0]
+    assert coalesces[80.0] > coalesces[5.0]
+    assert throughput[80.0] > throughput[5.0]
+    # At every rate, most requests are served without a hybrid run.
+    assert min(reuse.values()) > 0.5
+
+
+def test_unique_traffic_saturates_and_backpressures(results_dir):
+    # Every request unique: no reuse available, tiny queue -> the broker
+    # must reject (and retries must recover) rather than buffer unboundedly.
+    report, tickets = play(
+        80.0,
+        pattern="uniform",
+        n_distinct=150,
+        queue_capacity=8,
+        n_service_workers=1,
+    )
+    assert report["lost"] == 0
+    assert report["rejections"] > 0
+    assert report["retries"] >= report["rejections"] // 2
+    assert all(t is not None and t.done for t in tickets)
+    assert report["queue_depth_max"] <= 8
+    text = format_table(
+        ["quantity", "value"],
+        [
+            ["served", report["completions"]],
+            ["rejections", report["rejections"]],
+            ["retries", report["retries"]],
+            ["max queue depth", report["queue_depth_max"]],
+            ["reuse", f"{report['cache']['hit_ratio']:.1%}"],
+        ],
+        title="Unique uniform traffic, queue capacity 8 — pure backpressure",
+    )
+    emit(results_dir, "service_backpressure", text)
+
+
+def test_priority_lane_latency_ordering(results_dir):
+    # Interactive requests must see lower queueing latency than survey
+    # traffic under contention.
+    report, _ = play(40.0)
+    inter = report["lanes"]["interactive"]
+    survey = report["lanes"]["survey"]
+    assert inter["lost"] == 0 and survey["lost"] == 0
+    if inter["computed"] >= 3 and survey["computed"] >= 3:
+        assert inter["latency_p95_s"] <= survey["latency_p95_s"] * 1.25
+    text = format_table(
+        ["lane", "mean latency (s)", "p95 latency (s)"],
+        [
+            ["interactive", f"{inter['latency_mean_s']:.3f}",
+             f"{inter['latency_p95_s']:.3f}"],
+            ["survey", f"{survey['latency_mean_s']:.3f}",
+             f"{survey['latency_p95_s']:.3f}"],
+        ],
+        title="Per-lane latency under contention (40 req/s)",
+    )
+    emit(results_dir, "service_lanes", text)

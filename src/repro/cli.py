@@ -10,10 +10,14 @@
     python -m repro spectrum --temperature 1e7 --bins 120
     python -m repro nei-solve --element 8 --temperature 1e6
     python -m repro fit --temperature 1.05e7
+    python -m repro serve --trace zipf --requests 200 --seed 7
+    python -m repro submit --temperature 1e7 --repeat 2
 
 Each subcommand prints the same tables the corresponding benchmark
 produces; the benchmarks remain the canonical reproduction (they assert
-shapes), the CLI is for interactive exploration.
+shapes), the CLI is for interactive exploration.  ``serve`` and
+``submit`` exercise the service layer (broker + cache + coalescer) on
+top of the hybrid runner.
 """
 
 from __future__ import annotations
@@ -80,6 +84,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bins", type=int, default=60)
     p.add_argument("--components", nargs="+", default=["rrc"],
                    choices=["rrc", "lines", "brems"])
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (one JSON object)")
+
+    p = sub.add_parser("serve", help="play a traffic trace through the service")
+    p.add_argument("--trace", default="zipf", choices=["zipf", "uniform"])
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--rate", type=float, default=20.0,
+                   help="mean arrival rate (requests per virtual second)")
+    p.add_argument("--distinct", type=int, default=32,
+                   help="distinct grid points in the request population")
+    p.add_argument("--zipf-s", type=float, default=1.1)
+    p.add_argument("--workers", type=int, default=2,
+                   help="service workers (one hybrid node each)")
+    p.add_argument("--queue-capacity", type=int, default=32)
+    p.add_argument("--batch-max", type=int, default=4)
+    p.add_argument("--gpus", type=int, default=1, help="GPUs per worker node")
+    p.add_argument("--cache-entries", type=int, default=256)
+    p.add_argument("--cache-mb", type=float, default=32.0)
+    p.add_argument("--ttl", type=float, default=3600.0,
+                   help="cache TTL in virtual seconds")
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("submit", help="one-shot request through broker+cache")
+    p.add_argument("--temperature", type=float, default=1.0e7)
+    p.add_argument("--density", type=float, default=1.0)
+    p.add_argument("--z-max", type=int, default=8)
+    p.add_argument("--bins", type=int, default=64)
+    p.add_argument("--rule", default="simpson", choices=["simpson", "romberg"])
+    p.add_argument("--tolerance", type=float, default=1.0e-6)
+    p.add_argument("--lane", default="interactive",
+                   choices=["interactive", "survey"])
+    p.add_argument("--repeat", type=int, default=2,
+                   help="submissions of the identical request; the second "
+                        "and later ones demonstrate the cache")
+    p.add_argument("--json", action="store_true")
 
     return parser
 
@@ -205,6 +245,22 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
     spec = apec.compute(
         GridPoint(temperature_k=args.temperature, ne_cm3=args.density)
     ).normalized()
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "temperature_k": args.temperature,
+                    "ne_cm3": args.density,
+                    "components": list(args.components),
+                    "n_bins": args.bins,
+                    "wavelength_a": [float(w) for w in grid.wavelength_centers],
+                    "flux": [float(v) for v in spec.values],
+                }
+            )
+        )
+        return 0
     rows = [
         [f"{wl:.2f}", f"{v:.4f}", "#" * int(round(v * 40))]
         for wl, v in zip(grid.wavelength_centers, spec.values)
@@ -335,6 +391,162 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, TrafficSpec, generate_trace, run_trace
+    from repro.service.broker import _default_hybrid
+
+    from dataclasses import replace
+
+    trace = generate_trace(
+        TrafficSpec(
+            n_requests=args.requests,
+            seed=args.seed,
+            mean_interarrival_s=1.0 / args.rate,
+            pattern=args.trace,
+            zipf_s=args.zipf_s,
+            n_distinct=args.distinct,
+        )
+    )
+    config = ServiceConfig(
+        queue_capacity=args.queue_capacity,
+        n_service_workers=args.workers,
+        batch_max=args.batch_max,
+        cache_max_entries=args.cache_entries,
+        cache_max_bytes=int(args.cache_mb * (1 << 20)),
+        cache_ttl_s=args.ttl,
+        hybrid=replace(_default_hybrid(), n_gpus=args.gpus),
+    )
+    broker, _tickets = run_trace(trace, config)
+    report = broker.report()
+    if args.json:
+        import json
+
+        print(json.dumps(report))
+        return 0
+    cache = report["cache"]
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["requests issued", report["arrivals"]],
+                ["requests completed", report["completions"]],
+                ["requests lost", report["lost"]],
+                ["rejections (backpressure)", report["rejections"]],
+                ["retries", report["retries"]],
+                ["coalesced joins", report["coalescer"]["coalesced"]],
+                ["cache hit ratio", f"{cache['hit_ratio']:.1%}"],
+                ["virtual time (s)", f"{report['virtual_time_s']:.2f}"],
+            ],
+            title=(
+                f"Service run — {args.requests} requests, {args.trace} trace, "
+                f"seed {args.seed}"
+            ),
+        )
+    )
+    rows = []
+    for lane, s in report["lanes"].items():
+        rows.append(
+            [
+                lane,
+                s["arrivals"],
+                s["cache_hits"],
+                s["coalesced"],
+                s["computed"],
+                s["rejections"],
+                f"{s['latency_mean_s']:.3f}",
+                f"{s['latency_p95_s']:.3f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["lane", "reqs", "cache", "coalesced", "computed", "rejected",
+             "mean lat (s)", "p95 lat (s)"],
+            rows,
+            title="Per-lane outcomes (virtual seconds)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["cache entries / bytes", f"{cache['entries']} / {cache['bytes_stored']}"],
+                ["cache evictions / expirations",
+                 f"{cache['evictions']} / {cache['expirations']}"],
+                ["mean / max queue depth",
+                 f"{report['queue_depth_mean']:.2f} / {report['queue_depth_max']}"],
+                ["hybrid batches (mean size)",
+                 f"{report['batches']} ({report['batch_size_mean']:.1f})"],
+                ["tasks on GPU", f"{report['gpu_task_ratio']:.1%}"],
+            ],
+            title="Cache, queue, and dispatch",
+        )
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.cluster.simclock import SimClock
+    from repro.service import ServiceConfig, SpectrumBroker, SpectrumRequest
+
+    if args.repeat < 1:
+        raise SystemExit("--repeat must be >= 1")
+    request = SpectrumRequest(
+        temperature_k=args.temperature,
+        ne_cm3=args.density,
+        z_max=args.z_max,
+        n_bins=args.bins,
+        rule=args.rule,
+        tolerance=args.tolerance,
+    )
+    clock = SimClock()
+    broker = SpectrumBroker(clock, ServiceConfig())
+    broker.start()
+    outcomes = []
+    for _ in range(args.repeat):
+        ticket = broker.submit(request, lane=args.lane)
+        clock.run()  # drain this submission to completion
+        outcomes.append(
+            {
+                "cached": ticket.cached,
+                "latency_s": ticket.latency_s,
+                "peak_flux": float(ticket.result.max()),
+                "total_flux": float(ticket.result.sum()),
+            }
+        )
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "request": request.canonical(),
+                    "key": request.key,
+                    "submissions": outcomes,
+                }
+            )
+        )
+        return 0
+    rows = [
+        [
+            i + 1,
+            str(o["cached"]).lower(),
+            f"{o['latency_s']:.3f}",
+            f"{o['peak_flux']:.4g}",
+        ]
+        for i, o in enumerate(outcomes)
+    ]
+    print(
+        format_table(
+            ["submission", "cached", "latency (s)", "peak flux"],
+            rows,
+            title=f"submit {request.canonical()}  (key {request.key[:12]})",
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "fig3": _cmd_fig3,
@@ -346,6 +558,8 @@ _COMMANDS = {
     "spectrum": _cmd_spectrum,
     "nei-solve": _cmd_nei_solve,
     "fit": _cmd_fit,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -140,9 +140,37 @@ class HybridRunner:
     # ------------------------------------------------------------------
     def run(self, tasks: list[Task]) -> RunResult:
         """Simulate the full hybrid execution; returns the run result."""
-        cfg = self.config
         clock = SimClock()
-        metrics = MetricsLedger(cfg.n_gpus, cfg.max_queue_length)
+        handle = self.spawn_batch(tasks, clock)
+        clock.run()
+        if handle.alive:
+            # The event heap drained with ranks still blocked: a device
+            # died with tasks in flight and their waiters are stranded.
+            raise RuntimeError(
+                "hybrid run stalled: stranded waiters leaked queue slots"
+            )
+        result = handle.result
+        assert isinstance(result, RunResult)
+        return result
+
+    def spawn_batch(self, tasks: list[Task], clock: SimClock, name: str = "batch"):
+        """Start one batch as a process on an *existing* clock.
+
+        This is the reusable per-batch entry point the service broker
+        dispatches through: the batch runs embedded in the caller's
+        simulation (its ranks, scheduler, and GPUs live on the shared
+        clock), and the returned :class:`ProcessHandle` can be yielded
+        from another process to join.  ``handle.result`` is the batch's
+        :class:`RunResult`; its ``makespan_s`` is the batch's *elapsed*
+        virtual time, not the absolute clock reading.
+        """
+        return clock.spawn(self._batch_process(tasks, clock), name=name)
+
+    def _batch_process(self, tasks: list[Task], clock: SimClock) -> Generator:
+        """Generator process executing one batch; returns its RunResult."""
+        cfg = self.config
+        start = clock.now
+        metrics = MetricsLedger(cfg.n_gpus, cfg.max_queue_length, start_time=start)
         specs = cfg.devices or tuple(cfg.device for _ in range(cfg.n_gpus))
         if cfg.scheduler_kind == "client-server":
             sched: SharedMemoryScheduler = ClientServerScheduler(
@@ -169,6 +197,7 @@ class HybridRunner:
 
         per_worker = self._partition(tasks)
         stagger = self._stagger()
+        handles = []
         for rank, my_tasks in enumerate(per_worker):
             if cfg.async_depth > 0:
                 gen = self._worker_async(
@@ -178,10 +207,12 @@ class HybridRunner:
                 gen = self._worker_sync(
                     rank, my_tasks, clock, sched, gpus, metrics, spectra, stagger
                 )
-            clock.spawn(gen, name=f"rank{rank}")
+            handles.append(clock.spawn(gen, name=f"rank{rank}"))
 
-        makespan = clock.run()
-        metrics.finalize(makespan)
+        for handle in handles:
+            yield handle
+        makespan = clock.now - start
+        metrics.finalize(clock.now)
         sched.validate()
         if sched.segment.total_load() != 0:
             raise RuntimeError("scheduler leaked queue slots at end of run")

@@ -42,11 +42,17 @@ class TaskEvent:
 class MetricsLedger:
     """Accumulates scheduling statistics over one simulated run."""
 
-    def __init__(self, n_devices: int, max_queue_length: int) -> None:
+    def __init__(
+        self, n_devices: int, max_queue_length: int, start_time: float = 0.0
+    ) -> None:
         if n_devices < 0 or max_queue_length < 0:
             raise ValueError("negative sizes")
         self.n_devices = n_devices
         self.max_queue_length = max_queue_length
+        #: Virtual time the run began — non-zero for batches embedded in a
+        #: larger simulation (the service broker), so residency intervals
+        #: open at the batch start rather than at t = 0.
+        self.start_time = start_time
         self.gpu_tasks = np.zeros(max(1, n_devices), dtype=np.int64)
         self.cpu_tasks = 0
         # Load residency: residency[d, L] = virtual seconds device d spent
@@ -54,7 +60,7 @@ class MetricsLedger:
         self.load_residency = np.zeros(
             (max(1, n_devices), max_queue_length + 1), dtype=np.float64
         )
-        self._last_change = np.zeros(max(1, n_devices), dtype=np.float64)
+        self._last_change = np.full(max(1, n_devices), start_time, dtype=np.float64)
         self._current_load = np.zeros(max(1, n_devices), dtype=np.int64)
         self.task_waits: list[float] = []
         self.task_services: list[float] = []

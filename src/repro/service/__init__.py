@@ -1,0 +1,37 @@
+"""The spectral-computation service layer.
+
+Everything between a client and the hybrid runner: typed requests with a
+canonical content address (:mod:`repro.service.requests`), an LRU + TTL
+spectrum cache (:mod:`repro.service.cache`), in-flight request
+coalescing (:mod:`repro.service.coalesce`), the bounded admission broker
+with priority lanes and backpressure (:mod:`repro.service.broker`),
+service telemetry ledgers (:mod:`repro.service.telemetry`), and a
+deterministic synthetic traffic generator (:mod:`repro.service.loadgen`).
+
+The whole layer runs on the same deterministic :class:`SimClock` the
+hybrid runner uses, so a traffic trace plays back identically run after
+run — latency percentiles included.
+"""
+
+from repro.service.broker import ServiceConfig, SpectrumBroker, Ticket, run_trace
+from repro.service.cache import CacheStats, SpectrumCache
+from repro.service.coalesce import RequestCoalescer
+from repro.service.loadgen import Arrival, TrafficSpec, generate_trace
+from repro.service.requests import SpectrumRequest, compile_tasks
+from repro.service.telemetry import ServiceTelemetry
+
+__all__ = [
+    "Arrival",
+    "CacheStats",
+    "RequestCoalescer",
+    "ServiceConfig",
+    "ServiceTelemetry",
+    "SpectrumBroker",
+    "SpectrumCache",
+    "SpectrumRequest",
+    "Ticket",
+    "TrafficSpec",
+    "compile_tasks",
+    "generate_trace",
+    "run_trace",
+]

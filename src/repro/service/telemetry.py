@@ -1,0 +1,194 @@
+"""Service telemetry: per-request, per-lane, and per-batch ledgers.
+
+The same accounting style as :class:`repro.core.metrics.MetricsLedger`
+(time-weighted residency closed at interval edges, counters advanced by
+hooks), lifted one level up: the unit here is a *request*, not a task.
+Per-batch :class:`~repro.core.metrics.RunResult` ledgers from the hybrid
+runner are folded in so one report spans the whole stack — admission,
+queueing, caching, and device placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import RunResult
+
+__all__ = ["LaneStats", "ServiceTelemetry"]
+
+
+@dataclass
+class LaneStats:
+    """Request counters and latency samples of one priority lane."""
+
+    arrivals: int = 0
+    completions: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    computed: int = 0
+    rejections: int = 0
+    retries: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def lost(self) -> int:
+        """Requests that arrived but never completed."""
+        return self.arrivals - self.completions
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    def mean_latency_s(self) -> float:
+        return float(np.mean(self.latencies_s)) if self.latencies_s else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "arrivals": self.arrivals,
+            "completions": self.completions,
+            "lost": self.lost,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "computed": self.computed,
+            "rejections": self.rejections,
+            "retries": self.retries,
+            "latency_mean_s": self.mean_latency_s(),
+            "latency_p50_s": self.latency_percentile(50.0),
+            "latency_p95_s": self.latency_percentile(95.0),
+            "latency_max_s": max(self.latencies_s, default=0.0),
+        }
+
+
+class ServiceTelemetry:
+    """Accumulates service statistics over one simulated serving run."""
+
+    def __init__(self, lanes: tuple[str, ...] = ("interactive", "survey")) -> None:
+        if not lanes:
+            raise ValueError("need at least one lane")
+        self.lanes: dict[str, LaneStats] = {lane: LaneStats() for lane in lanes}
+        # Queue-depth residency (all lanes pooled): virtual seconds the
+        # admission queue spent at each observed depth.
+        self._depth_residency: dict[int, float] = {}
+        self._depth = 0
+        self._depth_since = 0.0
+        self.max_depth = 0
+        # Per-batch records folded from the hybrid runner's ledgers.
+        self.batch_sizes: list[int] = []
+        self.batch_makespans_s: list[float] = []
+        self.gpu_tasks = 0
+        self.cpu_tasks = 0
+        self.end_time = 0.0
+
+    def _lane(self, lane: str) -> LaneStats:
+        try:
+            return self.lanes[lane]
+        except KeyError:
+            raise ValueError(
+                f"unknown lane {lane!r}; expected one of {tuple(self.lanes)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Hooks called by the broker
+    # ------------------------------------------------------------------
+    def on_arrival(self, lane: str) -> None:
+        self._lane(lane).arrivals += 1
+
+    def on_rejection(self, lane: str) -> None:
+        self._lane(lane).rejections += 1
+
+    def on_retry(self, lane: str) -> None:
+        self._lane(lane).retries += 1
+
+    def on_completion(
+        self, lane: str, latency_s: float, *, cached: bool, coalesced: bool
+    ) -> None:
+        stats = self._lane(lane)
+        stats.completions += 1
+        stats.latencies_s.append(latency_s)
+        if cached:
+            stats.cache_hits += 1
+        elif coalesced:
+            stats.coalesced += 1
+        else:
+            stats.computed += 1
+
+    def on_queue_depth(self, depth: int, now: float) -> None:
+        """Close the residency interval at the old depth, open the new."""
+        if depth < 0:
+            raise ValueError("queue depth cannot be negative")
+        self._depth_residency[self._depth] = (
+            self._depth_residency.get(self._depth, 0.0) + now - self._depth_since
+        )
+        self._depth = depth
+        self._depth_since = now
+        self.max_depth = max(self.max_depth, depth)
+
+    def on_batch(self, result: RunResult, n_requests: int) -> None:
+        """Fold one dispatched batch's hybrid ledger into the totals."""
+        self.batch_sizes.append(n_requests)
+        self.batch_makespans_s.append(result.makespan_s)
+        self.gpu_tasks += int(result.metrics.gpu_tasks.sum())
+        self.cpu_tasks += result.metrics.cpu_tasks
+
+    def finalize(self, now: float) -> None:
+        """Close the open residency interval at the end of the run."""
+        self.on_queue_depth(self._depth, now)
+        self.end_time = now
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def arrivals(self) -> int:
+        return sum(s.arrivals for s in self.lanes.values())
+
+    @property
+    def completions(self) -> int:
+        return sum(s.completions for s in self.lanes.values())
+
+    @property
+    def lost(self) -> int:
+        return self.arrivals - self.completions
+
+    @property
+    def rejections(self) -> int:
+        return sum(s.rejections for s in self.lanes.values())
+
+    @property
+    def retries(self) -> int:
+        return sum(s.retries for s in self.lanes.values())
+
+    def mean_queue_depth(self) -> float:
+        """Time-weighted mean admission-queue depth."""
+        total = sum(self._depth_residency.values())
+        if total <= 0.0:
+            return 0.0
+        weighted = sum(d * t for d, t in self._depth_residency.items())
+        return weighted / total
+
+    def gpu_task_ratio(self) -> float:
+        total = self.gpu_tasks + self.cpu_tasks
+        return self.gpu_tasks / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "arrivals": self.arrivals,
+            "completions": self.completions,
+            "lost": self.lost,
+            "rejections": self.rejections,
+            "retries": self.retries,
+            "queue_depth_mean": self.mean_queue_depth(),
+            "queue_depth_max": self.max_depth,
+            "batches": len(self.batch_sizes),
+            "batch_size_mean": (
+                float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+            ),
+            "gpu_tasks": self.gpu_tasks,
+            "cpu_tasks": self.cpu_tasks,
+            "gpu_task_ratio": self.gpu_task_ratio(),
+            "virtual_time_s": self.end_time,
+            "lanes": {lane: s.as_dict() for lane, s in self.lanes.items()},
+        }

@@ -165,3 +165,61 @@ class TestPartitioning:
         priced = cost.cpu_task_fallback_s(t.n_integrals, t.cpu_evals_per_integral)
         default = cost.cpu_task_fallback_s(t.n_integrals)
         assert priced != default
+
+
+class TestEmbeddedBatch:
+    """spawn_batch: the service broker's per-batch entry point."""
+
+    def test_embedded_batch_matches_standalone_run(self, mini_tasks):
+        from repro.cluster.simclock import SimClock
+
+        direct = HybridRunner(mini_config()).run(mini_tasks)
+        clock = SimClock()
+        results = []
+
+        def driver():
+            yield 123.0  # batch starts mid-simulation, not at t = 0
+            handle = HybridRunner(mini_config()).spawn_batch(mini_tasks, clock)
+            results.append((yield handle))
+
+        clock.spawn(driver())
+        clock.run()
+        embedded = results[0]
+        assert embedded.makespan_s == pytest.approx(direct.makespan_s, rel=1e-12)
+        assert embedded.metrics.total_tasks == direct.metrics.total_tasks
+        assert embedded.metrics.start_time == pytest.approx(123.0)
+        # Residency intervals open at the batch start, so totals span the
+        # batch's own makespan rather than the absolute clock reading.
+        assert embedded.metrics.load_residency[0].sum() == pytest.approx(
+            embedded.makespan_s, rel=1e-9
+        )
+
+    def test_concurrent_batches_do_not_perturb_each_other(self, mini_tasks):
+        from repro.cluster.simclock import SimClock
+
+        direct = HybridRunner(mini_config()).run(mini_tasks)
+        clock = SimClock()
+        results = []
+
+        def driver(delay):
+            yield delay
+            handle = HybridRunner(mini_config()).spawn_batch(mini_tasks, clock)
+            results.append((yield handle))
+
+        clock.spawn(driver(0.0))
+        clock.spawn(driver(1.5))
+        clock.run()
+        assert len(results) == 2
+        for res in results:
+            # Each batch owns its node, so interleaved event processing
+            # must not change its virtual timing.
+            assert res.makespan_s == pytest.approx(direct.makespan_s, rel=1e-12)
+
+    def test_run_result_handle_exposes_result(self, mini_tasks):
+        from repro.cluster.simclock import SimClock
+
+        clock = SimClock()
+        handle = HybridRunner(mini_config()).spawn_batch(mini_tasks, clock)
+        clock.run()
+        assert handle.result is not None
+        assert handle.result.n_tasks == len(mini_tasks)

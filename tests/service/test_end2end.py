@@ -1,0 +1,101 @@
+"""Seeded loadgen -> broker -> HybridRunner, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.service import ServiceConfig, TrafficSpec, generate_trace, run_trace
+from repro.service.requests import ion_emission
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    trace = generate_trace(TrafficSpec(n_requests=60, seed=7, n_distinct=8))
+    return trace, run_trace(trace)
+
+
+class TestEndToEnd:
+    def test_zero_lost_requests(self, small_run):
+        _, (broker, tickets) = small_run
+        assert broker.telemetry.lost == 0
+        assert broker.telemetry.completions == 60
+        assert all(t is not None and t.done for t in tickets)
+
+    def test_cache_and_coalescer_exercised(self, small_run):
+        _, (broker, _) = small_run
+        assert broker.cache.stats.hits > 0
+        assert broker.coalescer.coalesced > 0
+        # Unique hybrid runs never exceed the distinct population.
+        assert broker.cache.stats.insertions <= 8
+
+    def test_results_match_direct_computation(self, small_run):
+        trace, (broker, tickets) = small_run
+        for arrival, ticket in zip(trace[:10], tickets[:10]):
+            request = arrival.request
+            expected = sum(
+                ion_emission(ion, broker.db.n_levels(ion), request)
+                for ion in broker.db.ions
+                if ion.z <= request.z_max
+            )
+            np.testing.assert_allclose(ticket.result, expected, rtol=1e-12)
+
+    def test_latencies_nonnegative_and_finite(self, small_run):
+        _, (broker, tickets) = small_run
+        for t in tickets:
+            assert 0.0 <= t.latency_s < np.inf
+        assert broker.telemetry.end_time > 0.0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_reports(self):
+        spec = TrafficSpec(n_requests=40, seed=13, n_distinct=6)
+
+        def run():
+            broker, tickets = run_trace(generate_trace(spec))
+            return broker.report(), [t.latency_s for t in tickets]
+
+        (report_a, lat_a), (report_b, lat_b) = run(), run()
+        assert report_a == report_b
+        assert lat_a == lat_b
+
+    def test_seed_changes_the_run(self):
+        a, _ = run_trace(generate_trace(TrafficSpec(n_requests=40, seed=1)))
+        b, _ = run_trace(generate_trace(TrafficSpec(n_requests=40, seed=2)))
+        assert a.report() != b.report()
+
+
+class TestBackpressureUnderLoad:
+    def test_overload_rejects_but_loses_nothing(self):
+        # A burst far above service capacity with a tiny queue: rejections
+        # must occur, retries must recover every one of them.
+        trace = generate_trace(
+            TrafficSpec(
+                n_requests=80,
+                seed=3,
+                mean_interarrival_s=0.001,
+                n_distinct=40,
+                pattern="uniform",
+            )
+        )
+        config = ServiceConfig(queue_capacity=4, n_service_workers=1, batch_max=2)
+        broker, tickets = run_trace(trace, config)
+        assert broker.telemetry.rejections > 0
+        assert broker.telemetry.retries > 0
+        assert broker.telemetry.lost == 0
+        assert all(t is not None and t.done for t in tickets)
+
+    def test_ttl_expiry_forces_recomputation(self):
+        # Two widely spaced hits on one key with a short TTL: the second
+        # must recompute (expiration), not hit.
+        trace = generate_trace(
+            TrafficSpec(
+                n_requests=2,
+                seed=5,
+                mean_interarrival_s=30.0,
+                n_distinct=1,
+            )
+        )
+        config = ServiceConfig(cache_ttl_s=5.0)
+        broker, tickets = run_trace(trace, config)
+        assert broker.cache.stats.expirations >= 1
+        assert broker.cache.stats.insertions == 2
+        assert all(t.done and not t.cached for t in tickets)

@@ -1,0 +1,88 @@
+"""Traffic generation: determinism, Poisson arrivals, Zipf skew."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.service.loadgen import TrafficSpec, generate_trace, zipf_weights
+
+
+class TestDeterminism:
+    def test_same_spec_same_trace(self):
+        a = generate_trace(TrafficSpec(n_requests=50, seed=11))
+        b = generate_trace(TrafficSpec(n_requests=50, seed=11))
+        assert [x.t for x in a] == [x.t for x in b]
+        assert [x.request.key for x in a] == [x.request.key for x in b]
+        assert [x.lane for x in a] == [x.lane for x in b]
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(TrafficSpec(n_requests=50, seed=11))
+        b = generate_trace(TrafficSpec(n_requests=50, seed=12))
+        assert [x.t for x in a] != [x.t for x in b]
+
+
+class TestShape:
+    def test_times_strictly_ascending(self):
+        trace = generate_trace(TrafficSpec(n_requests=100, seed=3))
+        times = [x.t for x in trace]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_interarrival_close_to_spec(self):
+        spec = TrafficSpec(n_requests=2000, seed=5, mean_interarrival_s=0.1)
+        trace = generate_trace(spec)
+        gaps = np.diff([0.0] + [x.t for x in trace])
+        assert np.mean(gaps) == pytest.approx(0.1, rel=0.1)
+
+    def test_population_bounded(self):
+        spec = TrafficSpec(n_requests=100, seed=5, n_distinct=4)
+        keys = {x.request.key for x in generate_trace(spec)}
+        assert len(keys) <= 4
+
+    def test_lanes_follow_fraction(self):
+        spec = TrafficSpec(n_requests=1000, seed=5, interactive_fraction=0.25)
+        lanes = Counter(x.lane for x in generate_trace(spec))
+        assert lanes["interactive"] == pytest.approx(250, abs=60)
+        assert set(lanes) <= {"interactive", "survey"}
+
+
+class TestZipf:
+    def test_weights_normalized_and_monotone(self):
+        w = zipf_weights(16, 1.1)
+        assert w.sum() == pytest.approx(1.0)
+        assert all(b < a for a, b in zip(w, w[1:]))
+
+    def test_zipf_skews_toward_low_ranks(self):
+        spec = TrafficSpec(n_requests=1000, seed=5, pattern="zipf", zipf_s=1.3)
+        counts = Counter(x.request.key for x in generate_trace(spec))
+        top = counts.most_common(1)[0][1]
+        assert top > 1000 / spec.n_distinct * 2  # far above uniform share
+
+    def test_uniform_pattern_flatter_than_zipf(self):
+        base = dict(n_requests=1000, seed=5, n_distinct=16)
+        zipf = Counter(
+            x.request.key
+            for x in generate_trace(TrafficSpec(pattern="zipf", zipf_s=1.3, **base))
+        )
+        uniform = Counter(
+            x.request.key for x in generate_trace(TrafficSpec(pattern="uniform", **base))
+        )
+        assert max(zipf.values()) > max(uniform.values())
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_requests": 0},
+            {"mean_interarrival_s": 0.0},
+            {"pattern": "burst"},
+            {"zipf_s": 0.0},
+            {"n_distinct": 0},
+            {"interactive_fraction": 1.5},
+            {"t_min_k": 0.0},
+        ],
+    )
+    def test_rejects_bad_specs(self, kwargs):
+        with pytest.raises(ValueError):
+            TrafficSpec(**kwargs)

@@ -1,0 +1,82 @@
+"""Service telemetry ledgers."""
+
+import pytest
+
+from repro.core.metrics import MetricsLedger, RunResult
+from repro.service.telemetry import ServiceTelemetry
+
+
+def batch_result(gpu=3, cpu=1, makespan=2.0) -> RunResult:
+    m = MetricsLedger(1, 4)
+    for _ in range(gpu):
+        m.on_load_change(0, 0, 1, 0.0)
+        m.on_load_change(0, 1, 0, 0.5)
+    for _ in range(cpu):
+        m.on_cpu_task()
+    m.finalize(makespan)
+    return RunResult(makespan_s=makespan, metrics=m, n_tasks=gpu + cpu)
+
+
+class TestLanes:
+    def test_unknown_lane_raises(self):
+        t = ServiceTelemetry(("interactive",))
+        with pytest.raises(ValueError, match="unknown lane"):
+            t.on_arrival("survey")
+
+    def test_lost_is_arrivals_minus_completions(self):
+        t = ServiceTelemetry()
+        for _ in range(3):
+            t.on_arrival("survey")
+        t.on_completion("survey", 1.0, cached=False, coalesced=False)
+        assert t.lanes["survey"].lost == 2
+        assert t.lost == 2
+
+    def test_completion_classification(self):
+        t = ServiceTelemetry()
+        t.on_arrival("interactive")
+        t.on_arrival("interactive")
+        t.on_arrival("interactive")
+        t.on_completion("interactive", 0.0, cached=True, coalesced=False)
+        t.on_completion("interactive", 1.0, cached=False, coalesced=True)
+        t.on_completion("interactive", 2.0, cached=False, coalesced=False)
+        s = t.lanes["interactive"]
+        assert (s.cache_hits, s.coalesced, s.computed) == (1, 1, 1)
+        assert s.mean_latency_s() == pytest.approx(1.0)
+        assert s.latency_percentile(50.0) == pytest.approx(1.0)
+
+
+class TestQueueDepth:
+    def test_time_weighted_mean(self):
+        t = ServiceTelemetry()
+        t.on_queue_depth(2, now=1.0)  # depth 0 over [0, 1)
+        t.on_queue_depth(0, now=3.0)  # depth 2 over [1, 3)
+        t.finalize(now=4.0)  # depth 0 over [3, 4)
+        # (0*1 + 2*2 + 0*1) / 4 = 1.0
+        assert t.mean_queue_depth() == pytest.approx(1.0)
+        assert t.max_depth == 2
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceTelemetry().on_queue_depth(-1, now=0.0)
+
+
+class TestBatchFold:
+    def test_folds_hybrid_ledgers(self):
+        t = ServiceTelemetry()
+        t.on_batch(batch_result(gpu=3, cpu=1), n_requests=2)
+        t.on_batch(batch_result(gpu=1, cpu=0), n_requests=1)
+        assert t.gpu_tasks == 4 and t.cpu_tasks == 1
+        assert t.gpu_task_ratio() == pytest.approx(0.8)
+        assert t.batch_sizes == [2, 1]
+
+    def test_as_dict_round_trips_to_json(self):
+        import json
+
+        t = ServiceTelemetry()
+        t.on_arrival("interactive")
+        t.on_completion("interactive", 0.5, cached=False, coalesced=False)
+        t.on_batch(batch_result(), n_requests=1)
+        t.finalize(now=1.0)
+        d = json.loads(json.dumps(t.as_dict()))
+        assert d["completions"] == 1
+        assert d["lanes"]["interactive"]["computed"] == 1

@@ -27,6 +27,11 @@ class TestParser:
             ["table1", "--ks", "7", "9"],
             ["nei-solve", "--element", "6"],
             ["fit", "--bins", "40"],
+            ["spectrum", "--bins", "20", "--json"],
+            ["serve", "--trace", "zipf", "--requests", "50", "--seed", "7"],
+            ["serve", "--trace", "uniform", "--workers", "3", "--json"],
+            ["submit", "--temperature", "2e7", "--repeat", "3"],
+            ["submit", "--lane", "survey", "--rule", "romberg"],
         ],
     )
     def test_all_subcommands_parse(self, argv):
@@ -36,6 +41,14 @@ class TestParser:
     def test_spectrum_rejects_bad_component(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["spectrum", "--components", "magic"])
+
+    def test_serve_rejects_bad_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--trace", "flat"])
+
+    def test_submit_rejects_bad_lane(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--lane", "batch"])
 
 
 @pytest.mark.slow
@@ -70,3 +83,33 @@ class TestCommands:
         assert main(["table2"]) == 0
         out = capsys.readouterr().out
         assert "NEI" in out
+
+    def test_spectrum_json_runs(self, capsys):
+        import json
+
+        assert main(["spectrum", "--bins", "12", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["flux"]) == 12
+        assert payload["components"] == ["rrc"]
+
+    def test_serve_runs(self, capsys):
+        assert main(["serve", "--requests", "40", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "requests lost" in out
+        assert "cache hit ratio" in out
+
+    def test_serve_json_reports_zero_lost(self, capsys):
+        import json
+
+        assert main(["serve", "--requests", "40", "--seed", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lost"] == 0
+        assert payload["completions"] == 40
+
+    def test_submit_second_call_cached(self, capsys):
+        import json
+
+        assert main(["submit", "--temperature", "1.3e7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cached = [s["cached"] for s in payload["submissions"]]
+        assert cached == [False, True]
