@@ -84,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bins", type=int, default=60)
     p.add_argument("--components", nargs="+", default=["rrc"],
                    choices=["rrc", "lines", "brems"])
+    p.add_argument("--tail-tol", type=float, default=0.0,
+                   help="relative tail tolerance for active-window "
+                        "pruning (0 = off, exact)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output (one JSON object)")
 
@@ -105,6 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-mb", type=float, default=32.0)
     p.add_argument("--ttl", type=float, default=3600.0,
                    help="cache TTL in virtual seconds")
+    p.add_argument("--tail-tol", type=float, default=0.0,
+                   help="relative tail tolerance for active-window "
+                        "pruning on every request (0 = off)")
     p.add_argument("--json", action="store_true")
 
     p = sub.add_parser("submit", help="one-shot request through broker+cache")
@@ -114,6 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bins", type=int, default=64)
     p.add_argument("--rule", default="simpson", choices=["simpson", "romberg"])
     p.add_argument("--tolerance", type=float, default=1.0e-6)
+    p.add_argument("--tail-tol", type=float, default=0.0,
+                   help="relative tail tolerance for active-window "
+                        "pruning (0 = off; enters the cache key)")
     p.add_argument("--lane", default="interactive",
                    choices=["interactive", "survey"])
     p.add_argument("--repeat", type=int, default=2,
@@ -240,7 +249,11 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
     db = AtomicDatabase(AtomicConfig(n_max=6, z_max=14))
     grid = EnergyGrid.from_wavelength(10.0, 45.0, args.bins)
     apec = SerialAPEC(
-        db, grid, method="simpson-batch", components=tuple(args.components)
+        db,
+        grid,
+        method="simpson-batch",
+        components=tuple(args.components),
+        tail_tol=args.tail_tol,
     )
     spec = apec.compute(
         GridPoint(temperature_k=args.temperature, ne_cm3=args.density)
@@ -405,6 +418,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pattern=args.trace,
             zipf_s=args.zipf_s,
             n_distinct=args.distinct,
+            tail_tol=args.tail_tol,
         )
     )
     config = ServiceConfig(
@@ -499,6 +513,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         n_bins=args.bins,
         rule=args.rule,
         tolerance=args.tolerance,
+        tail_tol=args.tail_tol,
     )
     clock = SimClock()
     broker = SpectrumBroker(clock, ServiceConfig())

@@ -43,6 +43,10 @@ class KernelSpec:
         branch divergence and register pressure — the paper: "the logic of
         the kernel will become more complex so that it is not suitable to
         run on GPU".
+    evals_saved:
+        Integrand evaluations pruned away relative to the dense
+        levels x bins launch (active-window pruning); purely a ledger
+        entry — ``total_evals`` already counts only the active work.
     label:
         Diagnostic tag (e.g. the ion name).
     """
@@ -53,11 +57,14 @@ class KernelSpec:
     bytes_out: int = 0
     execute: Optional[Callable[[], object]] = field(default=None, compare=False)
     efficiency: float = 1.0
+    evals_saved: int = 0
     label: str = ""
 
     def __post_init__(self) -> None:
         if self.n_integrals < 0:
             raise ValueError("n_integrals must be non-negative")
+        if self.evals_saved < 0:
+            raise ValueError("evals_saved must be non-negative")
         if self.evals_per_integral < 1:
             raise ValueError("evals_per_integral must be >= 1")
         if self.bytes_in < 0 or self.bytes_out < 0:
@@ -78,20 +85,34 @@ class KernelSpec:
         label: str = "",
         execute: Optional[Callable[[], object]] = None,
         efficiency: float = 1.0,
+        n_active: Optional[int] = None,
     ) -> "KernelSpec":
         """Coarse-grained Ion task: all levels accumulated on-device.
 
         One parameter upload per level, but a *single* n_bins result array
         comes back — the accumulation-on-GPU trick the paper credits for
         the Ion granularity's win.
+
+        ``n_active`` (active (level, bin) pairs after window pruning)
+        replaces the dense ``n_levels * n_bins`` integral count when
+        given; the difference is booked as ``evals_saved`` so schedulers
+        and ledgers can report how much work the pruning removed.
         """
+        dense = n_levels * n_bins
+        if n_active is None:
+            n_active = dense
+        if not 0 <= n_active <= dense:
+            raise ValueError(
+                f"n_active must be in [0, {dense}], got {n_active}"
+            )
         return cls(
-            n_integrals=n_levels * n_bins,
+            n_integrals=n_active,
             evals_per_integral=evals_per_integral,
             bytes_in=n_levels * BYTES_PER_LEVEL_PARAMS,
             bytes_out=n_bins * BYTES_PER_BIN_RESULT,
             execute=execute,
             efficiency=efficiency,
+            evals_saved=(dense - n_active) * evals_per_integral,
             label=label,
         )
 

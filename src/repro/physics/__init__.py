@@ -9,6 +9,8 @@
 - :mod:`repro.physics.apec` — the serial APEC-style calculator: the three
   nested loops of Fig. 1, plus the batched per-ion emissivity that GPU
   tasks execute.
+- :mod:`repro.physics.windows` — per-level active bin windows with the
+  accuracy-budgeted tail cutoff that prunes the batch kernels.
 """
 
 from repro.physics.rrc import (
@@ -26,8 +28,12 @@ from repro.physics.apec import (
     ion_emissivity_batched,
     ion_emissivity_scalar,
 )
+from repro.physics.windows import LevelWindows, level_windows, tail_cutoff_kev
 
 __all__ = [
+    "LevelWindows",
+    "level_windows",
+    "tail_cutoff_kev",
     "RRCLevelParams",
     "rrc_integrand",
     "make_level_integrand",

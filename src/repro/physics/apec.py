@@ -40,7 +40,16 @@ from repro.physics.rrc import (
     rrc_prefactor,
 )
 from repro.physics.spectrum import EnergyGrid, Spectrum
-from repro.quadrature.batch import batch_romberg, batch_simpson, simpson_weights
+from repro.physics.windows import LevelWindows, level_windows
+from repro.quadrature.batch import (
+    batch_gauss_windows,
+    batch_romberg,
+    batch_romberg_windows,
+    batch_simpson,
+    batch_simpson_windows,
+    simpson_weights,
+    unit_fractions,
+)
 from repro.quadrature.gauss_legendre import batch_gauss_legendre
 from repro.quadrature.qags import qags
 from repro.quadrature.simpson import simpson
@@ -59,6 +68,13 @@ ScalarMethod = Literal["qags", "simpson"]
 #: Levels processed per fused-kernel chunk; bounds scratch memory at
 #: roughly chunk * n_bins * (pieces + 1) float64 elements.
 _LEVEL_CHUNK = 16
+
+#: Largest exponent magnitude the shared-abscissa rescaling may produce:
+#: the fast path splits exp(-(E - I)/kT) into exp(I/kT) * exp(-E/kT),
+#: which overflows float64 near 709 and loses ~(E/kT) * eps relative
+#: precision; beyond this the pruned kernel falls back to per-level
+#: abscissae.
+_SAFE_RESCALE_ARG = 600.0
 
 
 @dataclass(frozen=True)
@@ -102,6 +118,34 @@ def level_params_for(
     )
 
 
+def _flat_constants(ls, point: GridPoint, n_ion: float) -> np.ndarray:
+    """Per-level flat constants C_l of the Kramers+Milne collapse.
+
+    integrand_l(E) = C_l * exp(-(E - I_l)/kT) * [gaunt(E / I_l)] * (E >= I_l)
+    with C_l = prefactor * (g_l/2) * sigma_K n_l I_l^3 / (2 m_e c^2 c_eff_l^2).
+    """
+    from repro.constants import ME_C2_KEV, SIGMA_KRAMERS_CM2
+
+    base = RRCLevelParams(
+        binding_kev=float(ls.energy_kev[0]),
+        n=int(ls.n_arr[0]),
+        c_eff=float(ls.c_eff[0]),
+        g_level=float(ls.degeneracy[0]),
+        kt_kev=point.kt_kev,
+        ne_cm3=point.ne_cm3,
+        n_ion_cm3=n_ion,
+    )
+    pref = rrc_prefactor(base)
+    return (
+        pref
+        * (ls.degeneracy / 2.0)
+        * SIGMA_KRAMERS_CM2
+        * ls.n_arr
+        * ls.energy_kev**3
+        / (2.0 * ME_C2_KEV * ls.c_eff**2)
+    )
+
+
 def _fused_simpson(
     db: AtomicDatabase,
     ion: Ion,
@@ -127,33 +171,10 @@ def _fused_simpson(
         ion, point.temperature_k, point.ne_cm3, abundances=abundances
     )
     kt = point.kt_kev
-    prefactors = np.empty(n_levels)
-    from repro.constants import ME_C2_KEV, SIGMA_KRAMERS_CM2
-
-    base = RRCLevelParams(
-        binding_kev=float(ls.energy_kev[0]),
-        n=int(ls.n_arr[0]),
-        c_eff=float(ls.c_eff[0]),
-        g_level=float(ls.degeneracy[0]),
-        kt_kev=kt,
-        ne_cm3=point.ne_cm3,
-        n_ion_cm3=n_ion,
-    )
-    # Kramers+Milne collapse: integrand_l(E) = C_l * exp(-(E - I_l)/kT)
-    #                                        * [gaunt(E / I_l)] * (E >= I_l)
-    # with C_l = prefactor * (g_l/2) * sigma_K n_l I_l^3 / (2 m_e c^2 c_eff_l^2).
-    pref = rrc_prefactor(base)
-    c_l = (
-        pref
-        * (ls.degeneracy / 2.0)
-        * SIGMA_KRAMERS_CM2
-        * ls.n_arr
-        * ls.energy_kev**3
-        / (2.0 * ME_C2_KEV * ls.c_eff**2)
-    )
+    c_l = _flat_constants(ls, point, n_ion)
 
     w = simpson_weights(pieces)
-    frac = np.linspace(0.0, 1.0, pieces + 1)
+    frac = unit_fractions(pieces + 1)
 
     for start in range(0, n_levels, _LEVEL_CHUNK):
         sl = slice(start, min(start + _LEVEL_CHUNK, n_levels))
@@ -175,6 +196,155 @@ def _fused_simpson(
     return out
 
 
+def _window_integrand(energies: np.ndarray, c_l: np.ndarray, kt: float, gaunt: bool):
+    """Ragged-batch form of the collapsed Eq. (1) integrand.
+
+    ``f(rows, x)`` evaluates level ``rows[i]`` at abscissae ``x[i]`` —
+    the calling convention of the CSR window kernels in
+    :mod:`repro.quadrature.batch`.
+    """
+
+    def f(rows: np.ndarray, x: np.ndarray) -> np.ndarray:
+        i_r = energies[rows][:, None]
+        with np.errstate(over="ignore", under="ignore"):
+            y = np.exp(-np.maximum(x - i_r, 0.0) / kt)
+            if gaunt:
+                y = y * gaunt_factor(np.maximum(x / i_r, 1.0))
+        return c_l[rows][:, None] * y
+
+    return f
+
+
+def _fused_simpson_windows(
+    db: AtomicDatabase,
+    ion: Ion,
+    point: GridPoint,
+    grid: EnergyGrid,
+    pieces: int,
+    gaunt: bool,
+    tail_tol: float,
+    abundances: AbundanceSet = SOLAR,
+) -> np.ndarray:
+    """Active-window variant of :func:`_fused_simpson`.
+
+    Two task-shaping moves on top of the fused kernel:
+
+    1. **Pruning** — only bins inside each level's accuracy-budgeted
+       window (:func:`repro.physics.windows.level_windows`) are
+       evaluated; levels whose window is empty are skipped outright.
+    2. **Shared abscissae** — every full bin (not split by a
+       recombination edge) uses the same Simpson nodes for every level,
+       so ``exp(-x/kT)`` (and the Gaunt factor's ``cbrt``) is computed
+       once per ion and each level only rescales it by
+       ``C_l * exp(I_l/kT)``.  Edge bins keep per-level nodes.  When the
+       rescaling would overflow or cost more precision than ``tail_tol``
+       allows, the kernel falls back to the generic CSR evaluation with
+       unfactored exponentials.
+
+    Results agree with :func:`_fused_simpson` to within ``tail_tol``
+    (dropped tail mass) plus floating-point reassociation noise many
+    orders below it.
+    """
+    ls = db.levels(ion)
+    n_levels = len(ls)
+    out = np.zeros(grid.n_bins, dtype=np.float64)
+    if n_levels == 0:
+        return out
+    n_ion = ion_density(
+        ion, point.temperature_k, point.ne_cm3, abundances=abundances
+    )
+    kt = point.kt_kev
+    c_l = _flat_constants(ls, point, n_ion)
+    energies = ls.energy_kev
+    win = level_windows(energies, grid, kt, tail_tol, gaunt=gaunt)
+    first, cutoff = win.first, win.cutoff
+    active = first < cutoff
+    if not active.any():
+        return out
+
+    # Rescaling safety: exponent magnitude of the exp(I/kT) * exp(-E/kT)
+    # split, and the precision it costs relative to the tail budget.
+    arg = (float(energies.max()) + float(grid.upper[-1])) / kt
+    if arg >= _SAFE_RESCALE_ARG or arg * np.finfo(np.float64).eps >= 0.05 * tail_tol:
+        return batch_simpson_windows(
+            _window_integrand(energies, c_l, kt, gaunt),
+            grid.edges,
+            first,
+            cutoff,
+            lower_clip=energies,
+            pieces=pieces,
+        )
+
+    w = simpson_weights(pieces)
+    frac = unit_fractions(pieces + 1)
+
+    # --- edge bins: the one bin per level split by its recombination
+    # edge needs level-specific abscissae (integration from I_l up).
+    has_edge = active & (grid.lower[np.minimum(first, grid.n_bins - 1)] < energies)
+    if has_edge.any():
+        b_e = first[has_edge]
+        i_e = energies[has_edge][:, None]
+        width_e = grid.upper[b_e][:, None] - i_e
+        x = i_e + width_e * frac[None, :]
+        with np.errstate(over="ignore", under="ignore"):
+            y = np.exp(-(x - i_e) / kt)
+            if gaunt:
+                y = y * gaunt_factor(x / i_e)
+        vals = (width_e[:, 0] / pieces) * (y @ w) * c_l[has_edge]
+        # Several levels can share one edge bin -> unbuffered scatter-add.
+        np.add.at(out, b_e, vals)
+
+    # --- full bins: shared abscissae across the union of windows.
+    start = np.minimum(np.where(has_edge, first + 1, first), cutoff)
+    full = start < cutoff
+    if not full.any():
+        return out
+    bmin = int(start[full].min())
+    bmax = int(cutoff[full].max())
+    lo_u = grid.lower[bmin:bmax]
+    width_u = grid.widths[bmin:bmax]
+    x_sh = lo_u[:, None] + width_u[:, None] * frac[None, :]
+    with np.errstate(under="ignore"):
+        e_sh = np.exp(-x_sh / kt)
+    h_u = width_u / pieces
+    scale = c_l * np.exp(np.where(full, energies, 0.0) / kt)
+
+    if not gaunt:
+        # The integrand factorizes completely: each level contributes
+        # scale_l * base[b] on its window, so accumulate the per-bin sum
+        # of scales with a difference array (O(levels + bins) adds).
+        base = h_u * (e_sh @ w)
+        diff = np.zeros(bmax - bmin + 1)
+        np.add.at(diff, start[full] - bmin, scale[full])
+        np.add.at(diff, cutoff[full] - bmin, -scale[full])
+        out[bmin:bmax] += np.cumsum(diff[:-1]) * base
+        return out
+
+    # With the Gaunt correction the per-level factor g(E / I_l) remains,
+    # but its cbrt is shared: g(x/I) = (a + b*c) / (d + e*c^2) with
+    # c = cbrt(x) / cbrt(I), so each level costs only cheap arithmetic
+    # on its own window slice (small enough to stay cache-resident —
+    # chunking levels here would spill the scratch out of cache).
+    cbrt_sh = np.cbrt(x_sh)
+    ehw = e_sh * (h_u[:, None] * w[None, :])
+    inv_cbrt = 1.0 / np.cbrt(energies)
+    for li in np.flatnonzero(full):
+        s = int(start[li]) - bmin
+        e = int(cutoff[li]) - bmin
+        c = cbrt_sh[s:e] * inv_cbrt[li]
+        np.maximum(c, 1.0, out=c)
+        num = 0.1728 * c
+        num += 1.0 - 0.1728
+        den = c * c
+        den *= 0.0496
+        den += 1.0 - 0.0496
+        num /= den
+        out[bmin + s : bmin + e] += scale[li] * np.einsum(
+            "bp,bp->b", num, ehw[s:e]
+        )
+    return out
+
+
 def ion_emissivity_batched(
     db: AtomicDatabase,
     ion: Ion,
@@ -186,6 +356,7 @@ def ion_emissivity_batched(
     gl_points: int = 12,
     gaunt: bool = True,
     abundances: AbundanceSet = SOLAR,
+    tail_tol: float = 0.0,
 ) -> np.ndarray:
     """Per-bin RRC emission of one ion, computed with batch kernels.
 
@@ -194,11 +365,39 @@ def ion_emissivity_batched(
     interface of the GPU-accelerated component is developed, so that
     different numerical integration algorithms can be connected to the
     main program on demand".
+
+    ``tail_tol > 0`` enables active-window pruning: each level is only
+    evaluated inside its accuracy-budgeted bin window and the result
+    differs from the unpruned kernel by at most ``tail_tol`` relative
+    tail mass per level.  ``tail_tol = 0`` (default) runs the original
+    unpruned kernels bit-for-bit.
     """
+    if tail_tol < 0.0:
+        raise ValueError("tail_tol must be non-negative")
     if method == "simpson":
+        if tail_tol > 0.0:
+            return _fused_simpson_windows(
+                db, ion, point, grid, pieces, gaunt, tail_tol, abundances
+            )
         return _fused_simpson(db, ion, point, grid, pieces, gaunt, abundances)
     if method in ("romberg", "gauss"):
         ls = db.levels(ion)
+        if tail_tol > 0.0 and len(ls) > 0:
+            n_ion = ion_density(
+                ion, point.temperature_k, point.ne_cm3, abundances=abundances
+            )
+            kt = point.kt_kev
+            win = level_windows(ls.energy_kev, grid, kt, tail_tol, gaunt=gaunt)
+            f = _window_integrand(ls.energy_kev, _flat_constants(ls, point, n_ion), kt, gaunt)
+            if method == "romberg":
+                return batch_romberg_windows(
+                    f, grid.edges, win.first, win.cutoff,
+                    lower_clip=ls.energy_kev, k=k,
+                )
+            return batch_gauss_windows(
+                f, grid.edges, win.first, win.cutoff,
+                lower_clip=ls.energy_kev, n=gl_points,
+            )
         out = np.zeros(grid.n_bins, dtype=np.float64)
         for i in range(len(ls)):
             p = level_params_for(db, ion, i, point, abundances)
@@ -224,19 +423,34 @@ def ion_emissivity_scalar(
     epsrel: float = 1.0e-10,
     gaunt: bool = True,
     abundances: AbundanceSet = SOLAR,
+    tail_tol: float = 0.0,
 ) -> np.ndarray:
     """Per-bin RRC emission of one ion, one scalar integral at a time.
 
     This is the CPU fallback path of Algorithm 1 (``CPU-Integr`` calling
     QAGS serially) and the reference for accuracy experiments.
+
+    ``tail_tol > 0`` clamps each level's bin loop to its active window
+    (same budget as the batched path); ``0`` scans every bin.
     """
+    if tail_tol < 0.0:
+        raise ValueError("tail_tol must be non-negative")
     ls = db.levels(ion)
     out = np.zeros(grid.n_bins, dtype=np.float64)
+    win: LevelWindows | None = None
+    if tail_tol > 0.0 and len(ls) > 0:
+        win = level_windows(
+            ls.energy_kev, grid, point.kt_kev, tail_tol, gaunt=gaunt
+        )
     for i in range(len(ls)):
         p = level_params_for(db, ion, i, point, abundances)
         f = make_level_integrand(p, gaunt=gaunt)
         threshold = p.binding_kev
-        for b in range(grid.n_bins):
+        if win is not None:
+            bin_range = range(int(win.first[i]), int(win.cutoff[i]))
+        else:
+            bin_range = range(grid.n_bins)
+        for b in bin_range:
             e0, e1 = float(grid.edges[b]), float(grid.edges[b + 1])
             if e1 <= threshold:
                 continue  # entirely below the recombination edge
@@ -266,6 +480,10 @@ class SerialAPEC:
         and scalar ``simpson`` follow the scalar path; ``simpson-batch``
         and ``romberg`` use the vectorized kernels (useful when the serial
         reference itself would be too slow at full scale).
+    tail_tol:
+        Relative tail tolerance of active-window pruning; ``0`` (the
+        default) disables pruning and reproduces the unpruned kernels
+        bit-for-bit.
     """
 
     def __init__(
@@ -278,6 +496,7 @@ class SerialAPEC:
         gaunt: bool = True,
         components: tuple[str, ...] = ("rrc",),
         abundances: AbundanceSet = SOLAR,
+        tail_tol: float = 0.0,
     ) -> None:
         if method not in ("qags", "simpson", "simpson-batch", "romberg", "gauss"):
             raise ValueError(f"unknown method {method!r}")
@@ -286,6 +505,8 @@ class SerialAPEC:
             raise ValueError(f"unknown components {sorted(unknown)}")
         if not components:
             raise ValueError("need at least one emission component")
+        if tail_tol < 0.0:
+            raise ValueError("tail_tol must be non-negative")
         self.db = db
         self.grid = grid
         self.method = method
@@ -294,13 +515,14 @@ class SerialAPEC:
         self.gaunt = gaunt
         self.components = tuple(components)
         self.abundances = abundances
+        self.tail_tol = tail_tol
 
     def ion_emissivity(self, ion: Ion, point: GridPoint) -> np.ndarray:
         if self.method in ("qags", "simpson"):
             return ion_emissivity_scalar(
                 self.db, ion, point, self.grid,
                 method=self.method, pieces=self.pieces, gaunt=self.gaunt,
-                abundances=self.abundances,
+                abundances=self.abundances, tail_tol=self.tail_tol,
             )
         batch_method = {
             "simpson-batch": "simpson",
@@ -310,7 +532,7 @@ class SerialAPEC:
         return ion_emissivity_batched(
             self.db, ion, point, self.grid,
             method=batch_method, pieces=self.pieces, k=self.k, gaunt=self.gaunt,
-            abundances=self.abundances,
+            abundances=self.abundances, tail_tol=self.tail_tol,
         )
 
     def compute(self, point: GridPoint, ions: tuple[Ion, ...] | None = None) -> Spectrum:
@@ -326,6 +548,7 @@ class SerialAPEC:
             ne_cm3=point.ne_cm3,
             method=self.method,
             components=self.components,
+            tail_tol=self.tail_tol,
         )
         ion_set = ions if ions is not None else self.db.ions
         if "rrc" in self.components:

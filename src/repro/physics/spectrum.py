@@ -109,8 +109,13 @@ class Spectrum:
         return cls(grid=grid, values=np.zeros(grid.n_bins), meta=dict(meta))
 
     def __add__(self, other: "Spectrum") -> "Spectrum":
+        # Keep the left operand's meta, matching __iadd__.
         self._check_same_grid(other)
-        return Spectrum(grid=self.grid, values=self.values + other.values)
+        return Spectrum(
+            grid=self.grid,
+            values=self.values + other.values,
+            meta=dict(self.meta),
+        )
 
     def __iadd__(self, other: "Spectrum") -> "Spectrum":
         self._check_same_grid(other)

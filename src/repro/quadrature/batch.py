@@ -14,6 +14,7 @@ experiments (Fig. 7 / Fig. 8).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable
 
 import numpy as np
@@ -23,9 +24,13 @@ from repro.quadrature.simpson import DEFAULT_PIECES, _check_pieces
 __all__ = [
     "batch_simpson",
     "batch_simpson_edges",
+    "batch_simpson_windows",
     "batch_romberg",
+    "batch_romberg_windows",
+    "batch_gauss_windows",
     "batch_trapezoid",
     "simpson_weights",
+    "unit_fractions",
 ]
 
 #: Cap on the scratch grid size (in float64 elements) for one chunk of a
@@ -34,14 +39,44 @@ __all__ = [
 MAX_GRID_ELEMENTS: int = 8_000_000
 
 
+@lru_cache(maxsize=64)
 def simpson_weights(pieces: int) -> np.ndarray:
-    """Composite Simpson weight vector (1, 4, 2, 4, ..., 2, 4, 1) / 3."""
+    """Composite Simpson weight vector (1, 4, 2, 4, ..., 2, 4, 1) / 3.
+
+    Cached (the hot loops request the same ``pieces`` on every call);
+    the returned array is read-only — copy before mutating.
+    """
     _check_pieces(pieces)
     w = np.empty(pieces + 1, dtype=np.float64)
     w[0] = w[-1] = 1.0
     w[1:-1:2] = 4.0
     w[2:-1:2] = 2.0
-    return w / 3.0
+    w /= 3.0
+    w.setflags(write=False)
+    return w
+
+
+@lru_cache(maxsize=64)
+def unit_fractions(n_points: int) -> np.ndarray:
+    """``linspace(0, 1, n_points)`` — the cached unit node vector.
+
+    Every fixed-node batch rule places its abscissae at
+    ``lo + width * unit_fractions(n_points)``; caching the vector keeps
+    the hot loops allocation-free.  Read-only — copy before mutating.
+    """
+    if n_points < 2:
+        raise ValueError(f"need at least 2 nodes, got {n_points}")
+    frac = np.linspace(0.0, 1.0, n_points)
+    frac.setflags(write=False)
+    return frac
+
+
+@lru_cache(maxsize=64)
+def _trapezoid_weights(panels: int) -> np.ndarray:
+    w = np.full(panels + 1, 1.0)
+    w[0] = w[-1] = 0.5
+    w.setflags(write=False)
+    return w
 
 
 def _as_bounds(lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -91,7 +126,7 @@ def batch_simpson(
     _check_pieces(pieces)
     out = np.empty(lo.size, dtype=np.float64)
     w = simpson_weights(pieces)
-    frac = np.linspace(0.0, 1.0, pieces + 1)
+    frac = unit_fractions(pieces + 1)
     for sl in _chunks(lo.size, pieces + 1):
         width = (hi[sl] - lo[sl])[:, None]
         x = lo[sl][:, None] + width * frac[None, :]
@@ -135,9 +170,8 @@ def batch_trapezoid(
     if panels < 1:
         raise ValueError(f"panels must be >= 1, got {panels}")
     out = np.empty(lo.size, dtype=np.float64)
-    frac = np.linspace(0.0, 1.0, panels + 1)
-    w = np.full(panels + 1, 1.0)
-    w[0] = w[-1] = 0.5
+    frac = unit_fractions(panels + 1)
+    w = _trapezoid_weights(panels)
     for sl in _chunks(lo.size, panels + 1):
         width = (hi[sl] - lo[sl])[:, None]
         x = lo[sl][:, None] + width * frac[None, :]
@@ -164,25 +198,221 @@ def batch_romberg(
         raise ValueError(f"k must be non-negative, got {k}")
     n_pts = 2**k + 1
     out = np.empty(lo.size, dtype=np.float64)
-    frac = np.linspace(0.0, 1.0, n_pts)
+    frac = unit_fractions(n_pts)
     for sl in _chunks(lo.size, n_pts):
         width_col = (hi[sl] - lo[sl])[:, None]
         x = lo[sl][:, None] + width_col * frac[None, :]
         y = np.asarray(f(x), dtype=np.float64)
-        width = hi[sl] - lo[sl]
-        # Trapezoid ladder, coarsest to finest, all bins at once.
-        ladder = np.empty((k + 1, width.size), dtype=np.float64)
-        for level in range(k + 1):
-            step = 2 ** (k - level)
-            samples = y[:, ::step]
-            h = width / (2**level)
-            ladder[level] = h * (
-                0.5 * (samples[:, 0] + samples[:, -1]) + samples[:, 1:-1].sum(axis=1)
-            )
-        # Richardson extrapolation down the tableau (Eq. 3).
-        table = ladder
-        for m in range(1, k + 1):
-            factor = 4.0**m
-            table = (factor * table[1:] - table[:-1]) / (factor - 1.0)
-        out[sl] = table[0]
+        out[sl] = _romberg_reduce(y, hi[sl] - lo[sl], k)
     return out
+
+
+# ----------------------------------------------------------------------
+# Active-window (CSR) kernels
+# ----------------------------------------------------------------------
+# Each "row" is one level of an ion; row r touches only the bins
+# first[r] <= b < cutoff[r] of a shared energy grid.  The flattened
+# (row, bin) pairs of *all* rows form one ragged batch that is evaluated
+# in a single vectorized pass and scatter-added into the per-bin output
+# spectrum — the software analogue of a CUDA kernel whose thread blocks
+# cover only the active tiles of the (levels x bins) iteration space.
+
+WindowIntegrand = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _flatten_windows(
+    first: np.ndarray, cutoff: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR expansion: per-pair (row index, bin index) arrays.
+
+    ``first``/``cutoff`` are per-row half-open bin ranges; the result
+    enumerates every active (row, bin) pair in row-major order.
+    """
+    first = np.asarray(first, dtype=np.int64)
+    cutoff = np.asarray(cutoff, dtype=np.int64)
+    if first.shape != cutoff.shape or first.ndim != 1:
+        raise ValueError("first/cutoff must be matching 1-D arrays")
+    counts = cutoff - first
+    if np.any(counts < 0):
+        raise ValueError("cutoff must be >= first for every row")
+    rows = np.repeat(np.arange(first.size, dtype=np.int64), counts)
+    # Within each row the bin index counts up from `first`; subtracting
+    # each pair's offset-within-row start from a global arange yields the
+    # concatenated ranges without a Python loop.
+    starts = np.cumsum(counts) - counts
+    bins = (
+        np.arange(int(counts.sum()), dtype=np.int64)
+        - np.repeat(starts, counts)
+        + np.repeat(first, counts)
+    )
+    return rows, bins
+
+
+def _window_bounds(
+    edges: np.ndarray,
+    bins: np.ndarray,
+    rows: np.ndarray,
+    lower_clip: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-pair integration bounds, clipping bin floors at the row edge."""
+    lo = edges[bins]
+    hi = edges[bins + 1]
+    if lower_clip is not None:
+        lower_clip = np.asarray(lower_clip, dtype=np.float64)
+        lo = np.maximum(lo, lower_clip[rows])
+        hi = np.maximum(hi, lo)
+    return lo, hi
+
+
+def _scatter_windows(
+    f: WindowIntegrand,
+    edges: np.ndarray,
+    first: np.ndarray,
+    cutoff: np.ndarray,
+    lower_clip: np.ndarray | None,
+    n_pts: int,
+    reduce: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+) -> np.ndarray:
+    """Shared driver: flatten, evaluate in chunks, reduce, scatter-add."""
+    edges = np.asarray(edges, dtype=np.float64)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValueError("edges must be a 1-D array with at least 2 entries")
+    n_bins = edges.size - 1
+    rows, bins = _flatten_windows(first, cutoff)
+    out = np.zeros(n_bins, dtype=np.float64)
+    if rows.size == 0:
+        return out
+    lo, hi = _window_bounds(edges, bins, rows, lower_clip)
+    frac = unit_fractions(n_pts)
+    for sl in _chunks(rows.size, n_pts):
+        width = hi[sl] - lo[sl]
+        x = lo[sl][:, None] + width[:, None] * frac[None, :]
+        y = np.asarray(f(rows[sl], x), dtype=np.float64)
+        if y.shape != x.shape:
+            raise ValueError(
+                f"integrand returned shape {y.shape}, expected {x.shape}"
+            )
+        vals = reduce(y, lo[sl], hi[sl])
+        out += np.bincount(bins[sl], weights=vals, minlength=n_bins)
+    return out
+
+
+def batch_simpson_windows(
+    f: WindowIntegrand,
+    edges: np.ndarray,
+    first: np.ndarray,
+    cutoff: np.ndarray,
+    lower_clip: np.ndarray | None = None,
+    pieces: int = DEFAULT_PIECES,
+) -> np.ndarray:
+    """Simpson integrals over the active windows of many rows at once.
+
+    Parameters
+    ----------
+    f:
+        Ragged-batch integrand ``f(rows, x)``: ``rows`` carries the row
+        (level) index of each flattened pair, ``x`` the abscissae of that
+        pair's bin; must return values of ``x``'s shape.
+    edges:
+        Shared grid edges (``n_bins + 1`` ascending entries).
+    first, cutoff:
+        Per-row half-open active bin ranges (e.g. from
+        :func:`repro.physics.windows.level_windows`).
+    lower_clip:
+        Optional per-row lower bound (the recombination edge); a bin
+        whose floor lies below its row's clip is integrated from the
+        clip upward, matching the unpruned kernels.
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-bin totals: every row's window integrals scatter-added into
+        one ``n_bins`` spectrum.
+    """
+    _check_pieces(pieces)
+
+    def reduce(y: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        w = simpson_weights(pieces)
+        return (hi - lo) / pieces * (y @ w)
+
+    return _scatter_windows(
+        f, edges, first, cutoff, lower_clip, pieces + 1, reduce
+    )
+
+
+def batch_romberg_windows(
+    f: WindowIntegrand,
+    edges: np.ndarray,
+    first: np.ndarray,
+    cutoff: np.ndarray,
+    lower_clip: np.ndarray | None = None,
+    k: int = 7,
+) -> np.ndarray:
+    """Romberg (``k`` dichotomy levels) over active windows; see
+    :func:`batch_simpson_windows` for the calling convention."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+
+    def reduce(y: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return _romberg_reduce(y, hi - lo, k)
+
+    return _scatter_windows(f, edges, first, cutoff, lower_clip, 2**k + 1, reduce)
+
+
+def batch_gauss_windows(
+    f: WindowIntegrand,
+    edges: np.ndarray,
+    first: np.ndarray,
+    cutoff: np.ndarray,
+    lower_clip: np.ndarray | None = None,
+    n: int = 8,
+) -> np.ndarray:
+    """n-point Gauss-Legendre over active windows; see
+    :func:`batch_simpson_windows` for the calling convention.
+
+    Gauss nodes are not affine images of ``linspace(0, 1)``, so this
+    variant carries its own node mapping instead of ``_scatter_windows``.
+    """
+    from repro.quadrature.gauss_legendre import gauss_legendre_nodes
+
+    edges = np.asarray(edges, dtype=np.float64)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValueError("edges must be a 1-D array with at least 2 entries")
+    n_bins = edges.size - 1
+    rows, bins = _flatten_windows(first, cutoff)
+    out = np.zeros(n_bins, dtype=np.float64)
+    if rows.size == 0:
+        return out
+    lo, hi = _window_bounds(edges, bins, rows, lower_clip)
+    nodes, weights = gauss_legendre_nodes(n)
+    for sl in _chunks(rows.size, n):
+        half = 0.5 * (hi[sl] - lo[sl])
+        center = 0.5 * (hi[sl] + lo[sl])
+        x = center[:, None] + half[:, None] * nodes[None, :]
+        y = np.asarray(f(rows[sl], x), dtype=np.float64)
+        if y.shape != x.shape:
+            raise ValueError(
+                f"integrand returned shape {y.shape}, expected {x.shape}"
+            )
+        vals = half * (y @ weights)
+        out += np.bincount(bins[sl], weights=vals, minlength=n_bins)
+    return out
+
+
+def _romberg_reduce(y: np.ndarray, width: np.ndarray, k: int) -> np.ndarray:
+    """Romberg tableau over rows of samples: ladder + Richardson (Eq. 3)."""
+    # Trapezoid ladder, coarsest to finest, all bins at once.
+    ladder = np.empty((k + 1, width.size), dtype=np.float64)
+    for level in range(k + 1):
+        step = 2 ** (k - level)
+        samples = y[:, ::step]
+        h = width / (2**level)
+        ladder[level] = h * (
+            0.5 * (samples[:, 0] + samples[:, -1]) + samples[:, 1:-1].sum(axis=1)
+        )
+    # Richardson extrapolation down the tableau (Eq. 3).
+    table = ladder
+    for m in range(1, k + 1):
+        factor = 4.0**m
+        table = (factor * table[1:] - table[:-1]) / (factor - 1.0)
+    return table[0]

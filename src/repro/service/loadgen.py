@@ -54,6 +54,7 @@ class TrafficSpec:
     n_bins: int = 64
     rule: str = "simpson"
     tolerance: float = 1.0e-6
+    tail_tol: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
@@ -112,6 +113,7 @@ def generate_trace(spec: TrafficSpec) -> list[Arrival]:
                     n_bins=spec.n_bins,
                     rule=spec.rule,
                     tolerance=spec.tolerance,
+                    tail_tol=spec.tail_tol,
                 ),
                 lane=str(lane),
             )

@@ -25,6 +25,7 @@ from repro.constants import K_B_KEV, RYDBERG_KEV
 from repro.core.task import Task, TaskKind
 from repro.gpusim.kernel import KernelSpec
 from repro.physics.spectrum import EnergyGrid
+from repro.physics.windows import level_windows
 
 __all__ = ["SpectrumRequest", "compile_tasks", "ion_emission", "request_grid"]
 
@@ -55,6 +56,11 @@ class SpectrumRequest:
         Quadrature rule priced on the GPU path ("simpson" | "romberg").
     tolerance:
         Requested relative accuracy; sets the rule's refinement depth.
+    tail_tol:
+        Relative tail tolerance for active-window pruning
+        (:mod:`repro.physics.windows`); ``0`` disables pruning.  Part of
+        the content address — a pruned and an unpruned spectrum must
+        never share a cache entry.
     """
 
     temperature_k: float
@@ -63,6 +69,7 @@ class SpectrumRequest:
     n_bins: int = 64
     rule: str = "simpson"
     tolerance: float = 1.0e-6
+    tail_tol: float = 0.0
 
     def __post_init__(self) -> None:
         if self.temperature_k <= 0.0:
@@ -77,6 +84,8 @@ class SpectrumRequest:
             raise ValueError(f"unknown rule {self.rule!r}; expected {_RULES}")
         if self.tolerance <= 0.0:
             raise ValueError("tolerance must be positive")
+        if self.tail_tol < 0.0:
+            raise ValueError("tail tolerance must be non-negative")
 
     # ------------------------------------------------------------------
     # Content addressing
@@ -91,6 +100,7 @@ class SpectrumRequest:
                 f"bins={self.n_bins}",
                 f"rule={self.rule}",
                 f"tol={self.tolerance:.3e}",
+                f"tt={self.tail_tol:.3e}",
             )
         )
 
@@ -178,12 +188,24 @@ def compile_tasks(
         )
     grid = request_grid(request)
     evals = request.evals_per_integral
+    kt_kev = K_B_KEV * request.temperature_k
     tasks: list[Task] = []
     tid = task_id_base
     for ion in db.ions:
         if ion.z > request.z_max:
             continue
         n_levels = db.n_levels(ion)
+
+        # Active-window pruning shrinks the priced workload: the device
+        # model, scheduler load counters, and autotuner all see the
+        # cheaper task.  tail_tol=0 keeps the dense levels x bins count
+        # (pruning off must price exactly like the legacy kernels).
+        n_active = None
+        if request.tail_tol > 0.0 and n_levels > 0:
+            win = level_windows(
+                db.levels(ion).energy_kev, grid, kt_kev, request.tail_tol
+            )
+            n_active = win.n_active
 
         def execute(ion=ion, n_levels=n_levels) -> np.ndarray:
             return ion_emission(ion, n_levels, request, grid)
@@ -198,6 +220,7 @@ def compile_tasks(
                     evals_per_integral=evals,
                     label=f"req{point_index}/{ion.name}",
                     execute=execute,
+                    n_active=n_active,
                 ),
                 point_index=point_index,
                 n_levels=n_levels,

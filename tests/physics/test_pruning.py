@@ -1,0 +1,136 @@
+"""Pruned (active-window) kernels vs the dense reference.
+
+Two promises are pinned here:
+
+1. ``tail_tol = 0`` is *bit-for-bit* identical to the legacy kernels —
+   pruning off must not perturb a single ULP.
+2. ``tail_tol > 0`` agrees with the dense reference to within the
+   requested relative tail tolerance on every bin, across seeded
+   (temperature, grid, ion) combinations, quadrature methods, and both
+   Gaunt settings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atomic.database import AtomicConfig, AtomicDatabase
+from repro.physics.apec import (
+    GridPoint,
+    SerialAPEC,
+    ion_emissivity_batched,
+    ion_emissivity_scalar,
+)
+from repro.physics.spectrum import EnergyGrid
+
+
+@pytest.fixture(scope="module")
+def db() -> AtomicDatabase:
+    return AtomicDatabase(AtomicConfig.tiny())
+
+
+def _grids() -> list[EnergyGrid]:
+    return [
+        # The paper's window: edges mostly below, ~1 kT span at 1e7 K.
+        EnergyGrid.from_wavelength(10.0, 45.0, 64),
+        # A wide grid where the tail cutoff genuinely binds at low kT.
+        EnergyGrid.linear(0.05, 12.0, 150),
+    ]
+
+
+def _assert_within_budget(
+    pruned: np.ndarray, dense: np.ndarray, tail_tol: float
+) -> None:
+    """The pruning contract: dropped mass <= tail_tol * total mass.
+
+    The budget is *mass*-relative — a bin beyond the cutoff is dropped
+    entirely (pointwise relative error 1) precisely because its whole
+    content fits in the budget.  So assert the summed residual against
+    the total emission, and the per-bin residual against the peak.
+    """
+    resid = np.abs(pruned - dense)
+    total = float(dense.sum())
+    slack = 1.0 + 1e-9  # float reassociation noise on top of the budget
+    assert float(resid.sum()) <= tail_tol * total * slack + 1e-300
+    assert float(resid.max()) <= tail_tol * total * slack + 1e-300
+
+
+class TestBitForBitOff:
+    @pytest.mark.parametrize("method", ["simpson", "romberg", "gauss"])
+    @pytest.mark.parametrize("gaunt", [True, False])
+    def test_zero_tail_tol_identical(self, db, method, gaunt):
+        point = GridPoint(temperature_k=1.0e7, ne_cm3=1.0)
+        grid = EnergyGrid.from_wavelength(10.0, 45.0, 64)
+        for ion in list(db.ions)[:6]:
+            if db.n_levels(ion) == 0:
+                continue
+            dense = ion_emissivity_batched(
+                db, ion, point, grid, method=method, gaunt=gaunt
+            )
+            off = ion_emissivity_batched(
+                db, ion, point, grid, method=method, gaunt=gaunt, tail_tol=0.0
+            )
+            assert np.array_equal(dense, off)
+
+    def test_negative_tail_tol_rejected(self, db):
+        point = GridPoint(temperature_k=1.0e7, ne_cm3=1.0)
+        grid = EnergyGrid.from_wavelength(10.0, 45.0, 16)
+        ion = list(db.ions)[0]
+        with pytest.raises(ValueError):
+            ion_emissivity_batched(db, ion, point, grid, tail_tol=-1e-9)
+        with pytest.raises(ValueError):
+            ion_emissivity_scalar(db, ion, point, grid, tail_tol=-1e-9)
+        with pytest.raises(ValueError):
+            SerialAPEC(db, grid, tail_tol=-1e-9)
+
+
+class TestPrunedWithinTolerance:
+    @pytest.mark.parametrize("method", ["simpson", "romberg", "gauss"])
+    @pytest.mark.parametrize("gaunt", [True, False])
+    @pytest.mark.parametrize("tail_tol", [1e-6, 1e-9])
+    def test_property_seeded_combinations(self, db, method, gaunt, tail_tol):
+        rng = np.random.default_rng(20150413)
+        ions = [i for i in db.ions if db.n_levels(i) > 0]
+        temperatures = [1.0e6, 1.0e7, 5.0e7]
+        for grid in _grids():
+            for t_k in temperatures:
+                point = GridPoint(temperature_k=t_k, ne_cm3=1.0)
+                for ion in rng.choice(len(ions), size=3, replace=False):
+                    ion = ions[int(ion)]
+                    dense = ion_emissivity_batched(
+                        db, ion, point, grid, method=method, gaunt=gaunt
+                    )
+                    pruned = ion_emissivity_batched(
+                        db,
+                        ion,
+                        point,
+                        grid,
+                        method=method,
+                        gaunt=gaunt,
+                        tail_tol=tail_tol,
+                    )
+                    if not dense.any():
+                        assert not pruned.any()
+                        continue
+                    _assert_within_budget(pruned, dense, tail_tol)
+
+    def test_scalar_clamp_matches_dense_scan(self, db):
+        # The scalar path's early bin-range clamp must agree with the
+        # full scan to the same budget.
+        point = GridPoint(temperature_k=2.0e6, ne_cm3=1.0)
+        grid = EnergyGrid.linear(0.05, 8.0, 60)
+        ion = [i for i in db.ions if i.name == "O+7"][0]
+        dense = ion_emissivity_scalar(db, ion, point, grid, method="simpson")
+        pruned = ion_emissivity_scalar(
+            db, ion, point, grid, method="simpson", tail_tol=1e-9
+        )
+        _assert_within_budget(pruned, dense, 1e-9)
+
+    def test_serial_apec_threads_tail_tol(self, db):
+        grid = EnergyGrid.from_wavelength(10.0, 45.0, 40)
+        point = GridPoint(temperature_k=1.0e7, ne_cm3=1.0)
+        dense = SerialAPEC(db, grid, method="simpson-batch").compute(point)
+        pruned = SerialAPEC(
+            db, grid, method="simpson-batch", tail_tol=1e-9
+        ).compute(point)
+        assert pruned.meta["tail_tol"] == 1e-9
+        _assert_within_budget(pruned.values, dense.values, 1e-9)

@@ -75,6 +75,19 @@ class TestSpectrum:
         a += b
         assert np.allclose(a.values, c.values)
 
+    def test_addition_keeps_left_meta(self):
+        # Regression: __add__ used to drop meta while __iadd__ kept it.
+        g = EnergyGrid.linear(1.0, 2.0, 3)
+        a = Spectrum.zeros(g, temperature_k=1e7, tag="left")
+        b = Spectrum.zeros(g, tag="right")
+        c = a + b
+        assert c.meta == {"temperature_k": 1e7, "tag": "left"}
+        # ... and the result's meta is a copy, not a shared dict.
+        c.meta["tag"] = "mutated"
+        assert a.meta["tag"] == "left"
+        a += b
+        assert a.meta["tag"] == "left"
+
     def test_cross_grid_addition_rejected(self):
         a = Spectrum.zeros(EnergyGrid.linear(1.0, 2.0, 3))
         b = Spectrum.zeros(EnergyGrid.linear(1.0, 3.0, 3))

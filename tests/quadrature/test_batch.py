@@ -4,11 +4,15 @@ import numpy as np
 import pytest
 
 from repro.quadrature.batch import (
+    batch_gauss_windows,
     batch_romberg,
+    batch_romberg_windows,
     batch_simpson,
     batch_simpson_edges,
+    batch_simpson_windows,
     batch_trapezoid,
     simpson_weights,
+    unit_fractions,
 )
 from repro.quadrature.romberg import romberg
 from repro.quadrature.simpson import simpson
@@ -136,3 +140,115 @@ class TestBatchTrapezoid:
     def test_invalid_panels(self):
         with pytest.raises(ValueError):
             batch_trapezoid(np.exp, np.zeros(1), np.ones(1), panels=0)
+
+
+class TestCachedNodes:
+    def test_simpson_weights_cached_and_readonly(self):
+        a = simpson_weights(64)
+        b = simpson_weights(64)
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0] = 99.0
+
+    def test_unit_fractions_cached_and_readonly(self):
+        a = unit_fractions(65)
+        assert a is unit_fractions(65)
+        assert a[0] == 0.0 and a[-1] == 1.0
+        with pytest.raises(ValueError):
+            a[0] = 99.0
+        with pytest.raises(ValueError):
+            unit_fractions(1)
+
+
+def f_rows(rows, x):
+    """Ragged-batch form of f_smooth, scaled per row."""
+    return (1.0 + rows[:, None]) * f_smooth(x)
+
+
+class TestWindowKernels:
+    edges = np.linspace(0.0, 2.0, 9)  # 8 bins
+
+    def _dense_reference(self, first, cutoff, pieces=32):
+        """Row-by-row dense evaluation, zeroed outside each window."""
+        out = np.zeros(self.edges.size - 1)
+        for r, (a, b) in enumerate(zip(first, cutoff)):
+            per_bin = batch_simpson_edges(
+                lambda x, r=r: (1.0 + r) * f_smooth(x), self.edges, pieces=pieces
+            )
+            out[a:b] += per_bin[a:b]
+        return out
+
+    def test_full_windows_match_dense(self):
+        first = np.array([0, 0, 0])
+        cutoff = np.array([8, 8, 8])
+        got = batch_simpson_windows(f_rows, self.edges, first, cutoff, pieces=32)
+        assert np.allclose(got, self._dense_reference(first, cutoff), rtol=1e-12)
+
+    def test_partial_windows_match_dense(self):
+        first = np.array([0, 3, 5, 8])
+        cutoff = np.array([2, 7, 5, 8])  # includes an empty window
+        got = batch_simpson_windows(f_rows, self.edges, first, cutoff, pieces=32)
+        assert np.allclose(got, self._dense_reference(first, cutoff), rtol=1e-12)
+
+    def test_lower_clip_truncates_first_bin(self):
+        # One row, one bin [0.5, 0.75], clipped to start at 0.6.
+        edges = np.array([0.5, 0.75])
+        got = batch_simpson_windows(
+            f_rows,
+            edges,
+            np.array([0]),
+            np.array([1]),
+            lower_clip=np.array([0.6]),
+            pieces=32,
+        )
+        want = batch_simpson(f_smooth, np.array([0.6]), np.array([0.75]), pieces=32)
+        assert got[0] == pytest.approx(want[0], rel=1e-12)
+
+    def test_clip_above_bin_gives_zero(self):
+        edges = np.array([0.0, 1.0])
+        got = batch_simpson_windows(
+            f_rows,
+            edges,
+            np.array([0]),
+            np.array([1]),
+            lower_clip=np.array([5.0]),
+        )
+        assert got[0] == 0.0
+
+    def test_romberg_and_gauss_variants_agree(self):
+        first = np.array([1, 2])
+        cutoff = np.array([6, 8])
+        simp = batch_simpson_windows(f_rows, self.edges, first, cutoff, pieces=64)
+        romb = batch_romberg_windows(f_rows, self.edges, first, cutoff, k=7)
+        gauss = batch_gauss_windows(f_rows, self.edges, first, cutoff, n=12)
+        assert np.allclose(romb, simp, rtol=1e-9)
+        assert np.allclose(gauss, simp, rtol=1e-9)
+
+    def test_scatter_add_overlapping_windows(self):
+        # Two rows covering the same bin must accumulate, not overwrite.
+        first = np.array([2, 2])
+        cutoff = np.array([3, 3])
+        got = batch_simpson_windows(f_rows, self.edges, first, cutoff, pieces=32)
+        one = self._dense_reference(np.array([2]), np.array([3]))
+        two = self._dense_reference(np.array([2, 2]), np.array([3, 3]))
+        assert got[2] == pytest.approx(two[2], rel=1e-12)
+        assert two[2] > one[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_simpson_windows(
+                f_rows, self.edges, np.array([0, 1]), np.array([2])
+            )
+        with pytest.raises(ValueError):
+            batch_simpson_windows(f_rows, np.array([1.0]), np.array([0]), np.array([1]))
+        with pytest.raises(ValueError):
+            batch_simpson_windows(
+                lambda rows, x: x[..., :3],
+                self.edges,
+                np.array([0]),
+                np.array([2]),
+            )
+        with pytest.raises(ValueError):
+            batch_romberg_windows(
+                f_rows, self.edges, np.array([0]), np.array([1]), k=-1
+            )

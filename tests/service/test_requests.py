@@ -26,6 +26,7 @@ class TestValidation:
             {"temperature_k": 1e7, "n_bins": 0},
             {"temperature_k": 1e7, "rule": "magic"},
             {"temperature_k": 1e7, "tolerance": 0.0},
+            {"temperature_k": 1e7, "tail_tol": -1e-9},
         ],
     )
     def test_rejects_bad_fields(self, kwargs):
@@ -48,6 +49,8 @@ class TestContentAddress:
             {"temperature_k": 1e7, "n_bins": 32},
             {"temperature_k": 1e7, "rule": "romberg"},
             {"temperature_k": 1e7, "tolerance": 1e-8},
+            {"temperature_k": 1e7, "tail_tol": 1e-9},
+            {"temperature_k": 1e7, "tail_tol": 1e-6},
         ],
     )
     def test_any_field_changes_key(self, other):
@@ -110,3 +113,37 @@ class TestCompileTasks:
         one = ion_emission(ion, 3, SpectrumRequest(temperature_k=1e7, ne_cm3=1.0))
         two = ion_emission(ion, 3, SpectrumRequest(temperature_k=1e7, ne_cm3=2.0))
         np.testing.assert_allclose(two, 2.0 * one)
+
+
+class TestPrunedPricing:
+    def test_tail_tol_shrinks_priced_workload(self, db):
+        dense = compile_tasks(SpectrumRequest(temperature_k=1e7), db)
+        pruned = compile_tasks(
+            SpectrumRequest(temperature_k=1e7, tail_tol=1e-9), db
+        )
+        e_dense = sum(t.kernel.total_evals for t in dense)
+        e_pruned = sum(t.kernel.total_evals for t in pruned)
+        saved = sum(t.kernel.evals_saved for t in pruned)
+        assert e_pruned < e_dense
+        # The ledger must balance: active + saved == dense workload.
+        assert e_pruned + saved == e_dense
+        assert all(t.kernel.evals_saved == 0 for t in dense)
+
+    def test_looser_tail_tol_saves_more(self, db):
+        def saved(tt):
+            tasks = compile_tasks(
+                SpectrumRequest(temperature_k=1e6, tail_tol=tt), db
+            )
+            return sum(t.kernel.evals_saved for t in tasks)
+
+        assert saved(1e-6) >= saved(1e-9) >= saved(1e-12)
+
+    def test_pruning_never_changes_the_answer(self, db):
+        import numpy as np
+
+        dense = compile_tasks(SpectrumRequest(temperature_k=1e7), db)
+        pruned = compile_tasks(
+            SpectrumRequest(temperature_k=1e7, tail_tol=1e-9), db
+        )
+        for a, b in zip(dense, pruned):
+            assert np.array_equal(a.kernel.execute(), b.kernel.execute())
