@@ -89,9 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "pruning (0 = off, exact)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output (one JSON object)")
+    _add_obs_flags(p)
 
     p = sub.add_parser("serve", help="play a traffic trace through the service")
-    p.add_argument("--trace", default="zipf", choices=["zipf", "uniform"])
+    p.add_argument("--pattern", default="zipf", choices=["zipf", "uniform"],
+                   help="traffic popularity pattern")
     p.add_argument("--requests", type=int, default=200)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--rate", type=float, default=20.0,
@@ -111,7 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tail-tol", type=float, default=0.0,
                    help="relative tail tolerance for active-window "
                         "pruning on every request (0 = off)")
+    p.add_argument("--latency-reservoir", type=int, default=None,
+                   help="cap per-lane latency samples at this reservoir "
+                        "size (default: keep every sample)")
     p.add_argument("--json", action="store_true")
+    _add_obs_flags(p)
+    p.add_argument("--gantt", action="store_true",
+                   help="render an ASCII Gantt of the trace after the run")
 
     p = sub.add_parser("submit", help="one-shot request through broker+cache")
     p.add_argument("--temperature", type=float, default=1.0e7)
@@ -129,8 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="submissions of the identical request; the second "
                         "and later ones demonstrate the cache")
     p.add_argument("--json", action="store_true")
+    _add_obs_flags(p)
 
     return parser
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a Chrome trace-event JSON (Perfetto-loadable)")
+    p.add_argument("--metrics", metavar="PATH", default=None,
+                   help="write Prometheus text-format metrics")
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
@@ -248,6 +264,11 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
 
     db = AtomicDatabase(AtomicConfig(n_max=6, z_max=14))
     grid = EnergyGrid.from_wavelength(10.0, 45.0, args.bins)
+    tracer = None
+    if args.trace or args.metrics:
+        from repro.obs import EventTracer, WallClock
+
+        tracer = EventTracer(WallClock())
     apec = SerialAPEC(
         db,
         grid,
@@ -255,9 +276,42 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
         components=tuple(args.components),
         tail_tol=args.tail_tol,
     )
+    t0 = tracer.now if tracer is not None else 0.0
     spec = apec.compute(
         GridPoint(temperature_k=args.temperature, ne_cm3=args.density)
     ).normalized()
+    if tracer is not None:
+        tracer.complete(
+            tracer.track("spectrum", "apec"),
+            "apec.compute",
+            t0,
+            cat="compute",
+            args={
+                "temperature_k": args.temperature,
+                "n_bins": args.bins,
+                "components": "+".join(args.components),
+            },
+        )
+        wall_s = tracer.now - t0
+        if args.trace:
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(args.trace, tracer)
+            print(f"wrote Chrome trace to {args.trace}", file=sys.stderr)
+        if args.metrics:
+            from repro.obs import MetricsRegistry
+
+            reg = MetricsRegistry()
+            reg.gauge("repro_wall_seconds", "Host wall-clock compute time").set(
+                wall_s
+            )
+            reg.gauge("repro_spectrum_bins", "Energy bins computed").set(args.bins)
+            reg.gauge("repro_spectrum_peak_flux", "Peak normalized flux").set(
+                float(spec.values.max())
+            )
+            with open(args.metrics, "w") as fh:
+                fh.write(reg.render())
+            print(f"wrote Prometheus metrics to {args.metrics}", file=sys.stderr)
     if args.json:
         import json
 
@@ -415,7 +469,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             n_requests=args.requests,
             seed=args.seed,
             mean_interarrival_s=1.0 / args.rate,
-            pattern=args.trace,
+            pattern=args.pattern,
             zipf_s=args.zipf_s,
             n_distinct=args.distinct,
             tail_tol=args.tail_tol,
@@ -429,8 +483,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_max_bytes=int(args.cache_mb * (1 << 20)),
         cache_ttl_s=args.ttl,
         hybrid=replace(_default_hybrid(), n_gpus=args.gpus),
+        latency_reservoir=args.latency_reservoir,
     )
-    broker, _tickets = run_trace(trace, config)
+    tracer = None
+    if args.trace or args.gantt:
+        from repro.obs import EventTracer
+
+        tracer = EventTracer()
+    broker, _tickets = run_trace(trace, config, tracer=tracer)
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, tracer)
+        print(f"wrote Chrome trace to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        from repro.obs import service_registry
+
+        with open(args.metrics, "w") as fh:
+            fh.write(service_registry(broker).render())
+        print(f"wrote Prometheus metrics to {args.metrics}", file=sys.stderr)
+    if args.gantt:
+        from repro.obs import render_gantt, render_summary
+
+        print(render_gantt(tracer))
+        print(render_summary(tracer))
     report = broker.report()
     if args.json:
         import json
@@ -452,7 +528,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ["virtual time (s)", f"{report['virtual_time_s']:.2f}"],
             ],
             title=(
-                f"Service run — {args.requests} requests, {args.trace} trace, "
+                f"Service run — {args.requests} requests, {args.pattern} trace, "
                 f"seed {args.seed}"
             ),
         )
@@ -516,7 +592,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         tail_tol=args.tail_tol,
     )
     clock = SimClock()
-    broker = SpectrumBroker(clock, ServiceConfig())
+    tracer = None
+    if args.trace:
+        from repro.obs import EventTracer
+
+        tracer = EventTracer(clock)
+    broker = SpectrumBroker(clock, ServiceConfig(), tracer=tracer)
     broker.start()
     outcomes = []
     for _ in range(args.repeat):
@@ -530,6 +611,18 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 "total_flux": float(ticket.result.sum()),
             }
         )
+    broker.bus.finalize(clock.now)
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, tracer)
+        print(f"wrote Chrome trace to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        from repro.obs import service_registry
+
+        with open(args.metrics, "w") as fh:
+            fh.write(service_registry(broker).render())
+        print(f"wrote Prometheus metrics to {args.metrics}", file=sys.stderr)
     if args.json:
         import json
 

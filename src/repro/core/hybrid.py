@@ -28,6 +28,8 @@ import numpy as np
 from repro.cluster.simclock import SimClock
 from repro.core.calibration import CostModel
 from repro.core.metrics import MetricsLedger, RunResult, TaskEvent
+from repro.obs.bus import RunBus
+from repro.obs.tracer import NULL_TRACER
 from repro.core.scheduler import (
     NO_DEVICE,
     ClientServerScheduler,
@@ -94,10 +96,24 @@ class HybridConfig:
 
 
 class HybridRunner:
-    """Runs task lists through the simulated hybrid node."""
+    """Runs task lists through the simulated hybrid node.
 
-    def __init__(self, config: HybridConfig | None = None) -> None:
+    ``tracer`` (default: the no-op tracer) receives per-task spans with
+    placement-decision attributes (queue loads, history counts, chosen
+    device), queue-wait sub-spans, per-device load counters, and batch
+    spans; ``scope`` names the trace process grouping the node's tracks
+    (the service broker sets it to the owning worker's name).
+    """
+
+    def __init__(
+        self,
+        config: HybridConfig | None = None,
+        tracer=None,
+        scope: str = "hybrid",
+    ) -> None:
         self.config = config or HybridConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.scope = scope
 
     # ------------------------------------------------------------------
     # Baselines
@@ -164,21 +180,38 @@ class HybridRunner:
         :class:`RunResult`; its ``makespan_s`` is the batch's *elapsed*
         virtual time, not the absolute clock reading.
         """
-        return clock.spawn(self._batch_process(tasks, clock), name=name)
+        if self.tracer.enabled and not self.tracer.bound:
+            self.tracer.bind(clock)
+        return clock.spawn(self._batch_process(tasks, clock, name), name=name)
 
-    def _batch_process(self, tasks: list[Task], clock: SimClock) -> Generator:
+    def _batch_process(
+        self, tasks: list[Task], clock: SimClock, name: str = "batch"
+    ) -> Generator:
         """Generator process executing one batch; returns its RunResult."""
         cfg = self.config
+        tracer = self.tracer
         start = clock.now
         metrics = MetricsLedger(cfg.n_gpus, cfg.max_queue_length, start_time=start)
+        metrics.evals_saved = sum(t.kernel.evals_saved for t in tasks)
+        if tracer.enabled:
+            device_tracks = [
+                tracer.track(self.scope, f"gpu{d}") for d in range(cfg.n_gpus)
+            ]
+            batch_track = tracer.track(self.scope, "batches")
+        else:
+            device_tracks = []
+            batch_track = 0
+        # The bus is the single ingestion point: the ledger (and, when
+        # tracing, the span tracer) consume the same event stream.
+        bus = RunBus(metrics, tracer, device_tracks)
         specs = cfg.devices or tuple(cfg.device for _ in range(cfg.n_gpus))
         if cfg.scheduler_kind == "client-server":
             sched: SharedMemoryScheduler = ClientServerScheduler(
-                cfg.n_gpus, cfg.max_queue_length, cfg.rpc_latency_s, metrics
+                cfg.n_gpus, cfg.max_queue_length, cfg.rpc_latency_s, bus
             )
             sched.tie_break = cfg.tie_break
         elif cfg.scheduler_kind == "random":
-            sched = RandomScheduler(cfg.n_gpus, cfg.max_queue_length, metrics)
+            sched = RandomScheduler(cfg.n_gpus, cfg.max_queue_length, bus)
         elif cfg.scheduler_kind == "weighted":
             reference = tasks[0].kernel if tasks else None
             service = [
@@ -186,26 +219,42 @@ class HybridRunner:
                 for d in range(cfg.n_gpus)
             ]
             sched = WeightedScheduler(
-                cfg.n_gpus, cfg.max_queue_length, service, metrics
+                cfg.n_gpus, cfg.max_queue_length, service, bus
             )
         else:
             sched = SharedMemoryScheduler(
-                cfg.n_gpus, cfg.max_queue_length, metrics, tie_break=cfg.tie_break
+                cfg.n_gpus, cfg.max_queue_length, bus, tie_break=cfg.tie_break
             )
-        gpus = [SimulatedGPU(clock, specs[d], index=d) for d in range(cfg.n_gpus)]
+        if tracer.enabled:
+            gpus = [
+                SimulatedGPU(
+                    clock, specs[d], index=d, tracer=tracer, track=device_tracks[d]
+                )
+                for d in range(cfg.n_gpus)
+            ]
+        else:
+            # Positional-only construction so test doubles that replace
+            # SimulatedGPU.__init__ with the narrower historical signature
+            # keep working when tracing is off.
+            gpus = [SimulatedGPU(clock, specs[d], index=d) for d in range(cfg.n_gpus)]
         spectra: dict[int, np.ndarray] = {}
 
         per_worker = self._partition(tasks)
         stagger = self._stagger()
         handles = []
         for rank, my_tasks in enumerate(per_worker):
+            rank_track = (
+                tracer.track(self.scope, f"rank{rank}") if tracer.enabled else 0
+            )
             if cfg.async_depth > 0:
                 gen = self._worker_async(
-                    rank, my_tasks, clock, sched, gpus, metrics, spectra, stagger
+                    rank, my_tasks, clock, sched, gpus, bus, spectra, stagger,
+                    rank_track,
                 )
             else:
                 gen = self._worker_sync(
-                    rank, my_tasks, clock, sched, gpus, metrics, spectra, stagger
+                    rank, my_tasks, clock, sched, gpus, bus, spectra, stagger,
+                    rank_track,
                 )
             handles.append(clock.spawn(gen, name=f"rank{rank}"))
 
@@ -216,6 +265,19 @@ class HybridRunner:
         sched.validate()
         if sched.segment.total_load() != 0:
             raise RuntimeError("scheduler leaked queue slots at end of run")
+        if tracer.enabled:
+            tracer.complete(
+                batch_track,
+                name,
+                start,
+                cat="batch",
+                args={
+                    "n_tasks": len(tasks),
+                    "gpu_tasks": int(metrics.gpu_tasks.sum()),
+                    "cpu_tasks": metrics.cpu_tasks,
+                    "evals_saved": metrics.evals_saved,
+                },
+            )
         return RunResult(
             makespan_s=makespan,
             metrics=metrics,
@@ -229,10 +291,12 @@ class HybridRunner:
     # Worker processes
     # ------------------------------------------------------------------
     def _worker_sync(
-        self, rank, my_tasks, clock, sched, gpus, metrics, spectra, stagger
+        self, rank, my_tasks, clock, sched, gpus, bus, spectra, stagger,
+        rank_track=0,
     ) -> Generator:
         cfg = self.config
         cost = cfg.cost
+        tracer = self.tracer
         yield rank * stagger
         point_share = self._point_share(my_tasks)
         for task in my_tasks:
@@ -244,7 +308,22 @@ class HybridRunner:
             yield cost.prep_s(task.n_levels) + point_share[task.point_index]
             if sched.rpc_latency_s:
                 yield sched.rpc_latency_s
+            if tracer.enabled:
+                loads = sched.loads()
+                histories = sched.histories()
             device = sched.sche_alloc(clock.now)
+            if tracer.enabled:
+                tracer.instant(
+                    rank_track,
+                    "sche_alloc",
+                    cat="sched",
+                    args={
+                        "chosen": device,
+                        "loads": loads,
+                        "histories": histories,
+                        "task_id": task.task_id,
+                    },
+                )
             if device != NO_DEVICE:
                 yield cost.submit_overhead_s
                 submitted_at = clock.now
@@ -257,36 +336,65 @@ class HybridRunner:
                     # real node needs — the task must not vanish and the
                     # queue must not leak).
                     sched.sche_free(device, clock.now)
-                    metrics.on_admission_revoked(device)
+                    bus.on_admission_revoked(device)
                     device = NO_DEVICE
                 if device != NO_DEVICE:
                     payload = yield done
                     service = gpus[device].spec.service_time(task.kernel)
-                    metrics.on_task_timing(
-                        wait_s=max(0.0, clock.now - submitted_at - service),
-                        service_s=service,
-                    )
+                    wait_s = max(0.0, clock.now - submitted_at - service)
+                    bus.on_task_timing(wait_s=wait_s, service_s=service)
                     if sched.rpc_latency_s:
                         yield sched.rpc_latency_s
                     sched.sche_free(device, clock.now)
                     self._accumulate(spectra, task, payload)
+                    if tracer.enabled:
+                        if wait_s > 0.0:
+                            tracer.span(
+                                rank_track, "queue-wait", submitted_at,
+                                submitted_at + wait_s, cat="wait",
+                                args={"device": device},
+                            )
+                        tracer.complete(
+                            rank_track,
+                            task.label or f"task{task.task_id}",
+                            task_started,
+                            cat="task",
+                            args={
+                                "placement": "gpu",
+                                "device": device,
+                                "wait_s": wait_s,
+                                "service_s": service,
+                            },
+                        )
                     if cfg.record_trace:
-                        metrics.on_task_event(TaskEvent(
+                        bus.on_task_event(TaskEvent(
                             rank=rank, task_id=task.task_id, placement="gpu",
-                            device=device, start=task_started, end=clock.now,
+                            device=device, start=submitted_at + wait_s,
+                            end=clock.now, enqueue=submitted_at,
                         ))
             if device == NO_DEVICE:
-                metrics.on_cpu_task()
+                bus.on_cpu_task()
+                cpu_started = clock.now
                 yield cost.cpu_task_fallback_s(task.n_integrals, task.cpu_evals_per_integral)
                 self._accumulate(spectra, task, task.run_cpu())
+                if tracer.enabled:
+                    tracer.complete(
+                        rank_track,
+                        task.label or f"task{task.task_id}",
+                        task_started,
+                        cat="task",
+                        args={"placement": "cpu", "device": -1, "wait_s": 0.0},
+                    )
                 if cfg.record_trace:
-                    metrics.on_task_event(TaskEvent(
+                    bus.on_task_event(TaskEvent(
                         rank=rank, task_id=task.task_id, placement="cpu",
-                        device=-1, start=task_started, end=clock.now,
+                        device=-1, start=cpu_started, end=clock.now,
+                        enqueue=cpu_started,
                     ))
 
     def _worker_async(
-        self, rank, my_tasks, clock, sched, gpus, metrics, spectra, stagger
+        self, rank, my_tasks, clock, sched, gpus, bus, spectra, stagger,
+        rank_track=0,
     ) -> Generator:
         """Bounded-depth asynchronous submission (the future-work mode).
 
@@ -296,6 +404,7 @@ class HybridRunner:
         """
         cfg = self.config
         cost = cfg.cost
+        tracer = self.tracer
         yield rank * stagger
         in_flight: list = []  # completion signals
         point_share = self._point_share(my_tasks)
@@ -307,22 +416,54 @@ class HybridRunner:
                 yield oldest
             if sched.rpc_latency_s:
                 yield sched.rpc_latency_s
+            if tracer.enabled:
+                loads = sched.loads()
+                histories = sched.histories()
             device = sched.sche_alloc(clock.now)
+            if tracer.enabled:
+                tracer.instant(
+                    rank_track,
+                    "sche_alloc",
+                    cat="sched",
+                    args={
+                        "chosen": device,
+                        "loads": loads,
+                        "histories": histories,
+                        "task_id": task.task_id,
+                    },
+                )
             if device != NO_DEVICE:
                 yield cost.submit_overhead_s
+                submitted_at = clock.now
                 done = gpus[device].submit(task.kernel)
-                done.add_callback(
-                    clock,
-                    lambda payload, d=device, t=task: (
-                        sched.sche_free(d, clock.now),
-                        self._accumulate(spectra, t, payload),
-                    ),
-                )
+
+                def on_done(payload, d=device, t=task, t0=submitted_at):
+                    sched.sche_free(d, clock.now)
+                    self._accumulate(spectra, t, payload)
+                    if tracer.enabled:
+                        tracer.complete(
+                            rank_track,
+                            t.label or f"task{t.task_id}",
+                            t0,
+                            cat="task",
+                            args={"placement": "gpu", "device": d},
+                        )
+
+                done.add_callback(clock, on_done)
                 in_flight.append(done)
             else:
-                metrics.on_cpu_task()
+                bus.on_cpu_task()
+                cpu_started = clock.now
                 yield cost.cpu_task_fallback_s(task.n_integrals, task.cpu_evals_per_integral)
                 self._accumulate(spectra, task, task.run_cpu())
+                if tracer.enabled:
+                    tracer.complete(
+                        rank_track,
+                        task.label or f"task{task.task_id}",
+                        cpu_started,
+                        cat="task",
+                        args={"placement": "cpu", "device": -1},
+                    )
         for sig in in_flight:
             yield sig
 

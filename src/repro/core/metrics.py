@@ -22,9 +22,14 @@ __all__ = ["TaskEvent", "MetricsLedger", "RunResult"]
 class TaskEvent:
     """One task's lifetime inside a hybrid run (for timeline analysis).
 
-    ``start`` is when the owning rank began the task's prep; ``end`` is
-    when the rank moved on (result in hand).  ``device`` is -1 for CPU
-    fallback executions.
+    ``enqueue`` is when the task became ready for service (GPU path: the
+    moment it was submitted to the device; CPU path: when the fallback
+    execution began), ``start`` is when service actually began (GPU
+    path: after any device-queue wait), and ``end`` is when the rank
+    moved on (result in hand) — so ``start``/``end`` delimit pure
+    service and :attr:`wait` is the queueing delay, no longer conflated.
+    ``device`` is -1 for CPU fallback executions.  ``enqueue`` defaults
+    to ``None`` for hand-built events (wait reads as zero).
     """
 
     rank: int
@@ -33,10 +38,18 @@ class TaskEvent:
     device: int
     start: float
     end: float
+    enqueue: float | None = None
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def wait(self) -> float:
+        """Queueing delay between readiness and service start."""
+        if self.enqueue is None:
+            return 0.0
+        return self.start - self.enqueue
 
 
 class MetricsLedger:
@@ -64,6 +77,9 @@ class MetricsLedger:
         self._current_load = np.zeros(max(1, n_devices), dtype=np.int64)
         self.task_waits: list[float] = []
         self.task_services: list[float] = []
+        #: Integrand evaluations pruned by active windows across the
+        #: batch's tasks (set once by the runner, folded by telemetry).
+        self.evals_saved: int = 0
         self.end_time: float = 0.0
         #: Per-task timeline records (populated only when the runner is
         #: configured with ``record_trace=True``).
@@ -120,7 +136,11 @@ class MetricsLedger:
                     "tid": tid,
                     "ts": ev.start * 1e6,
                     "dur": ev.duration * 1e6,
-                    "args": {"rank": ev.rank, "task_id": ev.task_id},
+                    "args": {
+                        "rank": ev.rank,
+                        "task_id": ev.task_id,
+                        "wait_s": ev.wait,
+                    },
                 }
             )
         return events

@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 
 from repro.cluster.simclock import Signal, SimClock
 from repro.gpusim.kernel import KernelSpec
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["DeviceSpec", "SimulatedGPU", "TESLA_C2075", "TESLA_K20"]
 
@@ -144,12 +145,27 @@ class SimulatedGPU:
 
     When a kernel carries an ``execute`` callable, the real computation
     runs at completion time and its result becomes the signal payload.
+
+    With a tracer attached (``tracer``/``track``), each task emits three
+    sub-spans on the device track — ``h2d+launch`` (ingress), ``compute``,
+    and ``d2h`` (egress) — so a Perfetto timeline shows exactly where
+    device time goes.  The default :data:`~repro.obs.tracer.NULL_TRACER`
+    keeps the hot path untouched.
     """
 
-    def __init__(self, clock: SimClock, spec: DeviceSpec, index: int = 0) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        spec: DeviceSpec,
+        index: int = 0,
+        tracer=None,
+        track: int = 0,
+    ) -> None:
         self.clock = clock
         self.spec = spec
         self.index = index
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.track = track
         self._waiting: deque[tuple[KernelSpec, Signal]] = deque()
         self._active = 0  # tasks in any phase
         self._compute_queue: deque[tuple[KernelSpec, Signal]] = deque()
@@ -195,14 +211,25 @@ class SimulatedGPU:
         self._active += 1
         if self._busy_since is None:
             self._busy_since = self.clock.now
+        t0 = self.clock.now if self.tracer.enabled else 0.0
         self.clock.at(
             self._ingress_time(kernel),
-            lambda k=kernel, d=done: self._enter_compute(k, d),
+            lambda k=kernel, d=done, t=t0: self._enter_compute(k, d, t),
         )
 
-    def _enter_compute(self, kernel: KernelSpec, done: Signal) -> None:
+    def _enter_compute(
+        self, kernel: KernelSpec, done: Signal, started: float = 0.0
+    ) -> None:
         if self.failed:
             return
+        if self.tracer.enabled:
+            self.tracer.complete(
+                self.track,
+                "h2d+launch",
+                started,
+                cat="ingress",
+                args={"label": kernel.label, "bytes_in": kernel.bytes_in},
+            )
         self._compute_queue.append((kernel, done))
         self._pump_compute()
 
@@ -211,23 +238,49 @@ class SimulatedGPU:
             return
         self._compute_busy = True
         kernel, done = self._compute_queue.popleft()
+        t0 = self.clock.now if self.tracer.enabled else 0.0
         self.clock.at(
             self.spec.compute_time(kernel),
-            lambda k=kernel, d=done: self._finish_compute(k, d),
+            lambda k=kernel, d=done, t=t0: self._finish_compute(k, d, t),
         )
 
-    def _finish_compute(self, kernel: KernelSpec, done: Signal) -> None:
+    def _finish_compute(
+        self, kernel: KernelSpec, done: Signal, started: float = 0.0
+    ) -> None:
         self._compute_busy = False
+        if self.tracer.enabled and not self.failed:
+            self.tracer.complete(
+                self.track,
+                "compute",
+                started,
+                cat="compute",
+                args={
+                    "label": kernel.label,
+                    "evals": kernel.total_evals,
+                    "evals_saved": kernel.evals_saved,
+                },
+            )
         if not self.failed:
+            t0 = self.clock.now if self.tracer.enabled else 0.0
             self.clock.at(
                 self.spec.transfer_time(kernel.bytes_out),
-                lambda k=kernel, d=done: self._complete(k, d),
+                lambda k=kernel, d=done, t=t0: self._complete(k, d, t),
             )
         self._pump_compute()
 
-    def _complete(self, kernel: KernelSpec, done: Signal) -> None:
+    def _complete(
+        self, kernel: KernelSpec, done: Signal, started: float = 0.0
+    ) -> None:
         if self.failed:
             return  # results from a failed device never arrive
+        if self.tracer.enabled:
+            self.tracer.complete(
+                self.track,
+                "d2h",
+                started,
+                cat="egress",
+                args={"label": kernel.label, "bytes_out": kernel.bytes_out},
+            )
         self._active -= 1
         self.completed += 1
         if self._active == 0 and self._busy_since is not None:

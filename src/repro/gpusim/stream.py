@@ -37,6 +37,14 @@ class Stream:
         """
         clock = self.gpu.clock
         self.submitted += 1
+        tracer = self.gpu.tracer
+        if tracer.enabled:
+            tracer.instant(
+                self.gpu.track,
+                "stream.enqueue",
+                cat="stream",
+                args={"stream": self.name, "seq": self.submitted},
+            )
         if self._tail is None or self._tail.fired:
             done = self.gpu.submit(kernel)
         else:

@@ -1,0 +1,54 @@
+"""Unified observability: spans, event buses, trace and metric exports.
+
+One substrate for the whole stack — broker -> runner -> device — on the
+shared virtual clock:
+
+- :mod:`repro.obs.tracer` — the span tracer (:class:`EventTracer`) and
+  its zero-cost stand-in (:data:`NULL_TRACER`);
+- :mod:`repro.obs.bus` — fan-out buses that keep the metrics ledgers
+  derived consumers of the same event stream;
+- :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable),
+  a schema validator, and terminal Gantt/summary renderers;
+- :mod:`repro.obs.prom` — Prometheus-style registry, text exposition,
+  and a minimal parser for CI round-trips.
+"""
+
+from repro.obs.bus import RunBus, ServiceBus
+from repro.obs.export import (
+    render_gantt,
+    render_summary,
+    to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.prom import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+    run_registry,
+    service_registry,
+)
+from repro.obs.tracer import NULL_TRACER, EventTracer, NullTracer, WallClock
+
+__all__ = [
+    "Counter",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunBus",
+    "ServiceBus",
+    "WallClock",
+    "parse_exposition",
+    "render_gantt",
+    "render_summary",
+    "run_registry",
+    "service_registry",
+    "to_chrome",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,121 @@
+"""Event buses: one ingestion point, ledgers and tracer as consumers.
+
+Before this layer existed the accounting was split across two
+unconnected ledgers — :class:`~repro.core.metrics.MetricsLedger` for
+tasks and :class:`~repro.service.telemetry.ServiceTelemetry` for
+requests — each fed by direct hook calls from the scheduler and the
+broker.  The buses invert that: instrumented code emits each semantic
+event *once*, and the bus fans it out to every consumer — the ledger
+(which keeps its public hook API and produces bit-identical figures)
+and, when tracing is on, the span tracer (counter tracks for loads and
+queue depths, instants for admission outcomes).
+
+Both buses duck-type the hook surface of the ledger they wrap, so the
+scheduler and broker call the same ``on_*`` methods they always did —
+handing them a bare ledger (as every existing test does) still works,
+because a ledger *is* a valid sink for its own hook API.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.tracer import NULL_TRACER
+
+__all__ = ["RunBus", "ServiceBus"]
+
+
+class RunBus:
+    """Fan-out for one hybrid batch's task-level events.
+
+    Exposes the :class:`~repro.core.metrics.MetricsLedger` hook API; the
+    scheduler and runner call it exactly as they would the ledger.  Load
+    changes additionally feed a per-device counter track so Perfetto
+    shows each GPU's queue occupancy as a filled series.
+    """
+
+    __slots__ = ("ledger", "tracer", "device_tracks")
+
+    def __init__(self, ledger, tracer=None, device_tracks: Sequence[int] = ()) -> None:
+        self.ledger = ledger
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.device_tracks = tuple(device_tracks)
+
+    # -- MetricsLedger hook surface ------------------------------------
+    def on_load_change(self, device: int, old: int, new: int, now: float) -> None:
+        self.ledger.on_load_change(device, old, new, now)
+        t = self.tracer
+        if t.enabled and device < len(self.device_tracks):
+            t.counter(self.device_tracks[device], "load", new)
+
+    def on_cpu_task(self) -> None:
+        self.ledger.on_cpu_task()
+
+    def on_admission_revoked(self, device: int) -> None:
+        self.ledger.on_admission_revoked(device)
+        t = self.tracer
+        if t.enabled and device < len(self.device_tracks):
+            t.instant(self.device_tracks[device], "admission.revoked", cat="sched")
+
+    def on_task_timing(self, wait_s: float, service_s: float) -> None:
+        self.ledger.on_task_timing(wait_s, service_s)
+
+    def on_task_event(self, event) -> None:
+        self.ledger.on_task_event(event)
+
+
+class ServiceBus:
+    """Fan-out for request-level events on one broker.
+
+    Exposes the :class:`~repro.service.telemetry.ServiceTelemetry` hook
+    API; arrivals, rejections, and retries mirror to instants on the
+    lane tracks, queue depth to a counter track.
+    """
+
+    __slots__ = ("telemetry", "tracer", "queue_track", "lane_tracks")
+
+    def __init__(
+        self, telemetry, tracer=None, queue_track: int = 0, lane_tracks=None
+    ) -> None:
+        self.telemetry = telemetry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.queue_track = queue_track
+        self.lane_tracks = dict(lane_tracks or {})
+
+    def _lane_track(self, lane: str) -> int:
+        return self.lane_tracks.get(lane, self.queue_track)
+
+    # -- ServiceTelemetry hook surface ---------------------------------
+    def on_arrival(self, lane: str) -> None:
+        self.telemetry.on_arrival(lane)
+
+    def on_rejection(self, lane: str) -> None:
+        self.telemetry.on_rejection(lane)
+        t = self.tracer
+        if t.enabled:
+            t.instant(self._lane_track(lane), "rejected", cat="admission")
+
+    def on_retry(self, lane: str) -> None:
+        self.telemetry.on_retry(lane)
+        t = self.tracer
+        if t.enabled:
+            t.instant(self._lane_track(lane), "retry", cat="admission")
+
+    def on_completion(
+        self, lane: str, latency_s: float, *, cached: bool, coalesced: bool
+    ) -> None:
+        self.telemetry.on_completion(
+            lane, latency_s, cached=cached, coalesced=coalesced
+        )
+
+    def on_queue_depth(self, depth: int, now: float) -> None:
+        self.telemetry.on_queue_depth(depth, now)
+        t = self.tracer
+        if t.enabled:
+            t.counter(self.queue_track, "queue_depth", depth)
+
+    def on_batch(self, result, n_requests: int) -> None:
+        self.telemetry.on_batch(result, n_requests)
+
+    def finalize(self, now: float) -> None:
+        self.telemetry.finalize(now)

@@ -1,0 +1,207 @@
+"""Trace exporters: Chrome trace-event JSON, schema check, terminal Gantt.
+
+The Chrome format (loadable in ``chrome://tracing`` and Perfetto) maps
+our tracks onto (pid, tid) pairs: one *process* per track group (the
+service, each hybrid node, the device fleet), one *thread* per lane /
+rank / device, with ``M``-phase metadata events naming both.  Virtual
+seconds become microsecond timestamps, the unit the format expects.
+
+:func:`validate_chrome_trace` is the schema check the golden-file test
+and CI lean on; it is intentionally independent of the writer (it
+inspects plain dicts) so it also audits hand-loaded traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from repro.obs.tracer import EventTracer
+
+__all__ = [
+    "to_chrome",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "render_gantt",
+    "render_summary",
+]
+
+_US = 1.0e6  # seconds -> microseconds
+
+
+def to_chrome(tracer: EventTracer) -> list[dict]:
+    """Render the recorded events as Chrome trace-event dicts.
+
+    Events are sorted by (ts, -dur) so nested complete events on one
+    track arrive outermost-first, the order stack-based viewers expect.
+    """
+    # pid per distinct process name (1-based), tid per track within it.
+    pids: dict[str, int] = {}
+    tids: dict[int, tuple[int, int]] = {}
+    meta: list[dict] = []
+    for handle, track in enumerate(tracer.tracks):
+        pid = pids.get(track.process)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[track.process] = pid
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": track.process},
+                }
+            )
+        tid = sum(1 for t in tids.values() if t[0] == pid) + 1
+        tids[handle] = (pid, tid)
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track.thread},
+            }
+        )
+
+    rows: list[dict] = []
+    for ev in sorted(tracer.events, key=lambda e: (e.ts, -e.dur)):
+        pid, tid = tids.get(ev.track, (0, 0))
+        row: dict = {
+            "name": ev.name,
+            "cat": ev.cat or "default",
+            "ph": ev.ph,
+            "pid": pid,
+            "tid": tid,
+            "ts": ev.ts * _US,
+        }
+        if ev.ph == "X":
+            row["dur"] = ev.dur * _US
+        if ev.ph in ("b", "e"):
+            row["id"] = ev.id
+        if ev.ph == "i":
+            row["s"] = "t"  # thread-scoped instant
+        if ev.args:
+            row["args"] = ev.args
+        elif ev.ph == "C":
+            row["args"] = {"value": 0}
+        rows.append(row)
+    return meta + rows
+
+
+def write_chrome_trace(path: str, tracer: EventTracer) -> int:
+    """Write the trace as JSON object format; returns the event count."""
+    events = to_chrome(tracer)
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return len(events)
+
+
+def validate_chrome_trace(trace: Union[dict, list]) -> list[str]:
+    """Schema-check a Chrome trace; returns a list of violations.
+
+    Checks: required keys per phase, non-negative timestamps, ``X``
+    events with non-negative durations that nest or disjoint cleanly per
+    (pid, tid) track, and async ``b``/``e`` events matched one-to-one by
+    (cat, id).
+    """
+    events = trace["traceEvents"] if isinstance(trace, dict) else trace
+    problems: list[str] = []
+    open_async: dict[tuple, int] = {}
+    complete_by_track: dict[tuple, list[tuple[float, float]]] = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None or "name" not in ev or "pid" not in ev or "tid" not in ev:
+            problems.append(f"event {i}: missing one of ph/name/pid/tid")
+            continue
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i} ({ev['name']}): bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i} ({ev['name']}): bad dur {dur!r}")
+            else:
+                complete_by_track.setdefault(
+                    (ev["pid"], ev["tid"]), []
+                ).append((ts, ts + dur))
+        elif ph in ("b", "e"):
+            key = (ev.get("cat"), ev.get("id"))
+            if ev.get("id") is None:
+                problems.append(f"event {i} ({ev['name']}): async event without id")
+            elif ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if open_async.get(key, 0) <= 0:
+                    problems.append(
+                        f"event {i} ({ev['name']}): 'e' with no open 'b' for {key}"
+                    )
+                else:
+                    open_async[key] -= 1
+        elif ph not in ("i", "C"):
+            problems.append(f"event {i} ({ev['name']}): unknown phase {ph!r}")
+    for key, n in open_async.items():
+        if n:
+            problems.append(f"{n} unmatched async begin event(s) for {key}")
+    # Per-track X intervals must nest or be disjoint (never cross).
+    for track, spans in complete_by_track.items():
+        spans.sort(key=lambda p: (p[0], -p[1]))
+        stack: list[float] = []
+        for start, end in spans:
+            while stack and stack[-1] <= start + 1e-9:
+                stack.pop()
+            if stack and end > stack[-1] + 1e-6:
+                problems.append(
+                    f"track {track}: span [{start}, {end}] crosses an "
+                    f"enclosing span ending at {stack[-1]}"
+                )
+            stack.append(end)
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Terminal rendering
+# ----------------------------------------------------------------------
+def render_gantt(tracer: EventTracer, width: int = 72) -> str:
+    """ASCII Gantt: one row per track, spans as filled cells."""
+    spans = [e for e in tracer.events if e.ph == "X"]
+    if not spans:
+        return "(no spans recorded)"
+    t_max = max(e.ts + e.dur for e in spans)
+    if t_max <= 0.0:
+        return "(zero-length trace)"
+    labels = [f"{t.process}/{t.thread}" for t in tracer.tracks]
+    pad = max(len(s) for s in labels) if labels else 0
+    lines = [f"{'track'.ljust(pad)} | 0 {'-' * (width - 10)} {t_max:.2f}s"]
+    for handle, label in enumerate(labels):
+        row = [" "] * width
+        for ev in spans:
+            if ev.track != handle:
+                continue
+            a = int(ev.ts / t_max * (width - 1))
+            b = max(a, int((ev.ts + ev.dur) / t_max * (width - 1)))
+            for x in range(a, b + 1):
+                row[x] = "#" if row[x] == " " else "="
+        lines.append(f"{label.ljust(pad)} | {''.join(row)}")
+    return "\n".join(lines)
+
+
+def render_summary(tracer: EventTracer) -> str:
+    """Per-category span totals: count, busy seconds, mean span."""
+    agg: dict[str, tuple[int, float]] = {}
+    for ev in tracer.events:
+        if ev.ph != "X":
+            continue
+        n, busy = agg.get(ev.cat or ev.name, (0, 0.0))
+        agg[ev.cat or ev.name] = (n + 1, busy + ev.dur)
+    if not agg:
+        return "(no spans recorded)"
+    lines = [f"{'category':<16} {'spans':>8} {'busy (s)':>12} {'mean (ms)':>12}"]
+    for cat in sorted(agg):
+        n, busy = agg[cat]
+        lines.append(f"{cat:<16} {n:>8} {busy:>12.4f} {busy / n * 1e3:>12.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,331 @@
+"""Prometheus-style metrics: registry, text exposition, minimal parser.
+
+Counters, gauges, and histograms in the Prometheus exposition text
+format (the ``# HELP`` / ``# TYPE`` / sample-line layout scraped by a
+real Prometheus).  No client library is required — the renderer and the
+parser are both in-repo, so CI can assert round-trips without extra
+dependencies.
+
+:func:`service_registry` derives the full serving-stack metric set from
+one :class:`~repro.service.broker.SpectrumBroker` (telemetry, cache,
+coalescer, folded hybrid ledgers): lane latency histograms, cache hit
+ratio, device load residency, evals saved by pruning, queue depth.
+The registry is a *derived consumer* — it reads the same ledgers the
+tracer's event stream feeds, so the two exports can never disagree.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_exposition",
+    "service_registry",
+    "run_registry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Latency buckets (virtual seconds) for the lane histograms.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got "
+                f"{tuple(labels)}"
+            )
+        return tuple(str(labels[k]) for k in self.labelnames)
+
+
+class Counter(_Metric):
+    """Monotone accumulator."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, labelnames=()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if value < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def samples(self) -> Iterable[tuple[str, dict, float]]:
+        for key, value in sorted(self._values.items()):
+            yield self.name, dict(zip(self.labelnames, key)), value
+
+
+class Gauge(_Metric):
+    """Point-in-time value."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, labelnames=()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def samples(self) -> Iterable[tuple[str, dict, float]]:
+        for key, value in sorted(self._values.items()):
+            yield self.name, dict(zip(self.labelnames, key)), value
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (`_bucket`/`_sum`/`_count` samples)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames=(), buckets=DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        self.bounds = bounds
+        self._counts: dict[tuple, list[int]] = {}
+        self._sums: dict[tuple, float] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        counts = self._counts.setdefault(key, [0] * (len(self.bounds) + 1))
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def samples(self) -> Iterable[tuple[str, dict, float]]:
+        for key in sorted(self._counts):
+            labels = dict(zip(self.labelnames, key))
+            counts = self._counts[key]
+            cum = 0
+            for bound, n in zip(self.bounds, counts):
+                cum += n
+                yield self.name + "_bucket", {**labels, "le": _fmt(bound)}, cum
+            cum += counts[-1]
+            yield self.name + "_bucket", {**labels, "le": "+Inf"}, cum
+            yield self.name + "_sum", labels, self._sums[key]
+            yield self.name + "_count", labels, cum
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics with one text exposition."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def register(self, metric: _Metric) -> _Metric:
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name, help, labelnames=()) -> Counter:
+        return self.register(Counter(name, help, labelnames))
+
+    def gauge(self, name, help, labelnames=()) -> Gauge:
+        return self.register(Gauge(name, help, labelnames))
+
+    def histogram(self, name, help, labelnames=(), buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self.register(Histogram(name, help, labelnames, buckets))
+
+    def render(self) -> str:
+        """The Prometheus text exposition format, one family per metric."""
+        lines: list[str] = []
+        for metric in self._metrics.values():
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for name, labels, value in metric.samples():
+                lines.append(f"{name}{_label_str(labels)} {_fmt(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Minimal exposition-format parser: family name -> [(labels, value)].
+
+    Sample names like ``x_bucket``/``x_sum``/``x_count`` are grouped
+    under their own keys; ``# TYPE``/``# HELP`` lines register the
+    family (so an empty family still appears).  Raises ``ValueError`` on
+    malformed lines — the CI step uses this as a validity check.
+    """
+    families: dict[str, list[tuple[dict, float]]] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                families.setdefault(parts[2], [])
+                continue
+            raise ValueError(f"line {lineno}: malformed comment {line!r}")
+        m = re.match(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$", line
+        )
+        if not m:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name, labelblob, value = m.groups()
+        labels: dict[str, str] = {}
+        if labelblob:
+            for item in filter(None, labelblob[1:-1].split(",")):
+                lm = re.match(r'^([a-zA-Z_][a-zA-Z0-9_]*)="(.*)"$', item)
+                if not lm:
+                    raise ValueError(f"line {lineno}: malformed label {item!r}")
+                labels[lm.group(1)] = lm.group(2)
+        families.setdefault(name, []).append(
+            (labels, math.inf if value == "+Inf" else float(value))
+        )
+    return families
+
+
+# ----------------------------------------------------------------------
+# Derivations from the repo's ledgers
+# ----------------------------------------------------------------------
+def service_registry(broker) -> MetricsRegistry:
+    """Derive the serving-stack metric set from one broker's ledgers."""
+    reg = MetricsRegistry()
+    tel = broker.telemetry
+
+    arrivals = reg.counter(
+        "repro_requests_total", "Requests by lane and outcome", ("lane", "outcome")
+    )
+    latency = reg.histogram(
+        "repro_request_latency_seconds",
+        "Completion latency by lane (virtual seconds)",
+        ("lane",),
+    )
+    for lane, stats in tel.lanes.items():
+        arrivals.inc(stats.cache_hits, lane=lane, outcome="cache_hit")
+        arrivals.inc(stats.coalesced, lane=lane, outcome="coalesced")
+        arrivals.inc(stats.computed, lane=lane, outcome="computed")
+        arrivals.inc(stats.rejections, lane=lane, outcome="rejected")
+        arrivals.inc(stats.retries, lane=lane, outcome="retried")
+        for sample in stats.latency_samples():
+            latency.observe(sample, lane=lane)
+
+    cache = broker.cache.stats
+    lookups = reg.counter(
+        "repro_cache_lookups_total", "Cache lookups by result", ("result",)
+    )
+    lookups.inc(cache.hits, result="hit")
+    lookups.inc(cache.misses, result="miss")
+    reg.gauge("repro_cache_hit_ratio", "Cache hits / lookups").set(cache.hit_ratio())
+    reg.gauge("repro_cache_entries", "Entries resident in the cache").set(
+        len(broker.cache)
+    )
+    reg.gauge("repro_cache_bytes", "Bytes resident in the cache").set(
+        broker.cache.bytes_stored
+    )
+    churn = reg.counter(
+        "repro_cache_churn_total", "Cache removals by cause", ("cause",)
+    )
+    churn.inc(cache.evictions, cause="evicted")
+    churn.inc(cache.expirations, cause="expired")
+
+    reg.counter(
+        "repro_coalesced_joins_total", "Requests attached to an in-flight leader"
+    ).inc(broker.coalescer.coalesced)
+
+    reg.gauge("repro_queue_depth_mean", "Time-weighted mean admission depth").set(
+        tel.mean_queue_depth()
+    )
+    reg.gauge("repro_queue_depth_max", "Peak admission depth").set(tel.max_depth)
+
+    tasks = reg.counter(
+        "repro_tasks_total", "Hybrid tasks by placement", ("placement",)
+    )
+    tasks.inc(tel.gpu_tasks, placement="gpu")
+    tasks.inc(tel.cpu_tasks, placement="cpu")
+    reg.counter("repro_batches_total", "Hybrid batches dispatched").inc(
+        len(tel.batch_sizes)
+    )
+    reg.counter(
+        "repro_evals_saved_total",
+        "Integrand evaluations pruned by active windows",
+    ).inc(tel.evals_saved)
+
+    residency = reg.gauge(
+        "repro_device_load_residency_seconds",
+        "Virtual seconds each device load level was held (all batches)",
+        ("device", "load"),
+    )
+    if tel.load_residency is not None:
+        for d in range(tel.load_residency.shape[0]):
+            for load in range(tel.load_residency.shape[1]):
+                residency.set(
+                    float(tel.load_residency[d, load]), device=d, load=load
+                )
+    reg.gauge("repro_virtual_time_seconds", "Virtual end time of the run").set(
+        tel.end_time
+    )
+    return reg
+
+
+def run_registry(result, wall_s: Optional[float] = None) -> MetricsRegistry:
+    """Derive a registry from one hybrid :class:`RunResult` ledger."""
+    reg = MetricsRegistry()
+    m = result.metrics
+    reg.gauge("repro_makespan_seconds", "Virtual makespan of the run").set(
+        result.makespan_s
+    )
+    tasks = reg.counter(
+        "repro_tasks_total", "Tasks by placement", ("placement",)
+    )
+    tasks.inc(int(m.gpu_tasks.sum()), placement="gpu")
+    tasks.inc(m.cpu_tasks, placement="cpu")
+    reg.gauge("repro_gpu_task_ratio", "Fraction of tasks served by GPUs").set(
+        m.gpu_task_ratio()
+    )
+    reg.counter(
+        "repro_evals_saved_total",
+        "Integrand evaluations pruned by active windows",
+    ).inc(m.evals_saved)
+    residency = reg.gauge(
+        "repro_device_load_residency_seconds",
+        "Virtual seconds each device load level was held",
+        ("device", "load"),
+    )
+    for d in range(m.n_devices):
+        for load in range(m.max_queue_length + 1):
+            residency.set(float(m.load_residency[d, load]), device=d, load=load)
+    if wall_s is not None:
+        reg.gauge("repro_wall_seconds", "Host wall-clock time of the run").set(wall_s)
+    return reg

@@ -1,0 +1,184 @@
+"""Span-based tracing on the shared virtual clock.
+
+The tracer is the substrate every layer of the stack reports into: the
+service broker (request admission, queueing, batch dispatch), the hybrid
+runner (per-task spans with placement attributes), and the simulated
+GPUs (ingress / compute / egress sub-spans).  Timestamps are *virtual*
+seconds read from the same :class:`~repro.cluster.simclock.SimClock`
+every process runs on, so a trace is exactly as deterministic as the
+run it records — no wall-clock ambiguity, no sampling jitter.
+
+Two implementations share one duck-typed API:
+
+- :class:`NullTracer` (module singleton :data:`NULL_TRACER`) — every
+  method is a no-op and ``enabled`` is ``False``; instrumented hot paths
+  guard their argument construction with ``if tracer.enabled`` so a run
+  without tracing pays one attribute read per site.
+- :class:`EventTracer` — records :class:`TraceEvent` rows in memory.
+  Export lives in :mod:`repro.obs.export` (Chrome trace-event JSON for
+  Perfetto, terminal Gantt) and :mod:`repro.obs.prom` (Prometheus text
+  exposition derived from the same stream).
+
+Event vocabulary (a deliberate subset of the Chrome trace-event model):
+
+- *complete* span — a ``[start, now]`` interval on a track ("X");
+- *async* span   — begin/end pair matched by id, for request lifetimes
+  that overlap freely on one lane track ("b"/"e");
+- *instant*      — a point event (cache hit, placement decision) ("i");
+- *counter*      — a sampled series (queue depth, device load) ("C").
+
+A *track* is one horizontal lane of the rendered timeline, named by a
+``(process, thread)`` pair — e.g. ``("svc0", "rank3")`` or
+``("service", "lane.interactive")`` — and interned to an integer handle
+so hot-path emission never hashes strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TraceEvent", "NullTracer", "EventTracer", "NULL_TRACER", "WallClock"]
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event; ``ts``/``dur`` are virtual seconds."""
+
+    ph: str  # "X" | "b" | "e" | "i" | "C"
+    name: str
+    cat: str
+    track: int
+    ts: float
+    dur: float = 0.0
+    id: Optional[int] = None
+    args: Optional[dict] = None
+
+
+class NullTracer:
+    """The do-nothing tracer: tracing off, hot path unperturbed."""
+
+    enabled = False
+
+    def bind(self, clock) -> "NullTracer":
+        return self
+
+    def track(self, process: str, thread: str) -> int:
+        return 0
+
+    def complete(self, track, name, start, cat="", args=None) -> None:
+        pass
+
+    def span(self, track, name, start, end, cat="", args=None) -> None:
+        pass
+
+    def instant(self, track, name, cat="", args=None) -> None:
+        pass
+
+    def async_begin(self, track, name, id, cat="", args=None) -> None:
+        pass
+
+    def async_end(self, track, name, id, cat="", args=None) -> None:
+        pass
+
+    def counter(self, track, name, value) -> None:
+        pass
+
+
+#: Shared no-op instance — stateless, so one is enough for the process.
+NULL_TRACER = NullTracer()
+
+
+class WallClock:
+    """Wall-time stand-in for a SimClock (CLI paths with no simulation).
+
+    ``now`` is seconds since construction, so wall traces start at t = 0
+    like virtual ones.
+    """
+
+    def __init__(self) -> None:
+        import time
+
+        self._t0 = time.perf_counter()
+        self._time = time.perf_counter
+
+    @property
+    def now(self) -> float:
+        return self._time() - self._t0
+
+
+@dataclass
+class _Track:
+    process: str
+    thread: str
+
+
+class EventTracer:
+    """In-memory recording tracer on a (virtual or wall) clock."""
+
+    enabled = True
+
+    def __init__(self, clock=None) -> None:
+        self._clock = clock
+        self.events: list[TraceEvent] = []
+        self.tracks: list[_Track] = []
+        self._track_ids: dict[tuple[str, str], int] = {}
+
+    def bind(self, clock) -> "EventTracer":
+        """Late-bind the clock (for runs that build their own SimClock)."""
+        self._clock = clock
+        return self
+
+    @property
+    def bound(self) -> bool:
+        return self._clock is not None
+
+    @property
+    def now(self) -> float:
+        if self._clock is None:
+            raise RuntimeError("tracer has no clock; call bind(clock) first")
+        return self._clock.now
+
+    # ------------------------------------------------------------------
+    # Tracks
+    # ------------------------------------------------------------------
+    def track(self, process: str, thread: str) -> int:
+        """Intern a ``(process, thread)`` pair to a track handle."""
+        key = (process, thread)
+        tid = self._track_ids.get(key)
+        if tid is None:
+            tid = len(self.tracks)
+            self.tracks.append(_Track(process, thread))
+            self._track_ids[key] = tid
+        return tid
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def complete(self, track, name, start, cat="", args=None) -> None:
+        """Close a span opened at virtual time ``start`` on ``track``."""
+        now = self.now
+        self.events.append(
+            TraceEvent("X", name, cat, track, start, now - start, None, args)
+        )
+
+    def span(self, track, name, start, end, cat="", args=None) -> None:
+        """Record a span with an explicit ``[start, end]`` interval."""
+        self.events.append(
+            TraceEvent("X", name, cat, track, start, end - start, None, args)
+        )
+
+    def instant(self, track, name, cat="", args=None) -> None:
+        self.events.append(TraceEvent("i", name, cat, track, self.now, 0.0, None, args))
+
+    def async_begin(self, track, name, id, cat="", args=None) -> None:
+        self.events.append(TraceEvent("b", name, cat, track, self.now, 0.0, id, args))
+
+    def async_end(self, track, name, id, cat="", args=None) -> None:
+        self.events.append(TraceEvent("e", name, cat, track, self.now, 0.0, id, args))
+
+    def counter(self, track, name, value) -> None:
+        """Sample a counter series (rendered as a filled track)."""
+        self.events.append(
+            TraceEvent("C", name, "", track, self.now, 0.0, None, {"value": value})
+        )

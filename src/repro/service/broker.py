@@ -32,6 +32,8 @@ from repro.atomic.database import AtomicConfig, AtomicDatabase
 from repro.cluster.simclock import Signal, SimClock
 from repro.core.calibration import CostModel
 from repro.core.hybrid import HybridConfig, HybridRunner
+from repro.obs.bus import ServiceBus
+from repro.obs.tracer import NULL_TRACER
 from repro.service.cache import SpectrumCache
 from repro.service.coalesce import InFlight, RequestCoalescer
 from repro.service.loadgen import Arrival
@@ -78,6 +80,10 @@ class ServiceConfig:
     #: Atomic database scope shared by all requests.
     db_n_max: int = 4
     db_z_max: int = 14
+    #: Cap per-lane latency samples at this reservoir size (uniform
+    #: sample, deterministic); ``None`` keeps every sample, matching the
+    #: historical behaviour.
+    latency_reservoir: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -88,6 +94,8 @@ class ServiceConfig:
             raise ValueError("batch_max must be >= 1")
         if self.retry_after_s <= 0.0:
             raise ValueError("retry_after_s must be positive")
+        if self.latency_reservoir is not None and self.latency_reservoir < 1:
+            raise ValueError("latency_reservoir must be >= 1 or None")
 
 
 @dataclass
@@ -104,6 +112,9 @@ class Ticket:
     retry_after_s: float = 0.0
     completed_at: float = 0.0
     result: Optional[np.ndarray] = None
+    #: Async-span correlation id of this request in the trace (0 when
+    #: tracing is off or the ticket was rejected before a span opened).
+    trace_id: int = 0
     #: Fires with the spectrum when the request resolves (pre-fired for
     #: cache hits); ``None`` on rejected tickets.
     signal: Optional[Signal] = None
@@ -134,22 +145,46 @@ class SpectrumBroker:
         clock: SimClock,
         config: ServiceConfig | None = None,
         db: AtomicDatabase | None = None,
+        tracer=None,
     ) -> None:
         self.clock = clock
         self.config = config or ServiceConfig()
         self.db = db or AtomicDatabase(
             AtomicConfig(n_max=self.config.db_n_max, z_max=self.config.db_z_max)
         )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            cache_track = self.tracer.track("service", "cache")
+            coalesce_track = self.tracer.track("service", "coalescer")
+            queue_track = self.tracer.track("service", "queue")
+            lane_tracks = {
+                lane: self.tracer.track("service", f"lane.{lane}") for lane in LANES
+            }
+        else:
+            cache_track = coalesce_track = queue_track = 0
+            lane_tracks = {}
+        self._lane_tracks = lane_tracks
         self.cache = SpectrumCache(
             max_entries=self.config.cache_max_entries,
             max_bytes=self.config.cache_max_bytes,
             ttl_s=self.config.cache_ttl_s,
+            tracer=self.tracer,
+            track=cache_track,
         )
-        self.coalescer = RequestCoalescer()
-        self.telemetry = ServiceTelemetry(LANES)
+        self.coalescer = RequestCoalescer(tracer=self.tracer, track=coalesce_track)
+        self.telemetry = ServiceTelemetry(
+            LANES, latency_reservoir=self.config.latency_reservoir
+        )
+        self.bus = ServiceBus(
+            self.telemetry,
+            tracer=self.tracer,
+            queue_track=queue_track,
+            lane_tracks=lane_tracks,
+        )
         self._queues: dict[str, deque[InFlight]] = {lane: deque() for lane in LANES}
         self._idle: deque[Signal] = deque()
         self._batch_seq = 0
+        self._req_seq = 0
         self._started = False
 
     # ------------------------------------------------------------------
@@ -191,11 +226,15 @@ class SpectrumBroker:
             raise RuntimeError("broker not started; call start() first")
         now = self.clock.now
         if retry:
-            self.telemetry.on_retry(lane)
+            self.bus.on_retry(lane)
         else:
-            self.telemetry.on_arrival(lane)
+            self.bus.on_arrival(lane)
         key = request.key
         ticket = Ticket(request=request, lane=lane, key=key, submitted_at=now)
+        traced = self.tracer.enabled
+        if traced:
+            self._req_seq += 1
+            ticket.trace_id = self._req_seq
 
         hit = self.cache.get(key, now)
         if hit is not None:
@@ -204,7 +243,14 @@ class SpectrumBroker:
             sig = Signal(name=f"cached.{key[:8]}")
             sig.fire(self.clock, hit)
             ticket.signal = sig
-            self.telemetry.on_completion(lane, 0.0, cached=True, coalesced=False)
+            if traced:
+                lt = self._lane_tracks[lane]
+                self.tracer.async_begin(
+                    lt, "request", ticket.trace_id, cat="request",
+                    args={"key": key[:8], "outcome": "cache_hit"},
+                )
+                self.tracer.async_end(lt, "request", ticket.trace_id, cat="request")
+            self.bus.on_completion(lane, 0.0, cached=True, coalesced=False)
             return ticket
 
         entry = self.coalescer.lookup(key)
@@ -212,19 +258,29 @@ class SpectrumBroker:
             ticket.coalesced = True
             ticket.signal = entry.done
             self.coalescer.attach(entry, ticket)
+            if traced:
+                self.tracer.async_begin(
+                    self._lane_tracks[lane], "request", ticket.trace_id,
+                    cat="request", args={"key": key[:8], "outcome": "coalesced"},
+                )
             return ticket
 
         if self.queue_depth >= self.config.queue_capacity:
             ticket.status = "rejected"
             ticket.retry_after_s = self.config.retry_after_s
-            self.telemetry.on_rejection(lane)
+            self.bus.on_rejection(lane)
             return ticket
 
         entry = self.coalescer.open(key, request, lane, now)
         entry.subscribers.append(ticket)
         ticket.signal = entry.done
         self._queues[lane].append(entry)
-        self.telemetry.on_queue_depth(self.queue_depth, now)
+        if traced:
+            self.tracer.async_begin(
+                self._lane_tracks[lane], "request", ticket.trace_id,
+                cat="request", args={"key": key[:8], "outcome": "queued"},
+            )
+        self.bus.on_queue_depth(self.queue_depth, now)
         self._wake_worker()
         return ticket
 
@@ -251,11 +307,17 @@ class SpectrumBroker:
             while queue and len(batch) < self.config.batch_max:
                 batch.append(queue.popleft())
         if batch:
-            self.telemetry.on_queue_depth(self.queue_depth, self.clock.now)
+            self.bus.on_queue_depth(self.queue_depth, self.clock.now)
         return batch
 
     def _worker(self, wid: int) -> Generator:
-        runner = HybridRunner(self.config.hybrid)
+        runner = HybridRunner(
+            self.config.hybrid, tracer=self.tracer, scope=f"svc{wid}"
+        )
+        traced = self.tracer.enabled
+        worker_track = (
+            self.tracer.track(f"svc{wid}", "dispatch") if traced else 0
+        )
         while True:
             batch = self._drain_batch()
             if not batch:
@@ -272,11 +334,20 @@ class SpectrumBroker:
                     )
                 )
             self._batch_seq += 1
-            handle = runner.spawn_batch(
-                tasks, self.clock, name=f"svc{wid}.batch{self._batch_seq}"
-            )
+            batch_name = f"svc{wid}.batch{self._batch_seq}"
+            dispatched_at = self.clock.now
+            handle = runner.spawn_batch(tasks, self.clock, name=batch_name)
             result = yield handle
             now = self.clock.now
+            if traced:
+                self.tracer.span(
+                    worker_track,
+                    batch_name,
+                    dispatched_at,
+                    now,
+                    cat="dispatch",
+                    args={"n_requests": len(batch), "n_tasks": len(tasks)},
+                )
             for i, entry in enumerate(batch):
                 spectrum = result.spectra.get(i)
                 if spectrum is None:  # cost-only tasks produce no payload
@@ -285,14 +356,22 @@ class SpectrumBroker:
                 self.coalescer.resolve(entry.key)
                 for ticket in entry.subscribers:
                     ticket._complete(now, spectrum)
-                    self.telemetry.on_completion(
+                    if traced and ticket.trace_id:
+                        self.tracer.async_end(
+                            self._lane_tracks[ticket.lane],
+                            "request",
+                            ticket.trace_id,
+                            cat="request",
+                            args={"latency_s": ticket.latency_s},
+                        )
+                    self.bus.on_completion(
                         ticket.lane,
                         ticket.latency_s,
                         cached=False,
                         coalesced=ticket.coalesced,
                     )
                 entry.done.fire(self.clock, spectrum)
-            self.telemetry.on_batch(result, len(batch))
+            self.bus.on_batch(result, len(batch))
 
 
 # ----------------------------------------------------------------------
@@ -303,6 +382,7 @@ def run_trace(
     config: ServiceConfig | None = None,
     db: AtomicDatabase | None = None,
     max_retry_backoff: float = 32.0,
+    tracer=None,
 ) -> tuple[SpectrumBroker, list[Optional[Ticket]]]:
     """Play a traffic trace through a fresh broker to completion.
 
@@ -315,7 +395,9 @@ def run_trace(
     each arrival's final ticket, trace-ordered.
     """
     clock = SimClock()
-    broker = SpectrumBroker(clock, config, db=db)
+    if tracer is not None:
+        tracer.bind(clock)
+    broker = SpectrumBroker(clock, config, db=db, tracer=tracer)
     broker.start()
     tickets: list[Optional[Ticket]] = [None] * len(trace)
 
@@ -343,5 +425,5 @@ def run_trace(
 
     clock.spawn(dispatcher(), name="dispatcher")
     clock.run()
-    broker.telemetry.finalize(clock.now)
+    broker.bus.finalize(clock.now)
     return broker, tickets

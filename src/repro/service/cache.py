@@ -22,6 +22,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER
+
 __all__ = ["CacheStats", "SpectrumCache"]
 
 #: Flat bookkeeping charge per entry (key, timestamps, list links).
@@ -70,6 +72,8 @@ class SpectrumCache:
         max_entries: int = 256,
         max_bytes: int = 32 << 20,
         ttl_s: float = float("inf"),
+        tracer=None,
+        track: int = 0,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
@@ -80,6 +84,8 @@ class SpectrumCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.ttl_s = ttl_s
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.track = track
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._bytes = 0
@@ -114,14 +120,29 @@ class SpectrumCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.track, "cache.miss", cat="cache", args={"key": key[:8]}
+                )
             return None
         if now - entry.inserted_at >= self.ttl_s:
             self._drop(key, entry)
             self.stats.expirations += 1
             self.stats.misses += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.track,
+                    "cache.expired",
+                    cat="cache",
+                    args={"key": key[:8], "age_s": now - entry.inserted_at},
+                )
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.track, "cache.hit", cat="cache", args={"key": key[:8]}
+            )
         return entry.value
 
     def put(self, key: str, value: np.ndarray, now: float) -> bool:
@@ -137,6 +158,13 @@ class SpectrumCache:
         self._entries[key] = _Entry(value=arr, nbytes=nbytes, inserted_at=now)
         self._bytes += nbytes
         self.stats.insertions += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.track,
+                "cache.insert",
+                cat="cache",
+                args={"key": key[:8], "nbytes": nbytes},
+            )
         self._evict_over_budget()
         return True
 
@@ -161,6 +189,13 @@ class SpectrumCache:
 
     def _evict_over_budget(self) -> None:
         while len(self._entries) > self.max_entries or self._bytes > self.max_bytes:
-            _key, entry = self._entries.popitem(last=False)
+            key, entry = self._entries.popitem(last=False)
             self._bytes -= entry.nbytes
             self.stats.evictions += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.track,
+                    "cache.evict",
+                    cat="cache",
+                    args={"key": key[:8], "nbytes": entry.nbytes},
+                )

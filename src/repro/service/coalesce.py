@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.simclock import Signal
+from repro.obs.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.service.broker import Ticket
@@ -45,10 +46,12 @@ class InFlight:
 class RequestCoalescer:
     """Tracks unique in-flight requests by content address."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None, track: int = 0) -> None:
         self._inflight: dict[str, InFlight] = {}
         self.opened = 0
         self.coalesced = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.track = track
 
     def __len__(self) -> int:
         return len(self._inflight)
@@ -71,16 +74,37 @@ class RequestCoalescer:
         )
         self._inflight[key] = entry
         self.opened += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.track,
+                "coalesce.open",
+                cat="coalesce",
+                args={"key": key[:8], "lane": lane},
+            )
         return entry
 
     def attach(self, entry: InFlight, ticket: "Ticket") -> None:
         """Join a follower ticket to an existing in-flight entry."""
         entry.subscribers.append(ticket)
         self.coalesced += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.track,
+                "coalesce.attach",
+                cat="coalesce",
+                args={"key": entry.key[:8], "subscribers": len(entry.subscribers)},
+            )
 
     def resolve(self, key: str) -> InFlight:
         """Close an entry once its result exists; returns it for fan-out."""
         entry = self._inflight.pop(key, None)
         if entry is None:
             raise KeyError(f"no in-flight request with key {key}")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.track,
+                "coalesce.resolve",
+                cat="coalesce",
+                args={"key": key[:8], "subscribers": len(entry.subscribers)},
+            )
         return entry

@@ -6,11 +6,22 @@ hooks), lifted one level up: the unit here is a *request*, not a task.
 Per-batch :class:`~repro.core.metrics.RunResult` ledgers from the hybrid
 runner are folded in so one report spans the whole stack — admission,
 queueing, caching, and device placement.
+
+The hooks are fed through :class:`repro.obs.bus.ServiceBus`, which makes
+this ledger one *derived consumer* of the service event stream (the span
+tracer being the other); calling the hooks directly remains supported —
+a ledger is a valid sink for its own API.
+
+Latency samples are exact by default; for long trace replays pass
+``latency_reservoir`` to cap per-lane memory with deterministic
+reservoir sampling (mean/max stay exact from streaming aggregates,
+percentiles come from the reservoir).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -18,10 +29,21 @@ from repro.core.metrics import RunResult
 
 __all__ = ["LaneStats", "ServiceTelemetry"]
 
+#: Fixed seed of the reservoir's replacement draws — sampling stays
+#: deterministic for a given observation sequence, like everything else.
+_RESERVOIR_SEED = 20150413
+
 
 @dataclass
 class LaneStats:
-    """Request counters and latency samples of one priority lane."""
+    """Request counters and latency samples of one priority lane.
+
+    ``reservoir=None`` keeps every latency sample (exact percentiles,
+    unbounded memory); ``reservoir=k`` holds a uniform k-sample
+    reservoir (Vitter's algorithm R) instead, so arbitrarily long
+    replays use O(k) memory.  Mean and max are always exact — they come
+    from streaming aggregates, not the sample set.
+    """
 
     arrivals: int = 0
     completions: int = 0
@@ -31,11 +53,39 @@ class LaneStats:
     rejections: int = 0
     retries: int = 0
     latencies_s: list[float] = field(default_factory=list)
+    reservoir: Optional[int] = None
+    _seen: int = field(default=0, repr=False)
+    _sum: float = field(default=0.0, repr=False)
+    _max: float = field(default=0.0, repr=False)
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.reservoir is not None and self.reservoir < 1:
+            raise ValueError("reservoir capacity must be >= 1")
 
     @property
     def lost(self) -> int:
         """Requests that arrived but never completed."""
         return self.arrivals - self.completions
+
+    def record_latency(self, latency_s: float) -> None:
+        """Stream one latency sample into the (bounded or exact) store."""
+        self._seen += 1
+        self._sum += latency_s
+        if latency_s > self._max:
+            self._max = latency_s
+        if self.reservoir is None or len(self.latencies_s) < self.reservoir:
+            self.latencies_s.append(latency_s)
+            return
+        if self._rng is None:
+            self._rng = np.random.default_rng(_RESERVOIR_SEED)
+        j = int(self._rng.integers(0, self._seen))
+        if j < self.reservoir:
+            self.latencies_s[j] = latency_s
+
+    def latency_samples(self) -> list[float]:
+        """The retained samples (every one, or the reservoir's subset)."""
+        return list(self.latencies_s)
 
     def latency_percentile(self, q: float) -> float:
         if not self.latencies_s:
@@ -43,7 +93,15 @@ class LaneStats:
         return float(np.percentile(np.asarray(self.latencies_s), q))
 
     def mean_latency_s(self) -> float:
+        if self._seen:
+            return self._sum / self._seen
+        # Hand-built stats (latencies_s passed directly): fall back.
         return float(np.mean(self.latencies_s)) if self.latencies_s else 0.0
+
+    def max_latency_s(self) -> float:
+        if self._seen:
+            return self._max
+        return max(self.latencies_s, default=0.0)
 
     def as_dict(self) -> dict:
         return {
@@ -58,17 +116,23 @@ class LaneStats:
             "latency_mean_s": self.mean_latency_s(),
             "latency_p50_s": self.latency_percentile(50.0),
             "latency_p95_s": self.latency_percentile(95.0),
-            "latency_max_s": max(self.latencies_s, default=0.0),
+            "latency_max_s": self.max_latency_s(),
         }
 
 
 class ServiceTelemetry:
     """Accumulates service statistics over one simulated serving run."""
 
-    def __init__(self, lanes: tuple[str, ...] = ("interactive", "survey")) -> None:
+    def __init__(
+        self,
+        lanes: tuple[str, ...] = ("interactive", "survey"),
+        latency_reservoir: Optional[int] = None,
+    ) -> None:
         if not lanes:
             raise ValueError("need at least one lane")
-        self.lanes: dict[str, LaneStats] = {lane: LaneStats() for lane in lanes}
+        self.lanes: dict[str, LaneStats] = {
+            lane: LaneStats(reservoir=latency_reservoir) for lane in lanes
+        }
         # Queue-depth residency (all lanes pooled): virtual seconds the
         # admission queue spent at each observed depth.
         self._depth_residency: dict[int, float] = {}
@@ -80,6 +144,10 @@ class ServiceTelemetry:
         self.batch_makespans_s: list[float] = []
         self.gpu_tasks = 0
         self.cpu_tasks = 0
+        self.evals_saved = 0
+        #: Summed device load residency across batches (device x load
+        #: virtual seconds), grown to the widest batch shape seen.
+        self.load_residency: Optional[np.ndarray] = None
         self.end_time = 0.0
 
     def _lane(self, lane: str) -> LaneStats:
@@ -91,7 +159,7 @@ class ServiceTelemetry:
             ) from None
 
     # ------------------------------------------------------------------
-    # Hooks called by the broker
+    # Hooks called by the broker (through the ServiceBus)
     # ------------------------------------------------------------------
     def on_arrival(self, lane: str) -> None:
         self._lane(lane).arrivals += 1
@@ -107,7 +175,7 @@ class ServiceTelemetry:
     ) -> None:
         stats = self._lane(lane)
         stats.completions += 1
-        stats.latencies_s.append(latency_s)
+        stats.record_latency(latency_s)
         if cached:
             stats.cache_hits += 1
         elif coalesced:
@@ -132,6 +200,20 @@ class ServiceTelemetry:
         self.batch_makespans_s.append(result.makespan_s)
         self.gpu_tasks += int(result.metrics.gpu_tasks.sum())
         self.cpu_tasks += result.metrics.cpu_tasks
+        self.evals_saved += result.metrics.evals_saved
+        batch = result.metrics.load_residency
+        if self.load_residency is None:
+            self.load_residency = batch.copy()
+        else:
+            rows = max(self.load_residency.shape[0], batch.shape[0])
+            cols = max(self.load_residency.shape[1], batch.shape[1])
+            if (rows, cols) != self.load_residency.shape:
+                grown = np.zeros((rows, cols))
+                grown[
+                    : self.load_residency.shape[0], : self.load_residency.shape[1]
+                ] = self.load_residency
+                self.load_residency = grown
+            self.load_residency[: batch.shape[0], : batch.shape[1]] += batch
 
     def finalize(self, now: float) -> None:
         """Close the open residency interval at the end of the run."""
@@ -189,6 +271,7 @@ class ServiceTelemetry:
             "gpu_tasks": self.gpu_tasks,
             "cpu_tasks": self.cpu_tasks,
             "gpu_task_ratio": self.gpu_task_ratio(),
+            "evals_saved": self.evals_saved,
             "virtual_time_s": self.end_time,
             "lanes": {lane: s.as_dict() for lane, s in self.lanes.items()},
         }

@@ -1,0 +1,147 @@
+"""Event buses, the latency reservoir, and TaskEvent timing fields."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import MetricsLedger, TaskEvent
+from repro.obs import EventTracer, RunBus, ServiceBus
+from repro.cluster.simclock import SimClock
+from repro.service.telemetry import LaneStats, ServiceTelemetry
+
+
+class TestRunBus:
+    def test_forwards_to_bare_ledger(self):
+        ledger = MetricsLedger(n_devices=2, max_queue_length=4)
+        bus = RunBus(ledger)
+        bus.on_load_change(0, 0, 1, 0.0)
+        bus.on_load_change(0, 1, 0, 1.0)
+        bus.on_cpu_task()
+        bus.on_task_timing(0.25, 1.0)
+        assert ledger.cpu_tasks == 1
+        assert ledger.load_residency[0, 1] == pytest.approx(1.0)
+
+    def test_mirrors_load_to_counter_track(self):
+        ledger = MetricsLedger(n_devices=1, max_queue_length=4)
+        tracer = EventTracer(SimClock())
+        track = tracer.track("node", "gpu0")
+        bus = RunBus(ledger, tracer, (track,))
+        bus.on_load_change(0, 0, 2, 0.0)
+        counters = [e for e in tracer.events if e.ph == "C"]
+        assert counters and counters[0].args == {"value": 2}
+
+    def test_ledger_math_identical_through_bus(self):
+        direct = MetricsLedger(n_devices=1, max_queue_length=4)
+        routed = MetricsLedger(n_devices=1, max_queue_length=4)
+        bus = RunBus(routed, EventTracer(SimClock()), (0,))
+        for ledger_call in (direct, bus):
+            ledger_call.on_load_change(0, 0, 1, 0.5)
+            ledger_call.on_load_change(0, 1, 2, 1.0)
+            ledger_call.on_load_change(0, 2, 0, 3.0)
+            ledger_call.on_task_timing(0.1, 0.9)
+        assert np.array_equal(direct.load_residency, routed.load_residency)
+        assert direct.task_waits == routed.task_waits
+        assert direct.task_services == routed.task_services
+
+
+class TestServiceBus:
+    def test_forwards_and_mirrors(self):
+        tel = ServiceTelemetry(("interactive",))
+        tracer = EventTracer(SimClock())
+        bus = ServiceBus(
+            tel,
+            tracer,
+            queue_track=tracer.track("service", "queue"),
+            lane_tracks={"interactive": tracer.track("service", "lane.interactive")},
+        )
+        bus.on_arrival("interactive")
+        bus.on_rejection("interactive")
+        bus.on_retry("interactive")
+        bus.on_queue_depth(3, 0.0)
+        bus.finalize(1.0)
+        stats = tel.lanes["interactive"]
+        assert (stats.arrivals, stats.rejections, stats.retries) == (1, 1, 1)
+        assert tel.max_depth == 3
+        names = [e.name for e in tracer.events]
+        assert "rejected" in names
+        assert "retry" in names
+        assert "queue_depth" in names
+
+
+class TestLatencyReservoir:
+    def test_unbounded_by_default(self):
+        stats = LaneStats()
+        for i in range(500):
+            stats.record_latency(float(i))
+        assert len(stats.latencies_s) == 500
+
+    def test_reservoir_caps_memory(self):
+        stats = LaneStats(reservoir=32)
+        for i in range(10_000):
+            stats.record_latency(float(i))
+        assert len(stats.latencies_s) == 32
+        assert all(0.0 <= v < 10_000.0 for v in stats.latencies_s)
+
+    def test_mean_and_max_exact_despite_sampling(self):
+        stats = LaneStats(reservoir=8)
+        values = [float(i) for i in range(1000)]
+        for v in values:
+            stats.record_latency(v)
+        assert stats.mean_latency_s() == pytest.approx(np.mean(values))
+        assert stats.max_latency_s() == max(values)
+
+    def test_sampling_is_deterministic(self):
+        def fill():
+            s = LaneStats(reservoir=16)
+            for i in range(2000):
+                s.record_latency(float(i))
+            return s.latencies_s
+
+        assert fill() == fill()
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LaneStats(reservoir=0)
+
+    def test_hand_built_stats_still_report(self):
+        stats = LaneStats(latencies_s=[1.0, 3.0])
+        assert stats.mean_latency_s() == pytest.approx(2.0)
+        assert stats.max_latency_s() == 3.0
+
+    def test_telemetry_threads_reservoir_to_lanes(self):
+        tel = ServiceTelemetry(("a", "b"), latency_reservoir=4)
+        for _ in range(10):
+            tel.on_completion("a", 1.0, cached=False, coalesced=False)
+        assert len(tel.lanes["a"].latencies_s) == 4
+        assert tel.lanes["a"].completions == 10
+
+
+class TestTaskEventTiming:
+    def test_wait_derived_from_enqueue(self):
+        ev = TaskEvent(
+            rank=0, task_id=1, placement="gpu", device=0,
+            start=2.0, end=5.0, enqueue=1.5,
+        )
+        assert ev.wait == pytest.approx(0.5)
+        assert ev.duration == pytest.approx(3.0)
+
+    def test_wait_zero_without_enqueue(self):
+        ev = TaskEvent(0, 2, "cpu", -1, 1.0, 2.0)
+        assert ev.enqueue is None
+        assert ev.wait == 0.0
+
+    def test_hybrid_run_records_enqueue_separately(self):
+        from repro.core.granularity import WorkloadSpec, build_tasks
+        from repro.core.hybrid import HybridConfig, HybridRunner
+
+        tasks = build_tasks(WorkloadSpec(n_points=1))
+        result = HybridRunner(
+            HybridConfig(n_gpus=1, max_queue_length=2, record_trace=True)
+        ).run(tasks)
+        events = result.metrics.trace
+        assert events
+        for ev in events:
+            assert ev.enqueue is not None
+            assert ev.enqueue <= ev.start <= ev.end
+            assert ev.wait == pytest.approx(ev.start - ev.enqueue)
+        # Some GPU tasks in a contended run actually waited.
+        assert any(ev.wait > 0 for ev in events if ev.placement == "gpu")

@@ -1,0 +1,124 @@
+"""Chrome trace export, the schema validator, terminal renderers."""
+
+import json
+
+from repro.cluster.simclock import SimClock
+from repro.obs import (
+    EventTracer,
+    render_gantt,
+    render_summary,
+    to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _traced():
+    t = EventTracer(SimClock())
+    gpu = t.track("node", "gpu0")
+    lane = t.track("service", "lane.interactive")
+    t.span(gpu, "outer", 0.0, 4.0, cat="task")
+    t.span(gpu, "inner", 1.0, 3.0, cat="compute")
+    t.async_begin(lane, "request", 1, cat="request")
+    t.async_end(lane, "request", 1, cat="request")
+    t.instant(lane, "hit", cat="cache")
+    t.counter(lane, "depth", 2)
+    return t
+
+
+class TestToChrome:
+    def test_metadata_names_processes_and_threads(self):
+        rows = to_chrome(_traced())
+        meta = [r for r in rows if r["ph"] == "M"]
+        names = {(r["name"], r["args"]["name"]) for r in meta}
+        assert ("process_name", "node") in names
+        assert ("process_name", "service") in names
+        assert ("thread_name", "gpu0") in names
+        assert ("thread_name", "lane.interactive") in names
+
+    def test_distinct_processes_get_distinct_pids(self):
+        rows = to_chrome(_traced())
+        pids = {r["pid"] for r in rows if r["ph"] == "M" and r["name"] == "process_name"}
+        assert len(pids) == 2
+
+    def test_seconds_become_microseconds(self):
+        rows = to_chrome(_traced())
+        outer = next(r for r in rows if r["name"] == "outer")
+        assert outer["ts"] == 0.0
+        assert outer["dur"] == 4.0e6
+
+    def test_nested_spans_sorted_outermost_first(self):
+        rows = [r for r in to_chrome(_traced()) if r["ph"] == "X"]
+        assert [r["name"] for r in rows] == ["outer", "inner"]
+
+    def test_instant_is_thread_scoped_and_counter_has_value(self):
+        rows = to_chrome(_traced())
+        hit = next(r for r in rows if r["name"] == "hit")
+        assert hit["s"] == "t"
+        depth = next(r for r in rows if r["name"] == "depth")
+        assert depth["args"] == {"value": 2}
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(str(path), _traced())
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n
+        assert doc["displayTimeUnit"] == "ms"
+        assert validate_chrome_trace(doc) == []
+
+
+class TestValidator:
+    def test_clean_trace_passes(self):
+        assert validate_chrome_trace(to_chrome(_traced())) == []
+
+    def test_negative_duration_flagged(self):
+        bad = [{"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": -1.0}]
+        assert any("bad dur" in p for p in validate_chrome_trace(bad))
+
+    def test_missing_keys_flagged(self):
+        assert any(
+            "missing" in p for p in validate_chrome_trace([{"ph": "X", "ts": 0.0}])
+        )
+
+    def test_unmatched_async_begin_flagged(self):
+        bad = [
+            {"name": "r", "cat": "q", "ph": "b", "id": 1, "pid": 1, "tid": 1, "ts": 0.0}
+        ]
+        assert any("unmatched" in p for p in validate_chrome_trace(bad))
+
+    def test_end_without_begin_flagged(self):
+        bad = [
+            {"name": "r", "cat": "q", "ph": "e", "id": 1, "pid": 1, "tid": 1, "ts": 0.0}
+        ]
+        assert any("no open 'b'" in p for p in validate_chrome_trace(bad))
+
+    def test_crossing_spans_flagged(self):
+        bad = [
+            {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 5.0},
+            {"name": "b", "ph": "X", "pid": 1, "tid": 1, "ts": 2.0, "dur": 6.0},
+        ]
+        assert any("crosses" in p for p in validate_chrome_trace(bad))
+
+    def test_disjoint_and_nested_spans_pass(self):
+        good = [
+            {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 4.0},
+            {"name": "b", "ph": "X", "pid": 1, "tid": 1, "ts": 1.0, "dur": 2.0},
+            {"name": "c", "ph": "X", "pid": 1, "tid": 1, "ts": 5.0, "dur": 1.0},
+        ]
+        assert validate_chrome_trace(good) == []
+
+
+class TestRenderers:
+    def test_gantt_has_one_row_per_track(self):
+        out = render_gantt(_traced())
+        assert "node/gpu0" in out
+        assert "service/lane.interactive" in out
+        assert "#" in out
+
+    def test_gantt_empty_trace(self):
+        assert "no spans" in render_gantt(EventTracer(SimClock()))
+
+    def test_summary_totals_by_category(self):
+        out = render_summary(_traced())
+        assert "task" in out
+        assert "compute" in out

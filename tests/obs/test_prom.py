@@ -1,0 +1,120 @@
+"""Prometheus registry: rendering, parsing, ledger derivations."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_exposition, run_registry, service_registry
+
+
+class TestRegistry:
+    def test_counter_renders_with_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "things", ("kind",))
+        c.inc(2, kind="a")
+        c.inc(kind="b")
+        text = reg.render()
+        assert "# TYPE x_total counter" in text
+        assert 'x_total{kind="a"} 2' in text
+        assert 'x_total{kind="b"} 1' in text
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("x_total", "h")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", "h")
+        g.set(3)
+        g.set(5)
+        assert "depth 5" in reg.render()
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(9.0)
+        fams = parse_exposition(reg.render())
+        buckets = {lbl["le"]: v for lbl, v in fams["lat_bucket"]}
+        assert buckets == {"1": 1.0, "2": 2.0, "+Inf": 3.0}
+        assert fams["lat_count"][0][1] == 3.0
+        assert fams["lat_sum"][0][1] == pytest.approx(11.0)
+
+    def test_duplicate_name_rejected(self):
+        reg = MetricsRegistry()
+        reg.gauge("x", "h")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x", "h")
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().gauge("bad name", "h")
+
+    def test_wrong_labels_rejected(self):
+        c = MetricsRegistry().counter("x_total", "h", ("lane",))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc(kind="a")
+
+
+class TestParser:
+    def test_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "h", ("k",)).inc(3, k="v")
+        reg.gauge("b", "h").set(1.5)
+        fams = parse_exposition(reg.render())
+        assert fams["a_total"] == [({"k": "v"}, 3.0)]
+        assert fams["b"] == [({}, 1.5)]
+
+    def test_inf_parses(self):
+        fams = parse_exposition('x_bucket{le="+Inf"} 4\n')
+        assert fams["x_bucket"][0][1] == 4.0 or math.isinf(fams["x_bucket"][0][1])
+
+    def test_malformed_sample_raises(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_exposition("this is not a metric line\n")
+
+    def test_malformed_label_raises(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_exposition("x{bad} 1\n")
+
+    def test_empty_family_registered_by_type_line(self):
+        fams = parse_exposition("# TYPE quiet counter\n")
+        assert fams["quiet"] == []
+
+
+class TestDerivations:
+    def test_run_registry_from_hybrid_result(self):
+        from repro.core.granularity import WorkloadSpec, build_tasks
+        from repro.core.hybrid import HybridConfig, HybridRunner
+
+        tasks = build_tasks(WorkloadSpec(n_points=2))
+        result = HybridRunner(HybridConfig(n_gpus=1, max_queue_length=4)).run(tasks)
+        fams = parse_exposition(run_registry(result, wall_s=0.5).render())
+        total = sum(v for _lbl, v in fams["repro_tasks_total"])
+        assert total == len(tasks)
+        assert fams["repro_makespan_seconds"][0][1] == pytest.approx(
+            result.makespan_s
+        )
+        assert "repro_device_load_residency_seconds" in fams
+        assert fams["repro_wall_seconds"][0][1] == 0.5
+
+    def test_service_registry_from_broker(self):
+        from repro.service.broker import ServiceConfig, run_trace
+        from repro.service.loadgen import TrafficSpec, generate_trace
+
+        trace = generate_trace(TrafficSpec(n_requests=16, seed=3, n_distinct=4))
+        broker, tickets = run_trace(trace, ServiceConfig(n_service_workers=1))
+        fams = parse_exposition(service_registry(broker).render())
+        requests = sum(v for _lbl, v in fams["repro_requests_total"])
+        assert requests >= 16
+        assert "repro_request_latency_seconds_bucket" in fams
+        assert "repro_cache_hit_ratio" in fams
+        assert "repro_device_load_residency_seconds" in fams
+        assert "repro_evals_saved_total" in fams
+        # Latency histogram count equals completed (non-cached latencies
+        # include cache hits at 0 s, which also land in the histogram).
+        count = sum(v for _lbl, v in fams["repro_request_latency_seconds_count"])
+        completed = sum(1 for t in tickets if t is not None and t.done)
+        assert count == completed

@@ -1,0 +1,85 @@
+"""The span tracer: null implementation, recording, track interning."""
+
+import pytest
+
+from repro.cluster.simclock import SimClock
+from repro.obs import NULL_TRACER, EventTracer, NullTracer, WallClock
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_every_method_is_a_silent_noop(self):
+        t = NullTracer()
+        assert t.bind(object()) is t
+        assert t.track("p", "t") == 0
+        t.complete(0, "x", 0.0)
+        t.span(0, "x", 0.0, 1.0)
+        t.instant(0, "x")
+        t.async_begin(0, "x", 1)
+        t.async_end(0, "x", 1)
+        t.counter(0, "x", 3)
+
+    def test_singleton_is_shared(self):
+        from repro.obs.tracer import NULL_TRACER as again
+
+        assert again is NULL_TRACER
+
+
+class TestEventTracer:
+    def test_requires_clock(self):
+        with pytest.raises(RuntimeError, match="no clock"):
+            _ = EventTracer().now
+
+    def test_bind_returns_self(self):
+        t = EventTracer()
+        assert t.bind(SimClock()) is t
+
+    def test_track_interning_is_stable(self):
+        t = EventTracer()
+        a = t.track("svc0", "gpu0")
+        b = t.track("svc0", "gpu1")
+        assert a != b
+        assert t.track("svc0", "gpu0") == a
+        assert t.tracks[a].process == "svc0"
+        assert t.tracks[a].thread == "gpu0"
+
+    def test_complete_records_virtual_interval(self):
+        clock = SimClock()
+        t = EventTracer(clock)
+
+        def proc():
+            yield 2.5
+            t.complete(0, "work", 0.5, cat="k")
+
+        clock.spawn(proc())
+        clock.run()
+        (ev,) = t.events
+        assert ev.ph == "X"
+        assert ev.ts == 0.5
+        assert ev.dur == 2.0
+        assert ev.cat == "k"
+
+    def test_span_uses_explicit_interval(self):
+        t = EventTracer(SimClock())
+        t.span(1, "s", 1.0, 4.0)
+        assert t.events[0].ts == 1.0
+        assert t.events[0].dur == 3.0
+
+    def test_async_pair_and_instant_and_counter(self):
+        t = EventTracer(SimClock())
+        t.async_begin(0, "req", 7, cat="request")
+        t.async_end(0, "req", 7, cat="request")
+        t.instant(0, "hit", cat="cache")
+        t.counter(0, "depth", 3)
+        phases = [ev.ph for ev in t.events]
+        assert phases == ["b", "e", "i", "C"]
+        assert t.events[0].id == 7
+        assert t.events[3].args == {"value": 3}
+
+    def test_wall_clock_is_monotone_from_zero(self):
+        wc = WallClock()
+        a = wc.now
+        b = wc.now
+        assert 0.0 <= a <= b

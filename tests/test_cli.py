@@ -28,8 +28,11 @@ class TestParser:
             ["nei-solve", "--element", "6"],
             ["fit", "--bins", "40"],
             ["spectrum", "--bins", "20", "--json"],
-            ["serve", "--trace", "zipf", "--requests", "50", "--seed", "7"],
-            ["serve", "--trace", "uniform", "--workers", "3", "--json"],
+            ["serve", "--pattern", "zipf", "--requests", "50", "--seed", "7"],
+            ["serve", "--pattern", "uniform", "--workers", "3", "--json"],
+            ["serve", "--trace", "out.json", "--metrics", "out.prom"],
+            ["spectrum", "--trace", "out.json", "--metrics", "out.prom"],
+            ["submit", "--trace", "out.json", "--metrics", "out.prom"],
             ["submit", "--temperature", "2e7", "--repeat", "3"],
             ["submit", "--lane", "survey", "--rule", "romberg"],
         ],
@@ -42,9 +45,9 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["spectrum", "--components", "magic"])
 
-    def test_serve_rejects_bad_trace(self):
+    def test_serve_rejects_bad_pattern(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve", "--trace", "flat"])
+            build_parser().parse_args(["serve", "--pattern", "flat"])
 
     def test_submit_rejects_bad_lane(self):
         with pytest.raises(SystemExit):
@@ -105,6 +108,24 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["lost"] == 0
         assert payload["completions"] == 40
+
+    def test_serve_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import parse_exposition, validate_chrome_trace
+
+        trace = tmp_path / "out.json"
+        prom = tmp_path / "out.prom"
+        assert main([
+            "serve", "--requests", "30", "--seed", "7",
+            "--trace", str(trace), "--metrics", str(prom),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert validate_chrome_trace(doc) == []
+        families = parse_exposition(prom.read_text())
+        assert "repro_requests_total" in families
+        assert "repro_cache_hit_ratio" in families
 
     def test_submit_second_call_cached(self, capsys):
         import json
