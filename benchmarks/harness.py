@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Executable entry point for the unified benchmark harness.
+
+Thin wrapper over :mod:`repro.bench.harness` (the implementation lives
+in the package so the ``repro bench`` CLI subcommand can import it);
+named ``harness.py`` — not ``bench_*.py`` — so pytest never collects it.
+
+    PYTHONPATH=src python benchmarks/harness.py --quick
+    PYTHONPATH=src python benchmarks/harness.py --compare old.json new.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

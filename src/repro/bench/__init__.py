@@ -8,8 +8,28 @@ from repro.bench.workloads import (
     small_real_database,
 )
 from repro.bench.reporting import format_table, format_series, paper_vs_measured
+from repro.bench.harness import (
+    CASES,
+    DEFAULT_TOLERANCES,
+    SCHEMA_ID,
+    compare_bench,
+    load_bench,
+    render_bench,
+    run_suite,
+    validate_bench,
+    write_bench,
+)
 
 __all__ = [
+    "CASES",
+    "DEFAULT_TOLERANCES",
+    "SCHEMA_ID",
+    "compare_bench",
+    "load_bench",
+    "render_bench",
+    "run_suite",
+    "validate_bench",
+    "write_bench",
     "paper_workload",
     "paper_level_workload",
     "romberg_workload",

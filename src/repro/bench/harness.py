@@ -1,0 +1,469 @@
+"""The unified benchmark harness: measure -> attribute -> gate.
+
+``benchmarks/`` reproduces the paper's figures as pytest files emitting
+human-readable tables; this module is the *machine-readable* companion:
+a declared suite of seeded cases whose results land in one
+schema-validated ``BENCH_PERF.json``, plus a comparator that diffs two
+such files and fails on regressions beyond per-metric tolerances — the
+perf trajectory of the repo itself, enforceable in CI.
+
+Determinism contract: every number under a case's ``"sim"`` key derives
+from the virtual clock (makespans, virtual throughput, utilization,
+hit rates, pruning ledgers) and is **bit-identical across runs** of the
+same seed and mode — the comparator gates on those.  ``"wall_s"`` is
+host wall-clock time, recorded for trend plots but never gated (CI
+machines are noisy; the simulated metrics are the repo's actual claims).
+
+The schema is hand-rolled (:func:`validate_bench`) so CI needs no
+third-party JSON-Schema package.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = [
+    "SCHEMA_ID",
+    "DEFAULT_TOLERANCES",
+    "Tolerance",
+    "Regression",
+    "CASES",
+    "run_suite",
+    "validate_bench",
+    "compare_bench",
+    "render_bench",
+    "load_bench",
+    "write_bench",
+]
+
+SCHEMA_ID = "repro.bench.perf/v1"
+
+
+# ----------------------------------------------------------------------
+# Suite cases
+# ----------------------------------------------------------------------
+def _case_rrc_spectrum(quick: bool, seed: int) -> dict:
+    """Physics-grade RRC spectrum (wall) + the equivalent hybrid batch (sim)."""
+    from repro.bench.workloads import small_real_database, small_real_grid
+    from repro.core.hybrid import HybridConfig, HybridRunner
+    from repro.physics.apec import GridPoint, SerialAPEC
+    from repro.service.requests import SpectrumRequest, compile_tasks
+
+    db = small_real_database()
+    grid = small_real_grid(n_bins=120 if quick else 400)
+    apec = SerialAPEC(db, grid, method="simpson-batch", components=("rrc",))
+    point = GridPoint(temperature_k=1.0e7, ne_cm3=1.0)
+    apec.compute(point)  # warm caches off the clock
+    t0 = time.perf_counter()
+    spec = apec.compute(point)
+    wall_s = time.perf_counter() - t0
+
+    request = SpectrumRequest(temperature_k=1.0e7, z_max=8, n_bins=grid.n_bins)
+    tasks = compile_tasks(request, db)
+    runner = HybridRunner(HybridConfig(n_gpus=1, max_queue_length=8))
+    result = runner.run(tasks)
+    return {
+        "wall_s": wall_s,
+        "sim": {
+            "makespan_s": result.makespan_s,
+            "tasks_per_s": result.n_tasks / result.makespan_s,
+            "gpu_task_ratio": result.metrics.gpu_task_ratio(),
+            "peak_flux": float(spec.values.max() / max(spec.values.sum(), 1e-300)),
+        },
+    }
+
+
+def _case_pruned_kernels(quick: bool, seed: int) -> dict:
+    """Active-window pruning: wall speedup + the simulated device ledger."""
+    import numpy as np
+
+    from repro.bench.workloads import small_real_database, small_real_grid
+    from repro.constants import K_B_KEV
+    from repro.gpusim.device import TESLA_C2075
+    from repro.gpusim.kernel import KernelSpec
+    from repro.physics.apec import GridPoint, ion_emissivity_batched
+    from repro.physics.windows import level_windows
+
+    pieces = 64
+    tail_tol = 1.0e-9
+    db = small_real_database()
+    grid = small_real_grid(n_bins=200)
+    point = GridPoint(temperature_k=1.0e7, ne_cm3=1.0)
+    ions = [ion for ion in db.ions if db.n_levels(ion) > 0]
+    if quick:
+        ions = ions[:: max(1, len(ions) // 8)][:8]
+    kt = K_B_KEV * point.temperature_k
+
+    def spectrum(tt: float) -> np.ndarray:
+        out = np.zeros(grid.n_bins)
+        for ion in ions:
+            out += ion_emissivity_batched(
+                db, ion, point, grid, pieces=pieces, tail_tol=tt
+            )
+        return out
+
+    def specs(tt: float) -> list[KernelSpec]:
+        out = []
+        for ion in ions:
+            n_levels = db.n_levels(ion)
+            n_active = None
+            if tt > 0.0:
+                win = level_windows(db.levels(ion).energy_kev, grid, kt, tt)
+                n_active = win.n_active
+            out.append(
+                KernelSpec.for_ion_task(
+                    n_levels=n_levels,
+                    n_bins=grid.n_bins,
+                    evals_per_integral=pieces + 1,
+                    label=ion.name,
+                    n_active=n_active,
+                )
+            )
+        return out
+
+    spectrum(tail_tol)  # warm
+    t0 = time.perf_counter()
+    spectrum(tail_tol)
+    wall_s = time.perf_counter() - t0
+
+    base = specs(0.0)
+    pruned = specs(tail_tol)
+    base_device = sum(TESLA_C2075.service_time(s) for s in base)
+    device = sum(TESLA_C2075.service_time(s) for s in pruned)
+    return {
+        "wall_s": wall_s,
+        "sim": {
+            "device_time_s": device,
+            "device_speedup": base_device / device,
+            "evals_saved": float(sum(s.evals_saved for s in pruned)),
+        },
+    }
+
+
+def _case_service_throughput(
+    quick: bool, seed: int, flamegraph: Optional[str] = None
+) -> dict:
+    """A traffic trace through the full service stack, profiled."""
+    import numpy as np
+
+    from repro.obs.profile import Profile, write_collapsed
+    from repro.obs.tracer import EventTracer
+    from repro.service.broker import ServiceConfig, run_trace
+    from repro.service.loadgen import TrafficSpec, generate_trace
+
+    trace = generate_trace(
+        TrafficSpec(
+            n_requests=60 if quick else 200,
+            seed=seed,
+            n_distinct=16 if quick else 32,
+        )
+    )
+    tracer = EventTracer()
+    t0 = time.perf_counter()
+    broker, _tickets = run_trace(
+        trace, ServiceConfig(n_service_workers=2), tracer=tracer
+    )
+    wall_s = time.perf_counter() - t0
+
+    report = broker.report()
+    virtual_s = report["virtual_time_s"]
+    tasks = report["gpu_tasks"] + report["cpu_tasks"]
+    latencies = [
+        s for lane in broker.telemetry.lanes.values() for s in lane.latencies_s
+    ]
+    p95 = float(np.percentile(np.asarray(latencies), 95.0)) if latencies else 0.0
+    devices = Profile.from_tracer(tracer).device_usage()
+    util = (
+        sum(d.utilization for d in devices) / len(devices) if devices else 0.0
+    )
+    if flamegraph:
+        write_collapsed(flamegraph, tracer)
+    return {
+        "wall_s": wall_s,
+        "sim": {
+            "virtual_time_s": virtual_s,
+            "tasks_per_s": tasks / virtual_s if virtual_s > 0 else 0.0,
+            "cache_hit_rate": report["cache"]["hit_ratio"],
+            "p95_latency_s": p95,
+            "device_utilization": util,
+        },
+    }
+
+
+def _case_nei(quick: bool, seed: int) -> dict:
+    """The Table II NEI workload: hybrid makespan vs the MPI baseline."""
+    from repro.core.calibration import CostModel
+    from repro.core.hybrid import HybridConfig, HybridRunner
+    from repro.nei.runner import NEIWorkloadSpec, build_nei_tasks
+
+    spec = NEIWorkloadSpec(n_grid_points=2_400 if quick else 24_000)
+    tasks = build_nei_tasks(spec)
+    cost = CostModel(point_overhead_s=0.0)
+    t0 = time.perf_counter()
+    mpi = HybridRunner(
+        HybridConfig(n_gpus=0, max_queue_length=8, cost=cost)
+    ).run_mpi_only(tasks)
+    hybrid = HybridRunner(
+        HybridConfig(n_gpus=2, max_queue_length=8, cost=cost)
+    ).run(tasks)
+    wall_s = time.perf_counter() - t0
+    return {
+        "wall_s": wall_s,
+        "sim": {
+            "makespan_s": hybrid.makespan_s,
+            "speedup_vs_mpi": mpi.makespan_s / hybrid.makespan_s,
+            "gpu_task_ratio": hybrid.metrics.gpu_task_ratio(),
+        },
+    }
+
+
+#: The declared suite, execution-ordered.  ``service_throughput`` is the
+#: flamegraph source (it is the only case with a span trace).
+CASES: dict[str, Callable] = {
+    "rrc_spectrum": _case_rrc_spectrum,
+    "pruned_kernels": _case_pruned_kernels,
+    "service_throughput": _case_service_throughput,
+    "nei": _case_nei,
+}
+
+
+def run_suite(
+    quick: bool = False,
+    seed: int = 7,
+    cases: Optional[list[str]] = None,
+    flamegraph: Optional[str] = None,
+) -> dict:
+    """Run the declared cases; returns the ``BENCH_PERF.json`` document."""
+    names = list(CASES) if cases is None else list(cases)
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        raise ValueError(f"unknown case(s) {unknown}; expected from {list(CASES)}")
+    out_cases: dict[str, dict] = {}
+    for name in names:
+        fn = CASES[name]
+        if name == "service_throughput":
+            out_cases[name] = fn(quick, seed, flamegraph=flamegraph)
+        else:
+            out_cases[name] = fn(quick, seed)
+    return {
+        "schema": SCHEMA_ID,
+        "created_unix": time.time(),
+        "quick": quick,
+        "seed": seed,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "cases": out_cases,
+    }
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+def validate_bench(doc: object) -> list[str]:
+    """Validate one document against the ``repro.bench.perf/v1`` schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    document is valid.  Hand-rolled so CI needs no jsonschema package.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != SCHEMA_ID:
+        errors.append(
+            f"schema: expected {SCHEMA_ID!r}, got {doc.get('schema')!r}"
+        )
+    for key, kind in (
+        ("created_unix", (int, float)),
+        ("quick", bool),
+        ("seed", int),
+        ("host", dict),
+        ("cases", dict),
+    ):
+        if key not in doc:
+            errors.append(f"missing required key {key!r}")
+        elif not isinstance(doc[key], kind):
+            errors.append(f"{key}: expected {kind}, got {type(doc[key]).__name__}")
+    cases = doc.get("cases")
+    if not isinstance(cases, dict):
+        return errors
+    if not cases:
+        errors.append("cases: must contain at least one case")
+    for name, case in cases.items():
+        where = f"cases[{name!r}]"
+        if not isinstance(case, dict):
+            errors.append(f"{where}: expected object")
+            continue
+        wall = case.get("wall_s")
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+            errors.append(f"{where}.wall_s: expected non-negative number")
+        sim = case.get("sim")
+        if not isinstance(sim, dict) or not sim:
+            errors.append(f"{where}.sim: expected non-empty object")
+            continue
+        for metric, value in sim.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(
+                    f"{where}.sim[{metric!r}]: expected number, "
+                    f"got {type(value).__name__}"
+                )
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Comparison / regression gating
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Tolerance:
+    """Per-metric gate: relative slack and which direction is a regression.
+
+    ``direction="lower"`` means lower values are better (times): the gate
+    trips when ``new > old * (1 + rel)``.  ``"higher"`` means higher is
+    better (throughput, ratios): trips when ``new < old * (1 - rel)``.
+    """
+
+    rel: float
+    direction: str  # "lower" | "higher"
+
+    def __post_init__(self) -> None:
+        if self.rel < 0.0:
+            raise ValueError("tolerance must be non-negative")
+        if self.direction not in ("lower", "higher"):
+            raise ValueError("direction must be 'lower' or 'higher'")
+
+    def regressed(self, old: float, new: float) -> bool:
+        if self.direction == "lower":
+            return new > old * (1.0 + self.rel) + 1e-12
+        return new < old * (1.0 - self.rel) - 1e-12
+
+
+#: Documented defaults (see docs/ARCHITECTURE.md §10).  Simulated metrics
+#: are deterministic, so the slack only absorbs intentional algorithm
+#: changes small enough not to matter; unlisted metrics are reported but
+#: never gated (``wall_s`` intentionally has no entry).
+DEFAULT_TOLERANCES: dict[str, Tolerance] = {
+    "makespan_s": Tolerance(0.02, "lower"),
+    "device_time_s": Tolerance(0.02, "lower"),
+    "virtual_time_s": Tolerance(0.02, "lower"),
+    "p95_latency_s": Tolerance(0.05, "lower"),
+    "tasks_per_s": Tolerance(0.02, "higher"),
+    "device_speedup": Tolerance(0.02, "higher"),
+    "speedup_vs_mpi": Tolerance(0.02, "higher"),
+    "gpu_task_ratio": Tolerance(0.05, "higher"),
+    "device_utilization": Tolerance(0.05, "higher"),
+    "cache_hit_rate": Tolerance(0.02, "higher"),
+    "evals_saved": Tolerance(0.02, "higher"),
+}
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric that moved the wrong way beyond tolerance."""
+
+    case: str
+    metric: str
+    old: float
+    new: float
+    tolerance: Tolerance
+
+    def describe(self) -> str:
+        arrow = "rose" if self.new > self.old else "fell"
+        rel = abs(self.new / self.old - 1.0) if self.old else float("inf")
+        return (
+            f"{self.case}.{self.metric}: {arrow} {self.old:.6g} -> "
+            f"{self.new:.6g} ({rel:+.1%} vs {self.tolerance.rel:.0%} "
+            f"tolerance, {self.tolerance.direction} is better)"
+        )
+
+
+def compare_bench(
+    old: dict,
+    new: dict,
+    tolerances: Optional[dict[str, Tolerance]] = None,
+) -> tuple[list[Regression], list[str]]:
+    """Diff two bench documents; returns (regressions, report lines).
+
+    Cases or metrics present on only one side are reported as notes but
+    never gate — adding a case must not fail the comparison that
+    introduces it.
+    """
+    tol = DEFAULT_TOLERANCES if tolerances is None else tolerances
+    regressions: list[Regression] = []
+    lines: list[str] = []
+    old_cases = old.get("cases", {})
+    new_cases = new.get("cases", {})
+    if old.get("quick") != new.get("quick"):
+        lines.append(
+            "note: comparing quick and full runs — simulated workloads differ"
+        )
+    for name in sorted(set(old_cases) | set(new_cases)):
+        if name not in old_cases:
+            lines.append(f"note: case {name!r} is new (no baseline)")
+            continue
+        if name not in new_cases:
+            lines.append(f"note: case {name!r} dropped from the suite")
+            continue
+        old_sim = old_cases[name].get("sim", {})
+        new_sim = new_cases[name].get("sim", {})
+        for metric in sorted(set(old_sim) | set(new_sim)):
+            if metric not in old_sim or metric not in new_sim:
+                lines.append(f"note: {name}.{metric} present on one side only")
+                continue
+            a, b = float(old_sim[metric]), float(new_sim[metric])
+            gate = tol.get(metric)
+            if gate is None:
+                lines.append(f"  {name}.{metric}: {a:.6g} -> {b:.6g} (ungated)")
+                continue
+            if gate.regressed(a, b):
+                reg = Regression(name, metric, a, b, gate)
+                regressions.append(reg)
+                lines.append("REGRESSION " + reg.describe())
+            else:
+                delta = (b / a - 1.0) if a else 0.0
+                lines.append(
+                    f"  {name}.{metric}: {a:.6g} -> {b:.6g} ({delta:+.2%}, ok)"
+                )
+    return regressions, lines
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_bench(doc: dict) -> str:
+    """Human-readable table of one bench document."""
+    from repro.bench.reporting import format_table
+
+    rows = []
+    for name, case in doc.get("cases", {}).items():
+        for metric, value in case.get("sim", {}).items():
+            rows.append([name, metric, f"{value:.6g}", "sim"])
+        rows.append([name, "wall_s", f"{case.get('wall_s', 0.0):.4f}", "wall"])
+    mode = "quick" if doc.get("quick") else "full"
+    return format_table(
+        ["case", "metric", "value", "clock"],
+        rows,
+        title=f"repro bench — {mode} mode, seed {doc.get('seed')}",
+    )
+
+
+def load_bench(path: str) -> dict:
+    """Read + schema-validate one document; raises ValueError on problems."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    errors = validate_bench(doc)
+    if errors:
+        raise ValueError(
+            f"{path} failed schema validation:\n  " + "\n  ".join(errors)
+        )
+    return doc
+
+
+def write_bench(path: str, doc: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -12,6 +12,8 @@
     python -m repro fit --temperature 1.05e7
     python -m repro serve --trace zipf --requests 200 --seed 7
     python -m repro submit --temperature 1e7 --repeat 2
+    python -m repro bench --quick
+    python -m repro bench --compare BENCH_BASELINE.json BENCH_PERF.json
 
 Each subcommand prints the same tables the corresponding benchmark
 produces; the benchmarks remain the canonical reproduction (they assert
@@ -120,6 +122,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p)
     p.add_argument("--gantt", action="store_true",
                    help="render an ASCII Gantt of the trace after the run")
+    p.add_argument("--slo", action="store_true",
+                   help="evaluate default SLO rules (p95 latency, queue "
+                        "depth) during the run and print the report")
+    p.add_argument("--slo-p95", type=float, default=2.0,
+                   help="interactive-lane p95 latency objective in "
+                        "virtual seconds (with --slo)")
+    p.add_argument("--slo-depth", type=float, default=None,
+                   help="queue-depth objective (default: 80%% of "
+                        "--queue-capacity; with --slo)")
+
+    p = sub.add_parser(
+        "bench", help="seeded perf suite -> schema-validated BENCH_PERF.json"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small workloads (the CI perf-gate mode)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", default="BENCH_PERF.json",
+                   help="output path (default: ./BENCH_PERF.json)")
+    p.add_argument("--cases", nargs="+", default=None,
+                   help="subset of cases to run (default: all)")
+    p.add_argument("--flamegraph", metavar="PATH", default=None,
+                   help="write a collapsed-stack flamegraph of the "
+                        "service case (speedscope-importable)")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="after running, compare against this baseline "
+                        "and exit nonzero on regressions")
+    p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+                   help="compare two existing BENCH_PERF.json files "
+                        "(no benchmarks run); exit nonzero on regressions")
+    p.add_argument("--json", action="store_true",
+                   help="print the result document instead of the table")
 
     p = sub.add_parser("submit", help="one-shot request through broker+cache")
     p.add_argument("--temperature", type=float, default=1.0e7)
@@ -147,6 +180,30 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
                    help="write a Chrome trace-event JSON (Perfetto-loadable)")
     p.add_argument("--metrics", metavar="PATH", default=None,
                    help="write Prometheus text-format metrics")
+    p.add_argument("--profile", action="store_true",
+                   help="print hierarchical cost attribution (top-down "
+                        "table, device utilization, critical path)")
+    p.add_argument("--flamegraph", metavar="PATH", default=None,
+                   help="write a collapsed-stack flamegraph "
+                        "(FlameGraph/speedscope-importable)")
+
+
+def _emit_profile(args: argparse.Namespace, tracer) -> None:
+    """Honour ``--profile`` / ``--flamegraph`` for one recorded tracer."""
+    if tracer is None:
+        return
+    if getattr(args, "profile", False):
+        from repro.obs import Profile, render_profile
+
+        print(render_profile(Profile.from_tracer(tracer)))
+    if getattr(args, "flamegraph", None):
+        from repro.obs import write_collapsed
+
+        n = write_collapsed(args.flamegraph, tracer)
+        print(
+            f"wrote {n} collapsed stack(s) to {args.flamegraph}",
+            file=sys.stderr,
+        )
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
@@ -265,7 +322,7 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
     db = AtomicDatabase(AtomicConfig(n_max=6, z_max=14))
     grid = EnergyGrid.from_wavelength(10.0, 45.0, args.bins)
     tracer = None
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or args.profile or args.flamegraph:
         from repro.obs import EventTracer, WallClock
 
         tracer = EventTracer(WallClock())
@@ -312,6 +369,7 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
             with open(args.metrics, "w") as fh:
                 fh.write(reg.render())
             print(f"wrote Prometheus metrics to {args.metrics}", file=sys.stderr)
+        _emit_profile(args, tracer)
     if args.json:
         import json
 
@@ -486,11 +544,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         latency_reservoir=args.latency_reservoir,
     )
     tracer = None
-    if args.trace or args.gantt:
+    if args.trace or args.gantt or args.profile or args.flamegraph:
         from repro.obs import EventTracer
 
         tracer = EventTracer()
-    broker, _tickets = run_trace(trace, config, tracer=tracer)
+    slo = None
+    if args.slo:
+        from repro.obs import Rule, SLOEngine
+
+        depth = (
+            args.slo_depth
+            if args.slo_depth is not None
+            else 0.8 * args.queue_capacity
+        )
+        slo = SLOEngine(
+            (
+                Rule(
+                    name="interactive-p95",
+                    metric="repro_request_latency_seconds",
+                    labels={"lane": "interactive"},
+                    op=">",
+                    threshold=args.slo_p95,
+                    quantile=0.95,
+                    for_s=0.5,
+                ),
+                Rule(
+                    name="queue-depth",
+                    metric="repro_queue_depth",
+                    op=">",
+                    threshold=depth,
+                ),
+            )
+        )
+    broker, _tickets = run_trace(trace, config, tracer=tracer, slo=slo)
     if args.trace:
         from repro.obs import write_chrome_trace
 
@@ -507,6 +593,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         print(render_gantt(tracer))
         print(render_summary(tracer))
+    _emit_profile(args, tracer)
+    if slo is not None:
+        print(slo.report())
+        print()
     report = broker.report()
     if args.json:
         import json
@@ -593,7 +683,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     )
     clock = SimClock()
     tracer = None
-    if args.trace:
+    if args.trace or args.profile or args.flamegraph:
         from repro.obs import EventTracer
 
         tracer = EventTracer(clock)
@@ -623,6 +713,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         with open(args.metrics, "w") as fh:
             fh.write(service_registry(broker).render())
         print(f"wrote Prometheus metrics to {args.metrics}", file=sys.stderr)
+    _emit_profile(args, tracer)
     if args.json:
         import json
 
@@ -655,6 +746,67 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.harness import (
+        compare_bench,
+        load_bench,
+        render_bench,
+        run_suite,
+        validate_bench,
+        write_bench,
+    )
+
+    if args.compare is not None:
+        old = load_bench(args.compare[0])
+        new = load_bench(args.compare[1])
+        regressions, lines = compare_bench(old, new)
+        print("\n".join(lines))
+        if regressions:
+            print(
+                f"\n{len(regressions)} regression(s) beyond tolerance",
+                file=sys.stderr,
+            )
+            return 1
+        print("\nno regressions beyond tolerance")
+        return 0
+
+    doc = run_suite(
+        quick=args.quick,
+        seed=args.seed,
+        cases=args.cases,
+        flamegraph=args.flamegraph,
+    )
+    errors = validate_bench(doc)
+    if errors:  # a suite bug, not a perf regression — fail loudly
+        print("schema validation failed:\n  " + "\n  ".join(errors), file=sys.stderr)
+        return 2
+    write_bench(args.out, doc)
+    if args.json:
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        print(render_bench(doc))
+    print(f"wrote {args.out}", file=sys.stderr)
+    if args.flamegraph:
+        print(f"wrote flamegraph to {args.flamegraph}", file=sys.stderr)
+
+    if args.baseline is not None:
+        baseline = load_bench(args.baseline)
+        regressions, lines = compare_bench(baseline, doc)
+        print()
+        print("\n".join(lines))
+        if regressions:
+            print(
+                f"\n{len(regressions)} regression(s) beyond tolerance "
+                f"vs {args.baseline}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"\nno regressions beyond tolerance vs {args.baseline}")
+    return 0
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "fig3": _cmd_fig3,
@@ -668,6 +820,7 @@ _COMMANDS = {
     "fit": _cmd_fit,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "bench": _cmd_bench,
 }
 
 

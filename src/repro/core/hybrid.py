@@ -116,6 +116,36 @@ class HybridRunner:
         self.scope = scope
 
     # ------------------------------------------------------------------
+    # Observability handles
+    # ------------------------------------------------------------------
+    def registry(self, result, wall_s: float | None = None):
+        """Metrics snapshot of one finished run's ledger.
+
+        Thin handle over :func:`repro.obs.prom.run_registry`, so the SLO
+        engine and exposition writers can consume a run without knowing
+        the registry module.
+        """
+        from repro.obs.prom import run_registry
+
+        return run_registry(result, wall_s=wall_s)
+
+    def profile(self):
+        """Hierarchical cost attribution over this runner's trace.
+
+        Requires the runner to have been built with an
+        :class:`~repro.obs.tracer.EventTracer` and at least one batch to
+        have run through it.
+        """
+        from repro.obs.profile import Profile
+
+        if not self.tracer.enabled:
+            raise ValueError(
+                "runner has no event tracer; construct it with "
+                "tracer=EventTracer() to profile"
+            )
+        return Profile.from_tracer(self.tracer)
+
+    # ------------------------------------------------------------------
     # Baselines
     # ------------------------------------------------------------------
     def serial_time(self, tasks: list[Task]) -> float:

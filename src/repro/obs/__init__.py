@@ -10,7 +10,12 @@ shared virtual clock:
 - :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable),
   a schema validator, and terminal Gantt/summary renderers;
 - :mod:`repro.obs.prom` — Prometheus-style registry, text exposition,
-  and a minimal parser for CI round-trips.
+  and a minimal parser for CI round-trips;
+- :mod:`repro.obs.profile` — hierarchical cost attribution over span
+  streams: self-vs-total tables, device utilization, critical paths,
+  and collapsed-stack flamegraph export;
+- :mod:`repro.obs.slo` — declarative SLO rules evaluated over registry
+  snapshots on the sim clock, with ``for:`` hysteresis and burn rates.
 """
 
 from repro.obs.bus import RunBus, ServiceBus
@@ -21,6 +26,12 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.profile import (
+    Profile,
+    render_profile,
+    to_collapsed,
+    write_collapsed,
+)
 from repro.obs.prom import (
     Counter,
     Gauge,
@@ -30,6 +41,7 @@ from repro.obs.prom import (
     run_registry,
     service_registry,
 )
+from repro.obs.slo import Rule, RuleState, SLOEngine, Transition
 from repro.obs.tracer import NULL_TRACER, EventTracer, NullTracer, WallClock
 
 __all__ = [
@@ -40,15 +52,23 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "Profile",
+    "Rule",
+    "RuleState",
     "RunBus",
+    "SLOEngine",
     "ServiceBus",
+    "Transition",
     "WallClock",
     "parse_exposition",
     "render_gantt",
+    "render_profile",
     "render_summary",
     "run_registry",
     "service_registry",
     "to_chrome",
+    "to_collapsed",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "write_collapsed",
 ]

@@ -44,10 +44,41 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Exposition-format escaping: ``\\`` -> ``\\\\``, ``"`` -> ``\\"``,
+    newline -> ``\\n`` (the three escapes the Prometheus text format
+    defines for label values)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown escape: keep it verbatim, like Prometheus
+                out.append(ch + nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
 def _label_str(labels: dict) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(labels.items())
+    )
     return "{" + inner + "}"
 
 
@@ -85,6 +116,10 @@ class Counter(_Metric):
         key = self._key(labels)
         self._values[key] = self._values.get(key, 0.0) + value
 
+    def value(self, **labels) -> float:
+        """Current value for one label set (0 if never incremented)."""
+        return self._values.get(self._key(labels), 0.0)
+
     def samples(self) -> Iterable[tuple[str, dict, float]]:
         for key, value in sorted(self._values.items()):
             yield self.name, dict(zip(self.labelnames, key)), value
@@ -101,6 +136,10 @@ class Gauge(_Metric):
 
     def set(self, value: float, **labels) -> None:
         self._values[self._key(labels)] = float(value)
+
+    def value(self, **labels) -> float:
+        """Current value for one label set (0 if never set)."""
+        return self._values.get(self._key(labels), 0.0)
 
     def samples(self) -> Iterable[tuple[str, dict, float]]:
         for key, value in sorted(self._values.items()):
@@ -132,6 +171,39 @@ class Histogram(_Metric):
             counts[-1] += 1
         self._sums[key] = self._sums.get(key, 0.0) + value
 
+    def count(self, **labels) -> int:
+        """Observations recorded for one label set."""
+        return sum(self._counts.get(self._key(labels), ()))
+
+    def quantile(self, q: float, **labels) -> float:
+        """The q-quantile by linear interpolation within cumulative buckets.
+
+        The estimator Prometheus's ``histogram_quantile`` uses: find the
+        bucket the target rank lands in and interpolate linearly between
+        its bounds (the first bucket's lower bound is 0).  Observations
+        in the ``+Inf`` bucket clamp to the largest finite bound.  SLO
+        rules targeting p95/p99 latency read this directly off the
+        registry — no exposition-text round trip.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        counts = self._counts.get(self._key(labels))
+        if counts is None:
+            return 0.0
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        target = q * total
+        cum = 0
+        lower = 0.0
+        for bound, n in zip(self.bounds, counts):
+            if n and cum + n >= target:
+                fraction = (target - cum) / n
+                return lower + (bound - lower) * fraction
+            cum += n
+            lower = bound
+        return self.bounds[-1]
+
     def samples(self) -> Iterable[tuple[str, dict, float]]:
         for key in sorted(self._counts):
             labels = dict(zip(self.labelnames, key))
@@ -157,6 +229,25 @@ class MetricsRegistry:
             raise ValueError(f"metric {metric.name!r} already registered")
         self._metrics[metric.name] = metric
         return metric
+
+    def get(self, name: str) -> _Metric:
+        """Look a metric up by family name (KeyError if absent)."""
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"no metric {name!r}; registered: {sorted(self._metrics)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def value(self, name: str, **labels) -> float:
+        """Shortcut: current value of a counter or gauge sample."""
+        metric = self.get(name)
+        if not hasattr(metric, "value"):
+            raise TypeError(f"metric {name!r} ({metric.kind}) has no scalar value")
+        return metric.value(**labels)
 
     def counter(self, name, help, labelnames=()) -> Counter:
         return self.register(Counter(name, help, labelnames))
@@ -197,23 +288,59 @@ def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
                 families.setdefault(parts[2], [])
                 continue
             raise ValueError(f"line {lineno}: malformed comment {line!r}")
-        m = re.match(
-            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$", line
-        )
-        if not m:
-            raise ValueError(f"line {lineno}: malformed sample {line!r}")
-        name, labelblob, value = m.groups()
-        labels: dict[str, str] = {}
-        if labelblob:
-            for item in filter(None, labelblob[1:-1].split(",")):
-                lm = re.match(r'^([a-zA-Z_][a-zA-Z0-9_]*)="(.*)"$', item)
-                if not lm:
-                    raise ValueError(f"line {lineno}: malformed label {item!r}")
-                labels[lm.group(1)] = lm.group(2)
+        name, labels, value = _parse_sample(line, lineno)
         families.setdefault(name, []).append(
             (labels, math.inf if value == "+Inf" else float(value))
         )
     return families
+
+
+_SAMPLE_NAME_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_sample(line: str, lineno: int) -> tuple[str, dict[str, str], str]:
+    """Split one sample line into (name, labels, value text).
+
+    A hand-rolled scanner rather than one regex because label *values*
+    may contain ``,``, ``}``, and escaped quotes — the adversarial cases
+    the round-trip test covers.
+    """
+    m = _SAMPLE_NAME_RE.match(line)
+    if not m:
+        raise ValueError(f"line {lineno}: malformed sample {line!r}")
+    name = m.group(1)
+    rest = line[m.end():]
+    labels: dict[str, str] = {}
+    if rest.startswith("{"):
+        pos = 1
+        while True:
+            if pos < len(rest) and rest[pos] == "}":
+                pos += 1
+                break
+            lm = _LABEL_RE.match(rest, pos)
+            if not lm:
+                raise ValueError(
+                    f"line {lineno}: malformed label {rest[pos:]!r}"
+                )
+            labels[lm.group(1)] = _unescape_label_value(lm.group(2))
+            pos = lm.end()
+            if pos < len(rest) and rest[pos] == ",":
+                pos += 1
+            elif pos < len(rest) and rest[pos] == "}":
+                pos += 1
+                break
+            else:
+                raise ValueError(
+                    f"line {lineno}: malformed label block {rest!r}"
+                )
+        rest = rest[pos:]
+    value = rest.strip()
+    if not value or any(c.isspace() for c in value.strip()):
+        raise ValueError(f"line {lineno}: malformed sample {line!r}")
+    if not rest[:1].isspace():
+        raise ValueError(f"line {lineno}: malformed sample {line!r}")
+    return name, labels, value
 
 
 # ----------------------------------------------------------------------
@@ -264,6 +391,9 @@ def service_registry(broker) -> MetricsRegistry:
         "repro_coalesced_joins_total", "Requests attached to an in-flight leader"
     ).inc(broker.coalescer.coalesced)
 
+    reg.gauge("repro_queue_depth", "Admission depth at snapshot time").set(
+        broker.queue_depth
+    )
     reg.gauge("repro_queue_depth_mean", "Time-weighted mean admission depth").set(
         tel.mean_queue_depth()
     )

@@ -146,8 +146,14 @@ class SpectrumBroker:
         config: ServiceConfig | None = None,
         db: AtomicDatabase | None = None,
         tracer=None,
+        slo=None,
     ) -> None:
         self.clock = clock
+        #: Optional :class:`repro.obs.slo.SLOEngine`; sampled at each
+        #: batch completion.  ``None`` (or an engine with no rules)
+        #: keeps the run bit-identical to an unmonitored one — no
+        #: registry snapshot is ever built.
+        self.slo = slo
         self.config = config or ServiceConfig()
         self.db = db or AtomicDatabase(
             AtomicConfig(n_max=self.config.db_n_max, z_max=self.config.db_z_max)
@@ -205,6 +211,32 @@ class SpectrumBroker:
             "coalesced": self.coalescer.coalesced,
         }
         return out
+
+    def registry(self):
+        """Fresh metrics snapshot of this broker's current state.
+
+        The handle the SLO engine and exposition consumers share —
+        equivalent to :func:`repro.obs.prom.service_registry` but
+        discoverable on the object that owns the telemetry.
+        """
+        from repro.obs.prom import service_registry
+
+        return service_registry(self)
+
+    def profile(self):
+        """Hierarchical cost attribution over this broker's trace.
+
+        Requires the broker to have been built with an
+        :class:`~repro.obs.tracer.EventTracer`.
+        """
+        from repro.obs.profile import Profile
+
+        if not self.tracer.enabled:
+            raise ValueError(
+                "broker has no event tracer; construct it with "
+                "tracer=EventTracer() to profile"
+            )
+        return Profile.from_tracer(self.tracer)
 
     # ------------------------------------------------------------------
     # Client API
@@ -372,6 +404,8 @@ class SpectrumBroker:
                     )
                 entry.done.fire(self.clock, spectrum)
             self.bus.on_batch(result, len(batch))
+            if self.slo is not None and self.slo.rules:
+                self.slo.sample(self.registry(), now)
 
 
 # ----------------------------------------------------------------------
@@ -383,6 +417,7 @@ def run_trace(
     db: AtomicDatabase | None = None,
     max_retry_backoff: float = 32.0,
     tracer=None,
+    slo=None,
 ) -> tuple[SpectrumBroker, list[Optional[Ticket]]]:
     """Play a traffic trace through a fresh broker to completion.
 
@@ -397,7 +432,7 @@ def run_trace(
     clock = SimClock()
     if tracer is not None:
         tracer.bind(clock)
-    broker = SpectrumBroker(clock, config, db=db, tracer=tracer)
+    broker = SpectrumBroker(clock, config, db=db, tracer=tracer, slo=slo)
     broker.start()
     tickets: list[Optional[Ticket]] = [None] * len(trace)
 

@@ -122,3 +122,53 @@ class TestRenderers:
         out = render_summary(_traced())
         assert "task" in out
         assert "compute" in out
+
+
+class TestGanttEdgeCases:
+    def test_empty_tracer(self):
+        assert render_gantt(EventTracer(SimClock())) == "(no spans recorded)"
+
+    def test_only_non_span_events_counts_as_empty(self):
+        t = EventTracer(SimClock())
+        lane = t.track("service", "lane.interactive")
+        t.instant(lane, "hit", cat="cache")
+        t.counter(lane, "depth", 1)
+        assert "no spans" in render_gantt(t)
+
+    def test_all_zero_duration_spans(self):
+        """Spans at t=0 with dur=0: t_max is 0, nothing to scale by."""
+        t = EventTracer(SimClock())
+        gpu = t.track("node", "gpu0")
+        t.span(gpu, "tick", 0.0, 0.0, cat="task")
+        out = render_gantt(t)
+        assert "zero-length trace" in out
+
+    def test_zero_duration_span_amid_real_spans(self):
+        t = EventTracer(SimClock())
+        gpu = t.track("node", "gpu0")
+        t.span(gpu, "work", 0.0, 2.0, cat="task")
+        t.span(gpu, "tick", 1.0, 1.0, cat="wait")  # zero-duration marker
+        out = render_gantt(t)
+        assert "node/gpu0" in out
+        assert "#" in out  # the real span still renders
+
+    def test_single_instant_track_alongside_span_track(self):
+        """A track holding only a zero-duration span must keep its row
+        without disturbing the busy column of the others."""
+        t = EventTracer(SimClock())
+        gpu = t.track("node", "gpu0")
+        mark = t.track("node", "marks")
+        t.span(gpu, "work", 0.0, 4.0, cat="task")
+        t.span(mark, "pulse", 2.0, 2.0, cat="task")
+        out = render_gantt(t)
+        assert "node/gpu0" in out
+        assert "node/marks" in out
+        gpu_row = next(l for l in out.splitlines() if "node/gpu0" in l)
+        assert "#" in gpu_row
+
+    def test_gantt_zero_duration_does_not_crash_summary(self):
+        t = EventTracer(SimClock())
+        gpu = t.track("node", "gpu0")
+        t.span(gpu, "tick", 0.0, 0.0, cat="task")
+        out = render_summary(t)
+        assert "task" in out

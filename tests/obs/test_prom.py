@@ -58,6 +58,104 @@ class TestRegistry:
             c.inc(kind="a")
 
 
+class TestEscaping:
+    ADVERSARIAL = (
+        'plain',
+        'quote:"inside"',
+        "back\\slash",
+        "new\nline",
+        'all\\of"them\ntogether',
+        "trailing\\",
+        "comma,and}brace{",
+    )
+
+    def test_adversarial_label_values_round_trip(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "h", ("k",))
+        for i, value in enumerate(self.ADVERSARIAL):
+            c.inc(i + 1, k=value)
+        fams = parse_exposition(reg.render())
+        recovered = {lbl["k"]: v for lbl, v in fams["x_total"]}
+        assert recovered == {
+            value: float(i + 1) for i, value in enumerate(self.ADVERSARIAL)
+        }
+
+    def test_rendered_form_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "h", ("k",)).set(1, k='a"b\\c\nd')
+        line = [l for l in reg.render().splitlines() if l.startswith("g{")][0]
+        assert line == 'g{k="a\\"b\\\\c\\nd"} 1'
+        assert "\n" not in line  # literal newline would corrupt the format
+
+    def test_unknown_escape_passes_through(self):
+        fams = parse_exposition('x{k="a\\tb"} 1\n')
+        assert fams["x"][0][0]["k"] == "a\\tb"
+
+
+class TestQuantile:
+    def test_linear_interpolation_within_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        # q=0.5 -> target rank 2 of 4: second observation falls in the
+        # (1, 2] bucket; cum before it is 1, so fraction = 1/2.
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+        # q=1.0 inside the last finite bucket.
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_overflow_clamps_to_last_bound(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "h", buckets=(1.0,))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 1.0  # +Inf bucket reports the last bound
+
+    def test_labelled_series_and_empty(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "h", ("lane",), buckets=(1.0, 2.0))
+        h.observe(0.5, lane="a")
+        assert h.quantile(0.5, lane="a") == pytest.approx(0.5)
+        assert h.quantile(0.5, lane="b") == 0.0  # never observed
+
+    def test_invalid_q_rejected(self):
+        h = MetricsRegistry().histogram("lat", "h")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_lane_stats_quantile_matches_percentile(self):
+        from repro.service.telemetry import LaneStats
+
+        stats = LaneStats()
+        for v in (0.1, 0.2, 0.4, 0.8, 1.6):
+            stats.record_latency(v)
+        assert stats.latency_quantile(0.95) == pytest.approx(
+            stats.latency_percentile(95.0)
+        )
+        with pytest.raises(ValueError):
+            stats.latency_quantile(95.0)
+
+
+class TestAccessors:
+    def test_counter_and_gauge_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "h", ("k",))
+        c.inc(3, k="a")
+        assert c.value(k="a") == 3.0
+        assert c.value(k="never") == 0.0
+        g = reg.gauge("g", "h")
+        g.set(2.5)
+        assert g.value() == 2.5
+
+    def test_registry_get_and_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "h").set(7)
+        assert reg.value("g") == 7.0
+        assert "g" in reg
+        with pytest.raises(KeyError, match="registered"):
+            reg.get("missing")
+
+
 class TestParser:
     def test_round_trip(self):
         reg = MetricsRegistry()

@@ -1,0 +1,212 @@
+"""SLO engine: rule lifecycle, burn rates, quantiles, zero overhead."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, Rule, RuleState, SLOEngine
+from repro.service.broker import ServiceConfig, run_trace
+from repro.service.loadgen import TrafficSpec, generate_trace
+
+
+def _gauge_registry(value: float) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.gauge("depth", "h").set(value)
+    return reg
+
+
+class TestRuleValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            Rule(name="r", metric="m", op="!=", threshold=1.0)
+
+    def test_negative_for_rejected(self):
+        with pytest.raises(ValueError, match="for_s"):
+            Rule(name="r", metric="m", op=">", threshold=1.0, for_s=-1.0)
+
+    def test_quantile_range(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Rule(name="r", metric="m", op=">", threshold=1.0, quantile=1.5)
+
+    def test_quantile_and_rate_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            Rule(
+                name="r", metric="m", op=">", threshold=1.0,
+                quantile=0.95, rate_window_s=10.0,
+            )
+
+    def test_duplicate_rule_name_rejected(self):
+        engine = SLOEngine()
+        engine.add(Rule(name="r", metric="m", op=">", threshold=1.0))
+        with pytest.raises(ValueError, match="already registered"):
+            engine.add(Rule(name="r", metric="m", op="<", threshold=0.0))
+
+    def test_describe_mentions_selector_and_window(self):
+        rule = Rule(
+            name="r", metric="m", op=">", threshold=2.0,
+            labels={"lane": "interactive"}, for_s=1.0, quantile=0.95,
+        )
+        text = rule.describe()
+        assert "quantile(0.95, m)" in text
+        assert 'lane="interactive"' in text
+        assert "for 1s" in text
+
+
+class TestLifecycle:
+    def test_pending_firing_resolved(self):
+        """The acceptance scenario: breach -> pending -> firing -> resolved."""
+        rule = Rule(name="depth", metric="depth", op=">", threshold=5.0, for_s=2.0)
+        engine = SLOEngine((rule,))
+        assert engine.state("depth") == RuleState.INACTIVE
+
+        engine.sample(_gauge_registry(3.0), now=0.0)
+        assert engine.state("depth") == RuleState.INACTIVE
+
+        engine.sample(_gauge_registry(8.0), now=1.0)  # breach starts
+        assert engine.state("depth") == RuleState.PENDING
+        assert engine.firing() == []
+
+        engine.sample(_gauge_registry(9.0), now=2.0)  # 1 s < for_s
+        assert engine.state("depth") == RuleState.PENDING
+
+        engine.sample(_gauge_registry(9.0), now=3.0)  # held for 2 s
+        assert engine.state("depth") == RuleState.FIRING
+        assert engine.firing() == ["depth"]
+
+        engine.sample(_gauge_registry(2.0), now=4.0)  # spike drains
+        assert engine.state("depth") == RuleState.INACTIVE
+        assert [tr.to for tr in engine.transitions] == [
+            RuleState.PENDING, RuleState.FIRING, RuleState.INACTIVE,
+        ]
+        assert len(engine.resolved()) == 1
+        assert engine.resolved()[0].t == 4.0
+
+    def test_for_zero_fires_immediately(self):
+        engine = SLOEngine(
+            (Rule(name="r", metric="depth", op=">=", threshold=1.0),)
+        )
+        engine.sample(_gauge_registry(1.0), now=0.0)
+        assert engine.state("r") == RuleState.FIRING
+
+    def test_breach_interrupted_before_for_never_fires(self):
+        rule = Rule(name="r", metric="depth", op=">", threshold=5.0, for_s=2.0)
+        engine = SLOEngine((rule,))
+        engine.sample(_gauge_registry(8.0), now=0.0)
+        engine.sample(_gauge_registry(1.0), now=1.0)  # recovers early
+        engine.sample(_gauge_registry(8.0), now=1.5)  # breaches again
+        engine.sample(_gauge_registry(8.0), now=3.0)  # only 1.5 s held
+        assert engine.state("r") == RuleState.PENDING
+        assert engine.firing() == []
+
+    def test_report_lists_rules_and_transitions(self):
+        rule = Rule(name="r", metric="depth", op=">", threshold=5.0)
+        engine = SLOEngine((rule,))
+        engine.sample(_gauge_registry(8.0), now=1.0)
+        text = engine.report()
+        assert "r" in text and "firing" in text
+        assert "transitions" in text
+        assert SLOEngine().report() == "(no SLO rules registered)"
+
+
+class TestValueKinds:
+    def test_quantile_rule_reads_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "h", ("lane",), buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.7, 3.5):
+            h.observe(v, lane="a")
+        rule = Rule(
+            name="p95", metric="lat", op=">", threshold=2.0,
+            labels={"lane": "a"}, quantile=0.95,
+        )
+        engine = SLOEngine((rule,))
+        engine.sample(reg, now=0.0)
+        assert engine.state("p95") == RuleState.FIRING
+
+    def test_quantile_on_non_histogram_raises(self):
+        reg = MetricsRegistry()
+        reg.gauge("lat", "h").set(1.0)
+        engine = SLOEngine(
+            (Rule(name="r", metric="lat", op=">", threshold=0.0, quantile=0.5),)
+        )
+        with pytest.raises(TypeError, match="not a histogram"):
+            engine.sample(reg, now=0.0)
+
+    def test_burn_rate_over_trailing_window(self):
+        rule = Rule(
+            name="errors", metric="errors_total", op=">", threshold=2.0,
+            rate_window_s=10.0,
+        )
+        engine = SLOEngine((rule,))
+
+        def reg_at(total: float) -> MetricsRegistry:
+            reg = MetricsRegistry()
+            reg.counter("errors_total", "h").inc(total)
+            return reg
+
+        engine.sample(reg_at(0.0), now=0.0)   # first sample: no rate yet
+        assert engine.state("errors") == RuleState.INACTIVE
+        engine.sample(reg_at(10.0), now=2.0)  # 5/s over [0, 2]
+        assert engine.state("errors") == RuleState.FIRING
+        engine.sample(reg_at(11.0), now=12.0)  # window slides; rate ~0.1/s
+        assert engine.state("errors") == RuleState.INACTIVE
+
+    def test_burn_rate_on_non_counter_raises(self):
+        reg = MetricsRegistry()
+        reg.gauge("x", "h").set(1.0)
+        engine = SLOEngine(
+            (Rule(name="r", metric="x", op=">", threshold=0.0, rate_window_s=5.0),)
+        )
+        with pytest.raises(TypeError, match="not a counter"):
+            engine.sample(reg, now=0.0)
+
+    def test_missing_metric_raises_key_error(self):
+        engine = SLOEngine(
+            (Rule(name="r", metric="absent", op=">", threshold=0.0),)
+        )
+        with pytest.raises(KeyError):
+            engine.sample(MetricsRegistry(), now=0.0)
+
+
+class TestServiceIntegration:
+    def test_load_spike_pending_firing_resolved(self):
+        """A bursty trace overruns the queue objective, then drains."""
+        trace = generate_trace(
+            TrafficSpec(
+                n_requests=40, seed=5, n_distinct=20, mean_interarrival_s=0.01
+            )
+        )
+        engine = SLOEngine(
+            (
+                Rule(
+                    name="queue-depth",
+                    metric="repro_queue_depth",
+                    op=">",
+                    threshold=4.0,
+                    for_s=0.1,
+                ),
+            )
+        )
+        config = ServiceConfig(n_service_workers=1, queue_capacity=32)
+        broker, tickets = run_trace(trace, config, slo=engine)
+        states = [tr.to for tr in engine.transitions]
+        assert RuleState.PENDING in states
+        assert RuleState.FIRING in states
+        # The final batch drains the queue: the rule resolves.
+        assert engine.state("queue-depth") == RuleState.INACTIVE
+        assert len(engine.resolved()) >= 1
+        assert all(t is not None and t.done for t in tickets)
+
+    def test_no_rules_is_bit_identical_to_no_engine(self):
+        """The zero-overhead path: an empty engine changes nothing."""
+        trace = generate_trace(TrafficSpec(n_requests=16, seed=3, n_distinct=4))
+        config = ServiceConfig(n_service_workers=1)
+        bare, _ = run_trace(trace, config)
+        empty_engine = SLOEngine()
+        monitored, _ = run_trace(trace, config, slo=empty_engine)
+        assert bare.report() == monitored.report()
+        assert empty_engine.transitions == []
+
+    def test_empty_engine_sample_never_touches_registry(self):
+        class Exploding:
+            def get(self, name):  # pragma: no cover - must not be called
+                raise AssertionError("registry touched on the no-op path")
+
+        SLOEngine().sample(Exploding(), now=0.0)

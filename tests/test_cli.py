@@ -35,6 +35,12 @@ class TestParser:
             ["submit", "--trace", "out.json", "--metrics", "out.prom"],
             ["submit", "--temperature", "2e7", "--repeat", "3"],
             ["submit", "--lane", "survey", "--rule", "romberg"],
+            ["serve", "--profile", "--flamegraph", "out.collapsed"],
+            ["serve", "--slo", "--slo-p95", "1.5"],
+            ["spectrum", "--profile"],
+            ["bench", "--quick", "--seed", "3"],
+            ["bench", "--compare", "old.json", "new.json"],
+            ["bench", "--cases", "nei", "--flamegraph", "fg.txt"],
         ],
     )
     def test_all_subcommands_parse(self, argv):
@@ -134,3 +140,77 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         cached = [s["cached"] for s in payload["submissions"]]
         assert cached == [False, True]
+
+    def test_serve_profile_and_flamegraph(self, tmp_path, capsys):
+        fg = tmp_path / "serve.collapsed"
+        assert main([
+            "serve", "--requests", "30", "--seed", "7",
+            "--profile", "--flamegraph", str(fg),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "category path" in out
+        assert "critical path" in out
+        lines = fg.read_text().splitlines()
+        assert lines and all(int(l.rsplit(" ", 1)[1]) > 0 for l in lines)
+
+    def test_serve_slo_report(self, capsys):
+        assert main([
+            "serve", "--requests", "40", "--seed", "7",
+            "--slo", "--slo-depth", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "queue-depth" in out
+        assert "interactive-p95" in out
+
+    def test_bench_quick_writes_valid_doc(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.harness import validate_bench
+
+        out_path = tmp_path / "BENCH_PERF.json"
+        assert main([
+            "bench", "--quick", "--cases", "nei", "pruned_kernels",
+            "--out", str(out_path),
+        ]) == 0
+        doc = json.loads(out_path.read_text())
+        assert validate_bench(doc) == []
+        assert set(doc["cases"]) == {"nei", "pruned_kernels"}
+        assert "repro bench" in capsys.readouterr().out
+
+    def test_bench_compare_gates_regression(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "a.json"
+        assert main([
+            "bench", "--quick", "--cases", "nei", "--out", str(out_path),
+        ]) == 0
+        doc = json.loads(out_path.read_text())
+        doc["cases"]["nei"]["sim"]["makespan_s"] *= 1.10
+        worse = tmp_path / "b.json"
+        worse.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(["bench", "--compare", str(out_path), str(worse)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert main(["bench", "--compare", str(out_path), str(out_path)]) == 0
+
+    def test_bench_baseline_pass_and_fail(self, tmp_path, capsys):
+        import json
+
+        base = tmp_path / "base.json"
+        assert main([
+            "bench", "--quick", "--cases", "nei", "--out", str(base),
+        ]) == 0
+        out_path = tmp_path / "new.json"
+        # Identical rerun vs itself: deterministic sim fields -> passes.
+        assert main([
+            "bench", "--quick", "--cases", "nei",
+            "--out", str(out_path), "--baseline", str(base),
+        ]) == 0
+        doc = json.loads(base.read_text())
+        doc["cases"]["nei"]["sim"]["speedup_vs_mpi"] *= 2.0  # unreachable bar
+        harder = tmp_path / "harder.json"
+        harder.write_text(json.dumps(doc))
+        assert main([
+            "bench", "--quick", "--cases", "nei",
+            "--out", str(out_path), "--baseline", str(harder),
+        ]) == 1
