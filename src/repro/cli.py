@@ -89,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tail-tol", type=float, default=0.0,
                    help="relative tail tolerance for active-window "
                         "pruning (0 = off, exact)")
+    p.add_argument("--fused", action="store_true",
+                   help="execute the RRC component as cached megabatch "
+                        "plans (all ions of a shard in one launch)")
+    _add_backend_flags(p)
+    p.add_argument("--shards", type=int, default=8,
+                   help="work shards of the ion set (backend-independent; "
+                        "1 = maximal fusion)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output (one JSON object)")
     _add_obs_flags(p)
@@ -118,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--latency-reservoir", type=int, default=None,
                    help="cap per-lane latency samples at this reservoir "
                         "size (default: keep every sample)")
+    _add_backend_flags(p)
     p.add_argument("--json", action="store_true")
     _add_obs_flags(p)
     p.add_argument("--gantt", action="store_true",
@@ -173,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p)
 
     return parser
+
+
+def _add_backend_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", choices=["serial", "thread", "process"],
+                   default="serial",
+                   help="wall-clock execution backend for payload "
+                        "evaluation (default: serial)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker count for --backend thread/process "
+                        "(default: one per CPU)")
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -332,11 +350,16 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
         method="simpson-batch",
         components=tuple(args.components),
         tail_tol=args.tail_tol,
+        fused=args.fused,
+        backend=args.backend,
+        jobs=args.jobs,
+        shards=args.shards,
     )
     t0 = tracer.now if tracer is not None else 0.0
-    spec = apec.compute(
-        GridPoint(temperature_k=args.temperature, ne_cm3=args.density)
-    ).normalized()
+    with apec:
+        spec = apec.compute(
+            GridPoint(temperature_k=args.temperature, ne_cm3=args.density)
+        ).normalized()
     if tracer is not None:
         tracer.complete(
             tracer.track("spectrum", "apec"),
@@ -366,6 +389,9 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
             reg.gauge("repro_spectrum_peak_flux", "Peak normalized flux").set(
                 float(spec.values.max())
             )
+            from repro.obs.prom import _plan_cache_metrics
+
+            _plan_cache_metrics(reg)
             with open(args.metrics, "w") as fh:
                 fh.write(reg.render())
             print(f"wrote Prometheus metrics to {args.metrics}", file=sys.stderr)
@@ -542,6 +568,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl_s=args.ttl,
         hybrid=replace(_default_hybrid(), n_gpus=args.gpus),
         latency_reservoir=args.latency_reservoir,
+        backend=args.backend,
+        jobs=args.jobs,
     )
     tracer = None
     if args.trace or args.gantt or args.profile or args.flamegraph:

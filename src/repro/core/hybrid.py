@@ -20,6 +20,7 @@ bench.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
@@ -436,13 +437,15 @@ class HybridRunner:
         cost = cfg.cost
         tracer = self.tracer
         yield rank * stagger
-        in_flight: list = []  # completion signals
+        # Completion signals, oldest first; popleft() keeps the drain O(1)
+        # per task where a list.pop(0) would shift the whole window.
+        in_flight: deque = deque()
         point_share = self._point_share(my_tasks)
 
         for task in my_tasks:
             yield cost.prep_s(task.n_levels) + point_share[task.point_index]
             while len(in_flight) >= cfg.async_depth:
-                oldest = in_flight.pop(0)
+                oldest = in_flight.popleft()
                 yield oldest
             if sched.rpc_latency_s:
                 yield sched.rpc_latency_s

@@ -346,6 +346,37 @@ def _parse_sample(line: str, lineno: int) -> tuple[str, dict[str, str], str]:
 # ----------------------------------------------------------------------
 # Derivations from the repo's ledgers
 # ----------------------------------------------------------------------
+def _plan_cache_metrics(reg: MetricsRegistry) -> None:
+    """Export the process-global plan cache into ``reg``.
+
+    The cache (:data:`repro.physics.plan.PLAN_CACHE`) is shared by the
+    model layer and the service cost model, so its counters describe the
+    whole process, not one broker.
+    """
+    from repro.physics.plan import PLAN_CACHE
+
+    stats = PLAN_CACHE.stats
+    lookups = reg.counter(
+        "repro_plan_cache_lookups_total",
+        "Compiled-plan cache lookups by result",
+        ("result",),
+    )
+    lookups.inc(stats.hits, result="hit")
+    lookups.inc(stats.misses, result="miss")
+    reg.counter(
+        "repro_plan_compilations_total", "Spectrum plans compiled"
+    ).inc(stats.compilations)
+    reg.counter(
+        "repro_plan_cache_evictions_total", "Compiled plans evicted"
+    ).inc(stats.evictions)
+    reg.gauge(
+        "repro_plan_cache_hit_ratio", "Plan-cache hits / lookups"
+    ).set(stats.hit_rate)
+    reg.gauge(
+        "repro_plan_cache_entries", "Compiled plans resident in the cache"
+    ).set(len(PLAN_CACHE))
+
+
 def service_registry(broker) -> MetricsRegistry:
     """Derive the serving-stack metric set from one broker's ledgers."""
     reg = MetricsRegistry()
@@ -390,6 +421,8 @@ def service_registry(broker) -> MetricsRegistry:
     reg.counter(
         "repro_coalesced_joins_total", "Requests attached to an in-flight leader"
     ).inc(broker.coalescer.coalesced)
+
+    _plan_cache_metrics(reg)
 
     reg.gauge("repro_queue_depth", "Admission depth at snapshot time").set(
         broker.queue_depth

@@ -1,0 +1,192 @@
+"""Execution backends: serial, thread and process pools with one contract.
+
+The contract that matters is *determinism*: a computation sharded across
+workers must produce the same spectrum bits as the serial loop, or every
+regression gate downstream (bench comparisons, golden files, cache keys)
+becomes backend-dependent.  Two rules enforce it:
+
+1. **Sharding is independent of the worker count.**  Work items are split
+   into a fixed number of shards decided by the caller (not by ``jobs``),
+   so the partial results are the same arrays no matter how many workers
+   exist or in which order they finish.
+2. **Reduction order is fixed.**  :func:`tree_reduce` combines partials
+   in deterministic pairwise rounds; since every backend reduces the same
+   shard arrays in the same order, serial, thread and process execution
+   agree bit for bit.
+
+``map`` preserves input order (results arrive as submitted, regardless of
+completion order).  The process backend requires picklable functions and
+arguments — module-level workers, not closures.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "default_jobs",
+    "get_backend",
+    "shard_items",
+    "tree_reduce",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Recognized backend names, in CLI/help order.
+BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+
+def default_jobs() -> int:
+    """Default worker count: one per available core."""
+    return os.cpu_count() or 1
+
+
+class ExecutionBackend:
+    """Common interface of the execution backends.
+
+    ``map`` applies ``fn`` to every item and returns results in input
+    order; ``close`` releases pooled workers (idempotent).  Backends are
+    reusable across ``map`` calls — pools are created lazily on first use.
+    """
+
+    name: str = "abstract"
+
+    @property
+    def jobs(self) -> int:
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, in-order execution — the default and the reference."""
+
+    name = "serial"
+
+    @property
+    def jobs(self) -> int:
+        return 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared lazy-pool plumbing of the thread/process backends."""
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self._jobs = jobs if jobs is not None else default_jobs()
+        self._pool: concurrent.futures.Executor | None = None
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        # Executor.map yields results in submission order, independent of
+        # completion order — the determinism contract needs exactly that.
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread pool: shared memory, no pickling; NumPy releases the GIL
+    inside the large vectorized kernels, so real speedups are possible."""
+
+    name = "thread"
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=self._jobs, thread_name_prefix="repro-worker"
+        )
+
+
+class ProcessBackend(_PoolBackend):
+    """Process pool: true multi-core parallelism; functions and arguments
+    must be picklable (module-level workers, frozen dataclasses)."""
+
+    name = "process"
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self._jobs)
+
+
+def get_backend(name: str, jobs: int | None = None) -> ExecutionBackend:
+    """Instantiate a backend by name (``serial`` ignores ``jobs``)."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(jobs)
+    if name == "process":
+        return ProcessBackend(jobs)
+    raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+
+
+def shard_items(items: Sequence[T], n_shards: int) -> list[tuple[T, ...]]:
+    """Split ``items`` into at most ``n_shards`` contiguous, non-empty
+    shards of near-equal size.
+
+    The split depends only on ``len(items)`` and ``n_shards`` — never on
+    the backend or worker count — so sharded results are reproducible.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n = len(items)
+    if n == 0:
+        return []
+    n_shards = min(n_shards, n)
+    bounds = np.linspace(0, n, n_shards + 1).round().astype(int)
+    return [
+        tuple(items[bounds[i]: bounds[i + 1]]) for i in range(n_shards)
+    ]
+
+
+def tree_reduce(parts: Iterable[np.ndarray]) -> np.ndarray:
+    """Deterministic pairwise sum of partial arrays.
+
+    Adjacent pairs are combined round by round (odd tail carried over),
+    so the floating-point association depends only on the number and
+    order of partials — identical across serial/thread/process backends.
+    """
+    arrs = [np.asarray(p, dtype=np.float64) for p in parts]
+    if not arrs:
+        raise ValueError("tree_reduce needs at least one partial")
+    while len(arrs) > 1:
+        merged = [
+            arrs[i] + arrs[i + 1] for i in range(0, len(arrs) - 1, 2)
+        ]
+        if len(arrs) % 2:
+            merged.append(arrs[-1])
+        arrs = merged
+    return arrs[0]

@@ -29,9 +29,16 @@ from typing import Literal
 import numpy as np
 
 from repro.atomic.abundances import SOLAR, AbundanceSet
-from repro.atomic.database import AtomicDatabase
+from repro.atomic.database import AtomicConfig, AtomicDatabase
 from repro.atomic.ions import Ion
 from repro.constants import K_B_KEV
+from repro.parallel.executor import (
+    BACKENDS,
+    ExecutionBackend,
+    get_backend,
+    shard_items,
+    tree_reduce,
+)
 from repro.physics.ionbalance import ion_density
 from repro.physics.rrc import (
     RRCLevelParams,
@@ -60,7 +67,16 @@ __all__ = [
     "ion_emissivity_batched",
     "ion_emissivity_scalar",
     "SerialAPEC",
+    "ApecModel",
 ]
+
+#: Model-level method name -> batch kernel name (the fused plan layer
+#: only exists for the vectorized kernels).
+_BATCH_METHOD = {
+    "simpson-batch": "simpson",
+    "romberg": "romberg",
+    "gauss": "gauss",
+}
 
 BatchMethod = Literal["simpson", "romberg", "gauss"]
 ScalarMethod = Literal["qags", "simpson"]
@@ -466,8 +482,83 @@ def ion_emissivity_scalar(
     return out
 
 
+@dataclass(frozen=True)
+class _RRCShard:
+    """Picklable unit of parallel RRC work: some ions at one grid point.
+
+    Carries everything a worker process needs to rebuild the calculation
+    (database size knobs, grid edges, rule configuration) — never live
+    objects with closures.
+    """
+
+    n_max: int
+    z_max: int
+    ions: tuple[Ion, ...]
+    point: GridPoint
+    edges: np.ndarray
+    method: str
+    pieces: int
+    k: int
+    gaunt: bool
+    tail_tol: float
+    abundances: AbundanceSet
+    fused: bool
+
+
+#: Per-process memo of rebuilt databases (worker processes pay the level
+#: construction once per configuration, not once per shard).
+_WORKER_DBS: dict[tuple[int, int], AtomicDatabase] = {}
+
+
+def _worker_db(n_max: int, z_max: int) -> AtomicDatabase:
+    key = (n_max, z_max)
+    db = _WORKER_DBS.get(key)
+    if db is None:
+        db = AtomicDatabase(AtomicConfig(n_max=n_max, z_max=z_max))
+        _WORKER_DBS[key] = db
+    return db
+
+
+def _rrc_shard_worker(task: _RRCShard) -> tuple[np.ndarray, dict[str, int]]:
+    """Compute one shard's RRC emission (module-level: process-picklable).
+
+    Fused shards execute one megabatch plan (compiled once per process by
+    the plan cache) and return the shard's per-bin partial plus launch
+    statistics.  Unfused shards return the *stacked per-ion* arrays so
+    the parent can reduce them in exact ion order — bit-identical to the
+    serial loop on every backend.
+    """
+    db = _worker_db(task.n_max, task.z_max)
+    grid = EnergyGrid(task.edges)
+    if task.fused:
+        from repro.physics.plan import PLAN_CACHE
+
+        plan = PLAN_CACHE.get(
+            db, grid, ions=task.ions,
+            method=_BATCH_METHOD[task.method],
+            pieces=task.pieces, k=task.k,
+            tail_tol=task.tail_tol, gaunt=task.gaunt,
+        )
+        res = plan.execute(task.point, task.abundances)
+        stats = {
+            "n_passes": res.n_passes,
+            "n_pairs": res.n_pairs,
+            "n_pairs_skipped": res.n_pairs_skipped,
+            "evals_saved": res.evals_saved,
+        }
+        return res.values, stats
+    model = SerialAPEC(
+        db, grid, method=task.method, pieces=task.pieces, k=task.k,
+        gaunt=task.gaunt, abundances=task.abundances, tail_tol=task.tail_tol,
+    )
+    rows = np.stack(
+        [model.ion_emissivity(ion, task.point) for ion in task.ions]
+    )
+    return rows, {}
+
+
 class SerialAPEC:
-    """The original serial calculator: plain nested loops, no parallelism.
+    """The APEC-style calculator: serial reference plus opt-in speedups.
 
     Parameters
     ----------
@@ -484,6 +575,23 @@ class SerialAPEC:
         Relative tail tolerance of active-window pruning; ``0`` (the
         default) disables pruning and reproduces the unpruned kernels
         bit-for-bit.
+    fused:
+        Execute each grid point's RRC component as megabatch plans
+        (:mod:`repro.physics.plan`) — all ions of a shard in one fused
+        launch, compiled once and cached across grid points.  Requires a
+        batch method.  Results agree with the per-ion path to summation-
+        order rounding (<= ~1e-12 relative), not bit-for-bit.
+    backend / jobs:
+        Wall-clock execution backend for the RRC ion loop: ``serial``
+        (default; the unfused serial path is bit-for-bit the original
+        loop), ``thread`` or ``process`` (see :mod:`repro.parallel`).
+        Any backend produces the same spectrum bits as ``serial`` at the
+        same ``fused`` setting.
+    shards:
+        Number of work shards the ion set is split into.  Deliberately
+        independent of ``jobs`` so results do not depend on worker
+        count; lower it to 1 for maximal fusion, raise it for better
+        load balance.
     """
 
     def __init__(
@@ -497,6 +605,10 @@ class SerialAPEC:
         components: tuple[str, ...] = ("rrc",),
         abundances: AbundanceSet = SOLAR,
         tail_tol: float = 0.0,
+        fused: bool = False,
+        backend: str = "serial",
+        jobs: int | None = None,
+        shards: int = 8,
     ) -> None:
         if method not in ("qags", "simpson", "simpson-batch", "romberg", "gauss"):
             raise ValueError(f"unknown method {method!r}")
@@ -507,6 +619,17 @@ class SerialAPEC:
             raise ValueError("need at least one emission component")
         if tail_tol < 0.0:
             raise ValueError("tail_tol must be non-negative")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if fused and method not in _BATCH_METHOD:
+            raise ValueError(
+                f"fused execution requires a batch method "
+                f"({sorted(_BATCH_METHOD)}), got {method!r}"
+            )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.db = db
         self.grid = grid
         self.method = method
@@ -516,6 +639,30 @@ class SerialAPEC:
         self.components = tuple(components)
         self.abundances = abundances
         self.tail_tol = tail_tol
+        self.fused = fused
+        self.backend = backend
+        self.jobs = jobs
+        self.shards = shards
+        #: Launch statistics of the last fused compute (None otherwise).
+        self.last_plan_stats: dict[str, int] | None = None
+        self._backend_obj: ExecutionBackend | None = None
+
+    def _get_backend(self) -> ExecutionBackend:
+        if self._backend_obj is None:
+            self._backend_obj = get_backend(self.backend, self.jobs)
+        return self._backend_obj
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for the serial backend)."""
+        if self._backend_obj is not None:
+            self._backend_obj.close()
+            self._backend_obj = None
+
+    def __enter__(self) -> "SerialAPEC":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def ion_emissivity(self, ion: Ion, point: GridPoint) -> np.ndarray:
         if self.method in ("qags", "simpson"):
@@ -524,23 +671,76 @@ class SerialAPEC:
                 method=self.method, pieces=self.pieces, gaunt=self.gaunt,
                 abundances=self.abundances, tail_tol=self.tail_tol,
             )
-        batch_method = {
-            "simpson-batch": "simpson",
-            "romberg": "romberg",
-            "gauss": "gauss",
-        }[self.method]
         return ion_emissivity_batched(
             self.db, ion, point, self.grid,
-            method=batch_method, pieces=self.pieces, k=self.k, gaunt=self.gaunt,
+            method=_BATCH_METHOD[self.method],
+            pieces=self.pieces, k=self.k, gaunt=self.gaunt,
             abundances=self.abundances, tail_tol=self.tail_tol,
         )
+
+    def _rrc_values(
+        self, point: GridPoint, ions: tuple[Ion, ...]
+    ) -> np.ndarray:
+        """RRC per-bin totals of one grid point over ``ions``.
+
+        Serial + unfused runs the original per-ion loop in-process.
+        Otherwise the ion set is split into backend-independent shards;
+        unfused shards ship per-ion arrays back and are reduced in exact
+        ion order (bit-identical to the serial loop), fused shards are
+        megabatch partials combined by a deterministic tree reduction
+        (bit-identical across backends).
+        """
+        self.last_plan_stats = None
+        if not self.fused and self.backend == "serial":
+            out = np.zeros(self.grid.n_bins, dtype=np.float64)
+            for ion in ions:
+                out += self.ion_emissivity(ion, point)
+            return out
+        shards = shard_items(ions, self.shards)
+        if not shards:
+            return np.zeros(self.grid.n_bins, dtype=np.float64)
+        tasks = [
+            _RRCShard(
+                n_max=self.db.config.n_max,
+                z_max=self.db.config.z_max,
+                ions=shard,
+                point=point,
+                edges=self.grid.edges,
+                method=self.method,
+                pieces=self.pieces,
+                k=self.k,
+                gaunt=self.gaunt,
+                tail_tol=self.tail_tol,
+                abundances=self.abundances,
+                fused=self.fused,
+            )
+            for shard in shards
+        ]
+        results = self._get_backend().map(_rrc_shard_worker, tasks)
+        if self.fused:
+            totals = {
+                "n_passes": 0, "n_pairs": 0,
+                "n_pairs_skipped": 0, "evals_saved": 0,
+            }
+            for _, stats in results:
+                for name in totals:
+                    totals[name] += stats[name]
+            totals["n_shards"] = len(shards)
+            self.last_plan_stats = totals
+            return tree_reduce([values for values, _ in results])
+        out = np.zeros(self.grid.n_bins, dtype=np.float64)
+        for block, _ in results:
+            for row in block:
+                out += row
+        return out
 
     def compute(self, point: GridPoint, ions: tuple[Ion, ...] | None = None) -> Spectrum:
         """Full spectrum at one grid point.
 
         Sums the configured emission components: ``rrc`` (the paper's
         workload), ``lines`` (collisional line emission) and ``brems``
-        (free-free continuum).
+        (free-free continuum).  Only the RRC component uses the fused /
+        parallel execution paths; the others stay serial.
         """
         spectrum = Spectrum.zeros(
             self.grid,
@@ -552,8 +752,7 @@ class SerialAPEC:
         )
         ion_set = ions if ions is not None else self.db.ions
         if "rrc" in self.components:
-            for ion in ion_set:
-                spectrum.accumulate(self.ion_emissivity(ion, point))
+            spectrum.accumulate(self._rrc_values(point, ion_set))
         if "lines" in self.components:
             from repro.physics.lines import ion_line_emissivity
 
@@ -574,3 +773,8 @@ class SerialAPEC:
                 )
             )
         return spectrum
+
+
+#: Public name of the model entry point; ``SerialAPEC`` is kept as the
+#: historical alias (the class long ago stopped being serial-only).
+ApecModel = SerialAPEC

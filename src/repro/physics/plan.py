@@ -1,0 +1,587 @@
+"""Compiled spectrum plans and the cross-request plan cache.
+
+``SerialAPEC`` re-derives the same temperature-independent structure —
+level parameters, flat Kramers+Milne constants, active-window searches —
+for every ion on every grid point of every request.  A
+:class:`SpectrumPlan` compiles that structure *once* per
+``(database, grid, ion set, method, rule knobs, tail_tol, gaunt)``
+combination into flat structure-of-arrays form:
+
+- ``energy_kev`` / ``c_base`` — per-level binding energies and the
+  temperature-independent part of the flat constant ``C_l``, concatenated
+  over all ions (one global "row" index per level);
+- ``ion_index`` / ``offsets`` — the level-to-ion indirection used to
+  broadcast per-ion prefactors and to split per-ion statistics back out;
+- per-ion ``e_min`` — feeds the vectorized per-ion Gaunt tail budget so
+  the plan's windows reproduce :func:`repro.physics.windows.level_windows`
+  ion by ion, bit for bit.
+
+Executing a plan at a grid point binds the temperature-dependent pieces
+(windows for ``kT``, per-ion prefactors) and issues one megabatch launch
+(:mod:`repro.quadrature.megabatch`) over the fused windows of every ion —
+a handful of vectorized passes instead of one launch per ion.
+
+:class:`PlanCache` content-addresses compiled plans so repeated grid
+points, parameter sweeps, and cache-miss service requests reuse them; hit,
+miss, compilation and eviction counters are exported through the
+Prometheus registry (:func:`repro.obs.prom.service_registry`) and, when a
+tracer is bound, as instant events on a ``plan-cache`` track.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.atomic.abundances import SOLAR, AbundanceSet
+from repro.atomic.database import AtomicDatabase
+from repro.atomic.ions import Ion
+from repro.constants import K_B_KEV, ME_C2_KEV, SIGMA_KRAMERS_CM2, maxwellian_norm
+from repro.physics.ionbalance import ion_density
+from repro.physics.rrc import gaunt_factor
+from repro.physics.spectrum import EnergyGrid
+from repro.physics.windows import GAUNT_SUP
+from repro.quadrature.batch import (
+    _chunks,
+    _flatten_windows,
+    simpson_weights,
+    unit_fractions,
+)
+from repro.quadrature.megabatch import (
+    MegabatchResult,
+    megabatch_gauss_windows,
+    megabatch_romberg_windows,
+    megabatch_simpson_windows,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer, Track
+
+__all__ = [
+    "PLAN_CACHE",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanKey",
+    "SpectrumPlan",
+    "db_fingerprint",
+    "grid_fingerprint",
+    "ions_fingerprint",
+]
+
+PLAN_METHODS = ("simpson", "romberg", "gauss")
+
+#: Scratch elements per cache block of the factorized pair loop — sized
+#: so the per-block gather + rational buffers stay L2-resident.
+_PAIR_BLOCK_ELEMENTS = 1 << 14
+
+
+def db_fingerprint(db: AtomicDatabase) -> str:
+    """Content address of a synthetic database.
+
+    The database is fully determined by its :class:`AtomicConfig`
+    (construction is deterministic), so hashing the size knobs suffices.
+    """
+    text = f"atomicdb|n_max={db.config.n_max}|z_max={db.config.z_max}"
+    return hashlib.sha1(text.encode()).hexdigest()
+
+
+def grid_fingerprint(grid: EnergyGrid) -> str:
+    """Content address of an energy grid (exact edge bytes)."""
+    return hashlib.sha1(grid.edges.tobytes()).hexdigest()
+
+
+def ions_fingerprint(ions: Iterable[Ion]) -> str:
+    """Content address of an ordered ion subset."""
+    text = "|".join(f"{ion.z},{ion.charge}" for ion in ions)
+    return hashlib.sha1(text.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Content address of one compiled plan.
+
+    Every field that changes the compiled structure or the launch math is
+    part of the key; anything temperature-dependent is deliberately *not*
+    (plans are reused across grid points and bound at execution time).
+    """
+
+    db: str
+    grid: str
+    ions: str
+    method: str
+    pieces: int
+    k: int
+    gl_points: int
+    tail_tol: float
+    gaunt: bool
+
+
+class SpectrumPlan:
+    """Temperature-independent compiled form of one fused RRC launch.
+
+    Built by :meth:`PlanCache.get` (or :func:`compile_plan`); execute with
+    :meth:`execute` at any grid point.  Immutable after construction apart
+    from the small per-``kT`` window memo.
+    """
+
+    #: Window sets memoized per plan (parameter sweeps revisit few kTs).
+    _WINDOW_MEMO_MAX = 64
+
+    def __init__(
+        self,
+        key: PlanKey,
+        db: AtomicDatabase,
+        grid: EnergyGrid,
+        ions: tuple[Ion, ...],
+    ) -> None:
+        self.key = key
+        self.grid = grid
+        self.ions = ions
+        energies: list[np.ndarray] = []
+        c_base: list[np.ndarray] = []
+        offsets = np.zeros(len(ions) + 1, dtype=np.int64)
+        e_min = np.full(len(ions), np.inf)
+        for i, ion in enumerate(ions):
+            ls = db.levels(ion)
+            offsets[i + 1] = offsets[i] + len(ls)
+            if len(ls) == 0:
+                continue
+            energies.append(ls.energy_kev)
+            # Temperature-independent factor of the Kramers+Milne flat
+            # constant: C_l = prefactor(T) * c_base_l.
+            c_base.append(
+                (ls.degeneracy / 2.0)
+                * SIGMA_KRAMERS_CM2
+                * ls.n_arr
+                * ls.energy_kev**3
+                / (2.0 * ME_C2_KEV * ls.c_eff**2)
+            )
+            e_min[i] = float(ls.energy_kev.min())
+        if energies:
+            self.energy_kev = np.concatenate(energies)
+            self.c_base = np.concatenate(c_base)
+        else:
+            self.energy_kev = np.zeros(0)
+            self.c_base = np.zeros(0)
+        self.offsets = offsets
+        self.e_min_ion = e_min
+        self.ion_index = np.repeat(
+            np.arange(len(ions), dtype=np.int64), np.diff(offsets)
+        )
+        for arr in (self.energy_kev, self.c_base, self.offsets,
+                    self.e_min_ion, self.ion_index):
+            arr.setflags(write=False)
+        self._window_memo: OrderedDict[float, tuple[np.ndarray, np.ndarray]]
+        self._window_memo = OrderedDict()
+        self._memo_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return int(self.energy_kev.size)
+
+    def windows(self, kt_kev: float) -> tuple[np.ndarray, np.ndarray]:
+        """Fused per-level ``(first, cutoff)`` windows at one temperature.
+
+        Vectorized over all ions at once, but with the tail budget
+        computed *per ion* (the Gaunt safety factor depends on each ion's
+        ``x_max = E_grid_max / min(I_l)``), so the result matches running
+        :func:`repro.physics.windows.level_windows` ion by ion exactly —
+        including the task prices the service cost model derives from it.
+        """
+        if kt_kev <= 0.0:
+            raise ValueError("kT must be positive")
+        kt = float(kt_kev)
+        with self._memo_lock:
+            cached = self._window_memo.get(kt)
+            if cached is not None:
+                self._window_memo.move_to_end(kt)
+                return cached
+        first, cutoff = self._compute_windows(kt)
+        first.setflags(write=False)
+        cutoff.setflags(write=False)
+        with self._memo_lock:
+            self._window_memo[kt] = (first, cutoff)
+            self._window_memo.move_to_end(kt)
+            while len(self._window_memo) > self._WINDOW_MEMO_MAX:
+                self._window_memo.popitem(last=False)
+        return first, cutoff
+
+    def _compute_windows(self, kt: float) -> tuple[np.ndarray, np.ndarray]:
+        grid = self.grid
+        n_bins = grid.n_bins
+        energies = self.energy_kev
+        if energies.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        first = np.searchsorted(grid.upper, energies, side="right")
+        tail_tol = self.key.tail_tol
+        if tail_tol == 0.0:
+            cutoff = np.full(energies.shape, n_bins, dtype=np.int64)
+        else:
+            if self.key.gaunt:
+                # Same double-precision expression sequence as
+                # tail_cutoff_kev, vectorized over ions: x_max -> g_inf
+                # -> safety -> tau.
+                with np.errstate(divide="ignore"):
+                    x_max = np.maximum(1.0, grid.upper[-1] / self.e_min_ion)
+                g_inf = np.minimum(1.0, gaunt_factor(x_max))
+                safety = GAUNT_SUP / g_inf
+            else:
+                safety = np.ones(len(self.ions))
+            tau_ion = kt * np.log(safety / tail_tol)
+            cutoff = np.searchsorted(
+                grid.lower, energies + tau_ion[self.ion_index], side="left"
+            )
+        first = np.minimum(first, n_bins).astype(np.int64)
+        cutoff = np.maximum(np.minimum(cutoff, n_bins).astype(np.int64), first)
+        return first, cutoff
+
+    def per_ion_active(self, kt_kev: float) -> np.ndarray:
+        """Active (level, bin) pairs per ion — the pruned task prices."""
+        first, cutoff = self.windows(kt_kev)
+        counts = cutoff - first
+        csum = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=csum[1:])
+        return csum[self.offsets[1:]] - csum[self.offsets[:-1]]
+
+    def flat_constants(
+        self, point: "GridPointLike", abundances: AbundanceSet = SOLAR
+    ) -> np.ndarray:
+        """Per-level flat constants C_l at one grid point (all ions)."""
+        kt = point.kt_kev
+        ne = point.ne_cm3
+        norm = maxwellian_norm(kt / K_B_KEV)
+        pref = np.empty(len(self.ions))
+        for i, ion in enumerate(self.ions):
+            n_ion = ion_density(
+                ion, point.temperature_k, ne, abundances=abundances
+            )
+            pref[i] = ne * n_ion * 4.0 * norm / kt
+        return pref[self.ion_index] * self.c_base
+
+    def execute(
+        self, point: "GridPointLike", abundances: AbundanceSet = SOLAR
+    ) -> MegabatchResult:
+        """One fused launch: the grid point's full RRC spectrum + stats."""
+        kt = point.kt_kev
+        first, cutoff = self.windows(kt)
+        if self.n_levels == 0:
+            return MegabatchResult(np.zeros(self.grid.n_bins), 0, 0, 0, 0)
+        c_l = self.flat_constants(point, abundances)
+        f = _flat_window_integrand(self.energy_kev, c_l, kt, self.key.gaunt)
+        if self.key.method == "simpson":
+            fast = self._execute_simpson_factorized(first, cutoff, c_l, kt)
+            if fast is not None:
+                return fast
+            return megabatch_simpson_windows(
+                f, self.grid.edges, first, cutoff,
+                lower_clip=self.energy_kev, pieces=self.key.pieces,
+            )
+        if self.key.method == "romberg":
+            return megabatch_romberg_windows(
+                f, self.grid.edges, first, cutoff,
+                lower_clip=self.energy_kev, k=self.key.k,
+            )
+        return megabatch_gauss_windows(
+            f, self.grid.edges, first, cutoff,
+            lower_clip=self.energy_kev, n=self.key.gl_points,
+        )
+
+    def _execute_simpson_factorized(
+        self,
+        first: np.ndarray,
+        cutoff: np.ndarray,
+        c_l: np.ndarray,
+        kt: float,
+    ) -> MegabatchResult | None:
+        """Shared-abscissa Simpson megabatch (all ions fused, one exp).
+
+        The megabatch analogue of
+        :func:`repro.physics.apec._fused_simpson_windows`: every full bin
+        (not split by a recombination edge) uses the same Simpson nodes
+        for *every level of every ion*, so ``exp(-E/kT)`` and the Gaunt
+        factor's ``cbrt`` are computed once per launch over the bin union
+        and each (level, bin) pair only rescales by
+        ``C_l * exp(I_l/kT)`` plus the cheap Gaunt rational.  Edge bins
+        keep per-level nodes.  Returns ``None`` when the rescaling would
+        overflow or cost more precision than the tail budget allows — the
+        caller then takes the generic unfactored megabatch.
+        """
+        from repro.physics.apec import _SAFE_RESCALE_ARG
+
+        tail_tol = self.key.tail_tol
+        energies = self.energy_kev
+        grid = self.grid
+        arg = (float(energies.max()) + float(grid.upper[-1])) / kt
+        if (
+            tail_tol <= 0.0
+            or arg >= _SAFE_RESCALE_ARG
+            or arg * np.finfo(np.float64).eps >= 0.05 * tail_tol
+        ):
+            return None
+
+        n_bins = grid.n_bins
+        out = np.zeros(n_bins, dtype=np.float64)
+        active = first < cutoff
+        if not active.any():
+            return MegabatchResult(out, 0, 0, 0, 0)
+        pieces = self.key.pieces
+        w = simpson_weights(pieces)
+        frac = unit_fractions(pieces + 1)
+        n_passes = 0
+
+        # --- edge pairs: the one bin per level split by its
+        # recombination edge needs level-specific abscissae (from I_l up).
+        has_edge = active & (
+            grid.lower[np.minimum(first, n_bins - 1)] < energies
+        )
+        n_edge = int(np.count_nonzero(has_edge))
+        if n_edge:
+            b_e = first[has_edge]
+            i_e = energies[has_edge][:, None]
+            width_e = grid.upper[b_e][:, None] - i_e
+            x = i_e + width_e * frac[None, :]
+            with np.errstate(over="ignore", under="ignore"):
+                y = np.exp(-(x - i_e) / kt)
+                if self.key.gaunt:
+                    y = y * gaunt_factor(x / i_e)
+            vals = (width_e[:, 0] / pieces) * (y @ w) * c_l[has_edge]
+            # Levels of different ions can share one edge bin ->
+            # unbuffered scatter-add.
+            np.add.at(out, b_e, vals)
+            n_passes += 1
+
+        # --- full bins: shared abscissae across the union of windows.
+        start = np.minimum(np.where(has_edge, first + 1, first), cutoff)
+        full = start < cutoff
+        if not full.any():
+            return MegabatchResult(out, n_passes, n_edge, 0, 0)
+        bmin = int(start[full].min())
+        bmax = int(cutoff[full].max())
+        lo_u = grid.lower[bmin:bmax]
+        width_u = grid.widths[bmin:bmax]
+        x_sh = lo_u[:, None] + width_u[:, None] * frac[None, :]
+        with np.errstate(under="ignore"):
+            e_sh = np.exp(-x_sh / kt)
+        h_u = width_u / pieces
+        scale = c_l * np.exp(np.where(full, energies, 0.0) / kt)
+        n_passes += 1
+
+        if not self.key.gaunt:
+            # The integrand factorizes completely: each level contributes
+            # scale_l * base[b] on its window, so accumulate the per-bin
+            # sum of scales with a difference array (O(levels + bins)).
+            base = h_u * (e_sh @ w)
+            diff = np.zeros(bmax - bmin + 1)
+            np.add.at(diff, start[full] - bmin, scale[full])
+            np.add.at(diff, cutoff[full] - bmin, -scale[full])
+            out[bmin:bmax] += np.cumsum(diff[:-1]) * base
+            n_full = int((cutoff[full] - start[full]).sum())
+            return MegabatchResult(out, n_passes, n_edge + n_full, 0, 0)
+
+        # With the Gaunt correction the per-(level, bin) factor
+        # g(E / I_l) remains, but its cbrt is shared: g = (a + b*c) /
+        # (d + e*c^2) with c = cbrt(E) / cbrt(I_l), so each chunk of the
+        # flat (row, bin) batch gathers the shared transcendentals and
+        # pays only cheap rational arithmetic per pair.
+        rows, bins = _flatten_windows(start, cutoff)
+        rel = bins - bmin
+        cbrt_sh = np.cbrt(x_sh)
+        ehw = e_sh * (h_u[:, None] * w[None, :])
+        inv_cbrt = 1.0 / np.cbrt(energies)
+        # One logical launch per memory-bounded chunk (what a device
+        # would issue); within a chunk the host evaluation blocks pairs
+        # so the rational-arithmetic scratch stays cache-resident — the
+        # CPU analogue of the launch's thread blocks.
+        n_passes += sum(1 for _ in _chunks(rows.size, pieces + 1))
+        vals = np.empty(rows.size)
+        block = max(1, _PAIR_BLOCK_ELEMENTS // (pieces + 1))
+        for s in range(0, rows.size, block):
+            sl = slice(s, min(s + block, rows.size))
+            c = cbrt_sh[rel[sl]] * inv_cbrt[rows[sl]][:, None]
+            np.maximum(c, 1.0, out=c)
+            num = 0.1728 * c
+            num += 1.0 - 0.1728
+            den = c * c
+            den *= 0.0496
+            den += 1.0 - 0.0496
+            num /= den
+            vals[sl] = scale[rows[sl]] * np.einsum(
+                "bp,bp->b", num, ehw[rel[sl]]
+            )
+        out += np.bincount(bins, weights=vals, minlength=n_bins)
+        return MegabatchResult(out, n_passes, n_edge + int(rows.size), 0, 0)
+
+
+class GridPointLike:
+    """Structural protocol of :class:`repro.physics.apec.GridPoint`."""
+
+    temperature_k: float
+    ne_cm3: float
+    kt_kev: float
+
+
+def _flat_window_integrand(
+    energies: np.ndarray, c_l: np.ndarray, kt: float, gaunt: bool
+):
+    """Megabatch form of the collapsed Eq. (1) integrand.
+
+    Identical math to ``repro.physics.apec._window_integrand``; ``rows``
+    index the plan's flat level arrays instead of one ion's levels.
+    """
+
+    def f(rows: np.ndarray, x: np.ndarray) -> np.ndarray:
+        i_r = energies[rows][:, None]
+        with np.errstate(over="ignore", under="ignore"):
+            y = np.exp(-np.maximum(x - i_r, 0.0) / kt)
+            if gaunt:
+                y = y * gaunt_factor(np.maximum(x / i_r, 1.0))
+        return c_l[rows][:, None] * y
+
+    return f
+
+
+@dataclass
+class PlanCacheStats:
+    """Monotonic counters of one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    compilations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "compilations": self.compilations,
+            "evictions": self.evictions,
+        }
+
+
+class PlanCache:
+    """Thread-safe LRU cache of compiled :class:`SpectrumPlan` objects.
+
+    Plans are content-addressed by :class:`PlanKey`; a second request
+    with the same database, grid, ion set and rule knobs performs zero
+    compilations regardless of temperature (the temperature-dependent
+    pieces bind at execution time).
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.stats = PlanCacheStats()
+        self._plans: OrderedDict[PlanKey, SpectrumPlan] = OrderedDict()
+        self._lock = threading.RLock()
+        self._tracer: "Tracer | None" = None
+
+    def bind_tracer(self, tracer: "Tracer | None") -> None:
+        """Route hit/miss/compile instants to a tracer (or unbind)."""
+        self._tracer = tracer
+
+    def _instant(self, name: str, **args: object) -> None:
+        # The track is interned lazily on the first event so traces that
+        # never consult the plan cache are unchanged by the binding.
+        if self._tracer is not None:
+            track = self._tracer.track("service", "plan-cache")
+            self._tracer.instant(track, name, cat="plan", args=dict(args))
+
+    def make_key(
+        self,
+        db: AtomicDatabase,
+        grid: EnergyGrid,
+        ions: tuple[Ion, ...] | None = None,
+        method: str = "simpson",
+        pieces: int = 64,
+        k: int = 7,
+        gl_points: int = 12,
+        tail_tol: float = 0.0,
+        gaunt: bool = True,
+    ) -> tuple[PlanKey, tuple[Ion, ...]]:
+        if method not in PLAN_METHODS:
+            raise ValueError(f"unknown plan method {method!r}")
+        if tail_tol < 0.0:
+            raise ValueError("tail_tol must be non-negative")
+        ion_set = tuple(ions) if ions is not None else db.ions
+        key = PlanKey(
+            db=db_fingerprint(db),
+            grid=grid_fingerprint(grid),
+            ions=ions_fingerprint(ion_set),
+            method=method,
+            pieces=int(pieces),
+            k=int(k),
+            gl_points=int(gl_points),
+            tail_tol=float(tail_tol),
+            gaunt=bool(gaunt),
+        )
+        return key, ion_set
+
+    def get(
+        self,
+        db: AtomicDatabase,
+        grid: EnergyGrid,
+        ions: tuple[Ion, ...] | None = None,
+        method: str = "simpson",
+        pieces: int = 64,
+        k: int = 7,
+        gl_points: int = 12,
+        tail_tol: float = 0.0,
+        gaunt: bool = True,
+    ) -> SpectrumPlan:
+        """The compiled plan for these inputs, compiling on first use."""
+        key, ion_set = self.make_key(
+            db, grid, ions, method, pieces, k, gl_points, tail_tol, gaunt
+        )
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.stats.hits += 1
+                self._plans.move_to_end(key)
+                self._instant("plan-hit", method=method)
+                return plan
+            self.stats.misses += 1
+            self._instant("plan-miss", method=method)
+        # Compile outside the lock: a concurrent duplicate costs repeated
+        # work, never an inconsistent cache (last writer wins).
+        plan = SpectrumPlan(key, db, grid, ion_set)
+        with self._lock:
+            self.stats.compilations += 1
+            self._instant("plan-compile", method=method, levels=plan.n_levels)
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.max_entries:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
+        return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+#: Process-global plan cache shared by the model layer, the service cost
+#: model, and worker processes of the parallel backend (each process gets
+#: its own instance).
+PLAN_CACHE = PlanCache()

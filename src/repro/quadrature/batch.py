@@ -14,6 +14,7 @@ experiments (Fig. 7 / Fig. 8).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable
 
@@ -31,6 +32,8 @@ __all__ = [
     "batch_trapezoid",
     "simpson_weights",
     "unit_fractions",
+    "KERNEL_COUNTERS",
+    "WindowKernelCounters",
 ]
 
 #: Cap on the scratch grid size (in float64 elements) for one chunk of a
@@ -128,15 +131,14 @@ def batch_simpson(
     w = simpson_weights(pieces)
     frac = unit_fractions(pieces + 1)
     for sl in _chunks(lo.size, pieces + 1):
-        width = (hi[sl] - lo[sl])[:, None]
-        x = lo[sl][:, None] + width * frac[None, :]
+        width = hi[sl] - lo[sl]
+        x = lo[sl][:, None] + width[:, None] * frac[None, :]
         y = np.asarray(f(x), dtype=np.float64)
         if y.shape != x.shape:
             raise ValueError(
                 f"integrand returned shape {y.shape}, expected {x.shape}"
             )
-        h = (hi[sl] - lo[sl]) / pieces
-        out[sl] = h * (y @ w)
+        out[sl] = width / pieces * (y @ w)
     return out
 
 
@@ -173,11 +175,10 @@ def batch_trapezoid(
     frac = unit_fractions(panels + 1)
     w = _trapezoid_weights(panels)
     for sl in _chunks(lo.size, panels + 1):
-        width = (hi[sl] - lo[sl])[:, None]
-        x = lo[sl][:, None] + width * frac[None, :]
+        width = hi[sl] - lo[sl]
+        x = lo[sl][:, None] + width[:, None] * frac[None, :]
         y = np.asarray(f(x), dtype=np.float64)
-        h = (hi[sl] - lo[sl]) / panels
-        out[sl] = h * (y @ w)
+        out[sl] = width / panels * (y @ w)
     return out
 
 
@@ -218,6 +219,62 @@ def batch_romberg(
 # cover only the active tiles of the (levels x bins) iteration space.
 
 WindowIntegrand = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class WindowKernelCounters:
+    """Process-global savings ledger of the CSR window kernels.
+
+    ``lower_clip`` clamping can collapse a (row, bin) pair to zero width
+    (the bin lies entirely below its row's recombination edge).  Such a
+    pair contributes exactly 0.0, so the kernels elide it before the
+    integrand pass; the elisions are booked here so callers (the bench
+    harness, the service cost model) can surface them as extra
+    ``evals_saved`` on top of window pruning.
+    """
+
+    zero_width_pairs: int = 0
+    evals_saved: int = 0
+
+    def book(self, n_pairs: int, n_pts: int) -> None:
+        self.zero_width_pairs += n_pairs
+        self.evals_saved += n_pairs * n_pts
+
+    def reset(self) -> None:
+        self.zero_width_pairs = 0
+        self.evals_saved = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "zero_width_pairs": self.zero_width_pairs,
+            "evals_saved": self.evals_saved,
+        }
+
+
+#: Shared ledger instance used by every window kernel in this process.
+KERNEL_COUNTERS = WindowKernelCounters()
+
+
+def _skip_zero_width(
+    rows: np.ndarray,
+    bins: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    n_pts: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Drop clamped-empty pairs (``hi == lo``) before evaluation.
+
+    Bit-identical to evaluating them: a zero-width pair's quadrature
+    value is exactly 0.0 for every rule (``h = 0`` scales the weighted
+    sum), so removing it from the scatter changes no output bit while
+    saving ``n_pts`` integrand evaluations per pair.
+    """
+    keep = hi > lo
+    n_skip = keep.size - int(np.count_nonzero(keep))
+    if n_skip == 0:
+        return rows, bins, lo, hi
+    KERNEL_COUNTERS.book(n_skip, n_pts)
+    return rows[keep], bins[keep], lo[keep], hi[keep]
 
 
 def _flatten_windows(
@@ -283,6 +340,10 @@ def _scatter_windows(
     if rows.size == 0:
         return out
     lo, hi = _window_bounds(edges, bins, rows, lower_clip)
+    if lower_clip is not None:
+        rows, bins, lo, hi = _skip_zero_width(rows, bins, lo, hi, n_pts)
+        if rows.size == 0:
+            return out
     frac = unit_fractions(n_pts)
     for sl in _chunks(rows.size, n_pts):
         width = hi[sl] - lo[sl]
@@ -384,6 +445,10 @@ def batch_gauss_windows(
     if rows.size == 0:
         return out
     lo, hi = _window_bounds(edges, bins, rows, lower_clip)
+    if lower_clip is not None:
+        rows, bins, lo, hi = _skip_zero_width(rows, bins, lo, hi, n)
+        if rows.size == 0:
+            return out
     nodes, weights = gauss_legendre_nodes(n)
     for sl in _chunks(rows.size, n):
         half = 0.5 * (hi[sl] - lo[sl])

@@ -1,0 +1,212 @@
+"""Fused multi-ion megabatch kernels: one ragged batch per grid point.
+
+The per-ion window kernels in :mod:`repro.quadrature.batch` already pack
+*all levels of one ion* into a single vectorized pass, but a grid point
+still issues one launch per ion (~496 for the full database).  The paper's
+granularity lesson — pack many tiny integrals into one launch so fixed
+overhead amortizes (Algorithm 2) — applies one more time: concatenate the
+CSR active windows of *every* ion of the grid point into one ragged
+``(row, bin)`` batch, where a "row" now indexes a flat structure-of-arrays
+of level parameters spanning the whole database.  One vectorized integrand
+pass per memory-bounded chunk and one ``bincount`` scatter replace the
+per-ion launch loop with a handful of passes.
+
+The integrand calling convention is unchanged (``f(rows, x)`` with global
+flat row indices), so the same closure machinery drives both layers.  The
+megabatch drivers additionally return execution statistics —
+``n_passes`` (vectorized launches), ``n_pairs`` (evaluated pairs) and the
+zero-width elision savings — which the plan layer
+(:mod:`repro.physics.plan`) and the bench harness surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.quadrature.batch import (
+    WindowIntegrand,
+    _chunks,
+    _flatten_windows,
+    _romberg_reduce,
+    _window_bounds,
+    simpson_weights,
+    unit_fractions,
+)
+from repro.quadrature.simpson import DEFAULT_PIECES, _check_pieces
+
+__all__ = [
+    "MegabatchResult",
+    "megabatch_simpson_windows",
+    "megabatch_romberg_windows",
+    "megabatch_gauss_windows",
+]
+
+
+@dataclass(frozen=True)
+class MegabatchResult:
+    """Per-bin totals plus execution statistics of one megabatch launch.
+
+    Attributes
+    ----------
+    values:
+        ``n_bins`` scatter-added window integrals (same numbers the
+        per-ion kernels would produce, summed over all rows).
+    n_passes:
+        Vectorized integrand passes issued (chunks of the ragged batch).
+    n_pairs:
+        (row, bin) pairs actually evaluated after zero-width elision.
+    n_pairs_skipped:
+        Pairs elided because ``lower_clip`` clamping collapsed them.
+    evals_saved:
+        Integrand evaluations avoided by the elision
+        (``n_pairs_skipped * points_per_pair``).
+    """
+
+    values: np.ndarray
+    n_passes: int
+    n_pairs: int
+    n_pairs_skipped: int
+    evals_saved: int
+
+
+def _run_megabatch(
+    f: WindowIntegrand,
+    edges: np.ndarray,
+    first: np.ndarray,
+    cutoff: np.ndarray,
+    lower_clip: np.ndarray | None,
+    n_pts: int,
+    make_x: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    reduce: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+) -> MegabatchResult:
+    """Shared driver: flatten, elide, evaluate in chunks, scatter-add."""
+    edges = np.asarray(edges, dtype=np.float64)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValueError("edges must be a 1-D array with at least 2 entries")
+    n_bins = edges.size - 1
+    rows, bins = _flatten_windows(first, cutoff)
+    out = np.zeros(n_bins, dtype=np.float64)
+    if rows.size == 0:
+        return MegabatchResult(out, 0, 0, 0, 0)
+    lo, hi = _window_bounds(edges, bins, rows, lower_clip)
+    n_skipped = 0
+    if lower_clip is not None:
+        keep = hi > lo
+        n_skipped = keep.size - int(np.count_nonzero(keep))
+        if n_skipped:
+            rows, bins, lo, hi = rows[keep], bins[keep], lo[keep], hi[keep]
+            if rows.size == 0:
+                return MegabatchResult(out, 0, 0, n_skipped, n_skipped * n_pts)
+    n_passes = 0
+    for sl in _chunks(rows.size, n_pts):
+        x = make_x(lo[sl], hi[sl])
+        y = np.asarray(f(rows[sl], x), dtype=np.float64)
+        if y.shape != x.shape:
+            raise ValueError(
+                f"integrand returned shape {y.shape}, expected {x.shape}"
+            )
+        vals = reduce(y, lo[sl], hi[sl])
+        out += np.bincount(bins[sl], weights=vals, minlength=n_bins)
+        n_passes += 1
+    return MegabatchResult(
+        values=out,
+        n_passes=n_passes,
+        n_pairs=int(rows.size),
+        n_pairs_skipped=n_skipped,
+        evals_saved=n_skipped * n_pts,
+    )
+
+
+def _affine_x(n_pts: int) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    frac = unit_fractions(n_pts)
+
+    def make_x(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return lo[:, None] + (hi - lo)[:, None] * frac[None, :]
+
+    return make_x
+
+
+def megabatch_simpson_windows(
+    f: WindowIntegrand,
+    edges: np.ndarray,
+    first: np.ndarray,
+    cutoff: np.ndarray,
+    lower_clip: np.ndarray | None = None,
+    pieces: int = DEFAULT_PIECES,
+) -> MegabatchResult:
+    """Composite Simpson over the fused windows of many ions at once.
+
+    Same calling convention as
+    :func:`repro.quadrature.batch.batch_simpson_windows`, but ``first`` /
+    ``cutoff`` / ``lower_clip`` span the concatenated levels of a whole
+    ion set and the result carries launch statistics.  The per-pair
+    quadrature math is identical, so values match the per-ion kernel to
+    summation-order rounding (exactly, when all pairs fit one chunk).
+    """
+    _check_pieces(pieces)
+    w = simpson_weights(pieces)
+
+    def reduce(y: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return (hi - lo) / pieces * (y @ w)
+
+    return _run_megabatch(
+        f, edges, first, cutoff, lower_clip, pieces + 1,
+        _affine_x(pieces + 1), reduce,
+    )
+
+
+def megabatch_romberg_windows(
+    f: WindowIntegrand,
+    edges: np.ndarray,
+    first: np.ndarray,
+    cutoff: np.ndarray,
+    lower_clip: np.ndarray | None = None,
+    k: int = 7,
+) -> MegabatchResult:
+    """Romberg (``k`` dichotomy levels) over fused windows; see
+    :func:`megabatch_simpson_windows`."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    n_pts = 2**k + 1
+
+    def reduce(y: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return _romberg_reduce(y, hi - lo, k)
+
+    return _run_megabatch(
+        f, edges, first, cutoff, lower_clip, n_pts, _affine_x(n_pts), reduce
+    )
+
+
+def megabatch_gauss_windows(
+    f: WindowIntegrand,
+    edges: np.ndarray,
+    first: np.ndarray,
+    cutoff: np.ndarray,
+    lower_clip: np.ndarray | None = None,
+    n: int = 8,
+) -> MegabatchResult:
+    """n-point Gauss-Legendre over fused windows; see
+    :func:`megabatch_simpson_windows`.
+
+    Gauss nodes are not affine images of ``linspace(0, 1)``, so this
+    variant carries its own (center, half-width) node mapping — the same
+    formulation as :func:`repro.quadrature.batch.batch_gauss_windows`.
+    """
+    from repro.quadrature.gauss_legendre import gauss_legendre_nodes
+
+    nodes, weights = gauss_legendre_nodes(n)
+
+    def make_x(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        half = 0.5 * (hi - lo)
+        center = 0.5 * (hi + lo)
+        return center[:, None] + half[:, None] * nodes[None, :]
+
+    def reduce(y: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return 0.5 * (hi - lo) * (y @ weights)
+
+    return _run_megabatch(
+        f, edges, first, cutoff, lower_clip, n, make_x, reduce
+    )

@@ -34,10 +34,16 @@ from repro.core.calibration import CostModel
 from repro.core.hybrid import HybridConfig, HybridRunner
 from repro.obs.bus import ServiceBus
 from repro.obs.tracer import NULL_TRACER
+from repro.parallel.executor import BACKENDS, ExecutionBackend, get_backend
+from repro.physics.plan import PLAN_CACHE
 from repro.service.cache import SpectrumCache
 from repro.service.coalesce import InFlight, RequestCoalescer
 from repro.service.loadgen import Arrival
-from repro.service.requests import SpectrumRequest, compile_tasks
+from repro.service.requests import (
+    SpectrumRequest,
+    compile_tasks,
+    request_spectrum,
+)
 from repro.service.telemetry import ServiceTelemetry
 
 __all__ = ["ServiceConfig", "SpectrumBroker", "Ticket", "run_trace"]
@@ -84,6 +90,14 @@ class ServiceConfig:
     #: sample, deterministic); ``None`` keeps every sample, matching the
     #: historical behaviour.
     latency_reservoir: Optional[int] = None
+    #: Wall-clock backend for request payload evaluation ("serial" runs
+    #: payloads inside the simulated tasks exactly as before; "thread" /
+    #: "process" precompute each batch's spectra on a host pool while
+    #: the simulation prices cost-only tasks — same bits, same virtual
+    #: time, less wall time).
+    backend: str = "serial"
+    #: Worker count of the payload pool (``None``: one per core).
+    jobs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -96,6 +110,12 @@ class ServiceConfig:
             raise ValueError("retry_after_s must be positive")
         if self.latency_reservoir is not None and self.latency_reservoir < 1:
             raise ValueError("latency_reservoir must be >= 1 or None")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError("jobs must be >= 1 or None")
 
 
 @dataclass
@@ -192,6 +212,10 @@ class SpectrumBroker:
         self._batch_seq = 0
         self._req_seq = 0
         self._started = False
+        self._payload_backend: Optional[ExecutionBackend] = None
+        # Route plan-cache events to this broker's tracer (the cache is
+        # process-global; the newest broker owns the instrumentation).
+        PLAN_CACHE.bind_tracer(self.tracer if self.tracer.enabled else None)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -331,6 +355,37 @@ class SpectrumBroker:
         if self._idle:
             self._idle.popleft().fire(self.clock)
 
+    def _backend(self) -> ExecutionBackend:
+        if self._payload_backend is None:
+            self._payload_backend = get_backend(
+                self.config.backend, self.config.jobs
+            )
+        return self._payload_backend
+
+    def close(self) -> None:
+        """Release the payload worker pool (no-op for the serial backend)."""
+        if self._payload_backend is not None:
+            self._payload_backend.close()
+            self._payload_backend = None
+
+    def _batch_payloads(
+        self, batch: list[InFlight]
+    ) -> Optional[list[np.ndarray]]:
+        """Precomputed spectra of one batch, or ``None`` on the serial path.
+
+        On a parallel backend the batch's request spectra are evaluated
+        on the host pool while the hybrid simulation runs cost-only
+        tasks; :func:`request_spectrum` accumulates in exact task order,
+        so the result is bit-identical to in-simulation accumulation.
+        """
+        if self.config.backend == "serial":
+            return None
+        payloads = [
+            (entry.request, self.db.config.n_max, self.db.config.z_max)
+            for entry in batch
+        ]
+        return self._backend().map(request_spectrum, payloads)
+
     def _drain_batch(self) -> list[InFlight]:
         """Up to ``batch_max`` entries, interactive strictly first."""
         batch: list[InFlight] = []
@@ -357,12 +412,14 @@ class SpectrumBroker:
                 self._idle.append(idle)
                 yield idle
                 continue
+            payloads = self._batch_payloads(batch)
             tasks = []
             for i, entry in enumerate(batch):
                 tasks.extend(
                     compile_tasks(
                         entry.request, self.db,
                         point_index=i, task_id_base=len(tasks),
+                        with_payload=payloads is None,
                     )
                 )
             self._batch_seq += 1
@@ -381,7 +438,10 @@ class SpectrumBroker:
                     args={"n_requests": len(batch), "n_tasks": len(tasks)},
                 )
             for i, entry in enumerate(batch):
-                spectrum = result.spectra.get(i)
+                if payloads is not None:
+                    spectrum = payloads[i]
+                else:
+                    spectrum = result.spectra.get(i)
                 if spectrum is None:  # cost-only tasks produce no payload
                     spectrum = np.zeros(entry.request.n_bins)
                 self.cache.put(entry.key, spectrum, now)
@@ -459,6 +519,9 @@ def run_trace(
             clock.spawn(client(i, arrival), name=f"client{i}")
 
     clock.spawn(dispatcher(), name="dispatcher")
-    clock.run()
+    try:
+        clock.run()
+    finally:
+        broker.close()
     broker.bus.finalize(clock.now)
     return broker, tickets

@@ -24,10 +24,16 @@ from repro.atomic.ions import Ion
 from repro.constants import K_B_KEV, RYDBERG_KEV
 from repro.core.task import Task, TaskKind
 from repro.gpusim.kernel import KernelSpec
+from repro.physics.plan import PLAN_CACHE, PlanCache
 from repro.physics.spectrum import EnergyGrid
-from repro.physics.windows import level_windows
 
-__all__ = ["SpectrumRequest", "compile_tasks", "ion_emission", "request_grid"]
+__all__ = [
+    "SpectrumRequest",
+    "compile_tasks",
+    "ion_emission",
+    "request_grid",
+    "request_spectrum",
+]
 
 _RULES = ("simpson", "romberg")
 
@@ -167,11 +173,45 @@ def ion_emission(
     return out * request.ne_cm3
 
 
+def _plan_rule_knobs(request: SpectrumRequest) -> tuple[int, int]:
+    """(pieces, k) implied by the request's rule + tolerance pricing."""
+    evals = request.evals_per_integral
+    if request.rule == "simpson":
+        return evals - 1, 7
+    return 64, (evals - 1).bit_length() - 1
+
+
+def request_spectrum(
+    payload: tuple[SpectrumRequest, int, int]
+) -> np.ndarray:
+    """Full spectrum of one request, ion order, left-fold accumulation.
+
+    Module-level and picklable (``payload`` is ``(request, db n_max,
+    db z_max)``), so the broker can farm payload evaluation out to a
+    process pool.  The accumulation order matches the hybrid runner's
+    synchronous per-point task order bit for bit, so precomputed and
+    simulation-accumulated spectra are interchangeable.
+    """
+    from repro.physics.apec import _worker_db
+
+    request, n_max, z_max = payload
+    db = _worker_db(n_max, z_max)
+    grid = request_grid(request)
+    out = np.zeros(grid.n_bins, dtype=np.float64)
+    for ion in db.ions:
+        if ion.z > request.z_max:
+            continue
+        out += ion_emission(ion, db.n_levels(ion), request, grid)
+    return out
+
+
 def compile_tasks(
     request: SpectrumRequest,
     db: AtomicDatabase,
     point_index: int = 0,
     task_id_base: int = 0,
+    with_payload: bool = True,
+    plan_cache: PlanCache = PLAN_CACHE,
 ) -> list[Task]:
     """Lower one request to Ion-granularity tasks for the hybrid runner.
 
@@ -179,7 +219,13 @@ def compile_tasks(
     CPU-fallback path (the service mirrors the repo's "real numerics
     under simulated time" rule: placement decides the *price*, never the
     *answer*), so a batch's accumulated spectrum is independent of
-    scheduling.
+    scheduling.  ``with_payload=False`` compiles *cost-only* tasks —
+    identical prices, no execute callables — for brokers that evaluate
+    payloads out of band (closures cannot cross a process pool).
+
+    Active-window pricing goes through the plan cache: the per-ion
+    window search is compiled once per ``(db, grid, rule, tail_tol)``
+    combination and repeated requests reprice from the cached plan.
     """
     if request.z_max > db.config.z_max:
         raise ValueError(
@@ -189,26 +235,34 @@ def compile_tasks(
     grid = request_grid(request)
     evals = request.evals_per_integral
     kt_kev = K_B_KEV * request.temperature_k
+    ions = tuple(ion for ion in db.ions if ion.z <= request.z_max)
+
+    # Active-window pruning shrinks the priced workload: the device
+    # model, scheduler load counters, and autotuner all see the cheaper
+    # tasks.  tail_tol=0 keeps the dense levels x bins count (pruning
+    # off must price exactly like the legacy kernels).
+    active_per_ion = None
+    if request.tail_tol > 0.0:
+        pieces, k = _plan_rule_knobs(request)
+        plan = plan_cache.get(
+            db, grid, ions=ions, method=request.rule,
+            pieces=pieces, k=k, tail_tol=request.tail_tol, gaunt=True,
+        )
+        active_per_ion = plan.per_ion_active(kt_kev)
+
     tasks: list[Task] = []
     tid = task_id_base
-    for ion in db.ions:
-        if ion.z > request.z_max:
-            continue
+    for i, ion in enumerate(ions):
         n_levels = db.n_levels(ion)
-
-        # Active-window pruning shrinks the priced workload: the device
-        # model, scheduler load counters, and autotuner all see the
-        # cheaper task.  tail_tol=0 keeps the dense levels x bins count
-        # (pruning off must price exactly like the legacy kernels).
         n_active = None
-        if request.tail_tol > 0.0 and n_levels > 0:
-            win = level_windows(
-                db.levels(ion).energy_kev, grid, kt_kev, request.tail_tol
-            )
-            n_active = win.n_active
+        if active_per_ion is not None and n_levels > 0:
+            n_active = int(active_per_ion[i])
 
-        def execute(ion=ion, n_levels=n_levels) -> np.ndarray:
-            return ion_emission(ion, n_levels, request, grid)
+        if with_payload:
+            def execute(ion=ion, n_levels=n_levels) -> np.ndarray:
+                return ion_emission(ion, n_levels, request, grid)
+        else:
+            execute = None
 
         tasks.append(
             Task(

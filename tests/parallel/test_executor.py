@@ -1,0 +1,114 @@
+"""Execution backends: sharding, reduction, and map-order contracts."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.executor import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_jobs,
+    get_backend,
+    shard_items,
+    tree_reduce,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestGetBackend:
+    def test_names(self):
+        assert get_backend("serial").name == "serial"
+        assert get_backend("thread", 2).name == "thread"
+        assert get_backend("process", 2).name == "process"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("mpi")
+
+    def test_bad_jobs_raises(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ThreadBackend(0)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+        assert get_backend("thread").jobs == default_jobs()
+        assert get_backend("serial").jobs == 1
+
+
+class TestMapOrder:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_results_in_submission_order(self, name):
+        with get_backend(name, 2) as backend:
+            assert backend.map(_square, list(range(17))) == [
+                i * i for i in range(17)
+            ]
+
+    def test_close_is_idempotent_and_reusable(self):
+        backend = ThreadBackend(2)
+        assert backend.map(_square, [3]) == [9]
+        backend.close()
+        backend.close()
+        # A closed backend lazily re-creates its pool on next use.
+        assert backend.map(_square, [4]) == [16]
+        backend.close()
+
+
+class TestShardItems:
+    def test_concatenation_preserves_order(self):
+        items = list(range(23))
+        shards = shard_items(items, 5)
+        assert [x for s in shards for x in s] == items
+
+    def test_near_equal_sizes(self):
+        sizes = [len(s) for s in shard_items(list(range(23)), 5)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_independent_of_backend_and_jobs(self):
+        # The split is a pure function of (len(items), n_shards).
+        a = shard_items(list(range(100)), 8)
+        b = shard_items(list(range(100)), 8)
+        assert a == b
+
+    def test_more_shards_than_items(self):
+        shards = shard_items([1, 2, 3], 8)
+        assert len(shards) == 3
+        assert all(len(s) == 1 for s in shards)
+
+    def test_empty_items(self):
+        assert shard_items([], 4) == []
+
+    def test_zero_shards_raises(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_items([1], 0)
+
+
+class TestTreeReduce:
+    def test_matches_pairwise_rounds(self):
+        rng = np.random.default_rng(7)
+        parts = [rng.standard_normal(32) for _ in range(5)]
+        # Manual pairwise rounds: ((p0+p1)+(p2+p3)) + p4.
+        expected = ((parts[0] + parts[1]) + (parts[2] + parts[3])) + parts[4]
+        np.testing.assert_array_equal(tree_reduce(parts), expected)
+
+    def test_single_partial_passthrough(self):
+        a = np.arange(4, dtype=np.float64)
+        np.testing.assert_array_equal(tree_reduce([a]), a)
+
+    def test_deterministic_across_calls(self):
+        rng = np.random.default_rng(11)
+        parts = [rng.standard_normal(64) for _ in range(7)]
+        np.testing.assert_array_equal(tree_reduce(parts), tree_reduce(parts))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            tree_reduce([])
+
+
+class TestProcessBackend:
+    def test_module_level_function_roundtrip(self):
+        with ProcessBackend(2) as backend:
+            assert backend.map(_square, [2, 3, 4]) == [4, 9, 16]

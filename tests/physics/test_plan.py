@@ -1,0 +1,178 @@
+"""Compiled spectrum plans and the cross-request plan cache.
+
+Pinned promises:
+
+1. A plan's fused windows and per-ion active counts match the per-ion
+   :func:`repro.physics.windows.level_windows` search exactly.
+2. A fused megabatch execution matches the per-ion kernel path within
+   1e-12 relative on seeded (temperature, method) combinations.
+3. The cache is content-addressed: identical inputs hit, every key knob
+   (grid, method, pieces, k, tail tolerance, Gaunt flag) misses, and a
+   temperature change never recompiles (plans are T-independent).
+"""
+
+import numpy as np
+import pytest
+
+from repro.atomic.database import AtomicConfig, AtomicDatabase
+from repro.constants import K_B_KEV
+from repro.physics.apec import GridPoint, ion_emissivity_batched
+from repro.physics.plan import PlanCache, SpectrumPlan
+from repro.physics.spectrum import EnergyGrid
+from repro.physics.windows import level_windows
+
+
+@pytest.fixture(scope="module")
+def db() -> AtomicDatabase:
+    return AtomicDatabase(AtomicConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def grid() -> EnergyGrid:
+    return EnergyGrid.from_wavelength(10.0, 45.0, 48)
+
+
+def _get(cache: PlanCache, db, grid, **kw) -> SpectrumPlan:
+    base = dict(method="simpson", pieces=32, k=5, tail_tol=1.0e-9, gaunt=True)
+    base.update(kw)
+    return cache.get(db, grid, ions=tuple(db.ions), **base)
+
+
+class TestPlanStructure:
+    def test_windows_match_level_windows_per_ion(self, db, grid):
+        plan = _get(PlanCache(), db, grid)
+        for kt in (0.4, 0.8617, 1.5):
+            first, cutoff = plan.windows(kt)
+            for i, ion in enumerate(plan.ions):
+                lo, hi = plan.offsets[i], plan.offsets[i + 1]
+                if lo == hi:
+                    continue
+                win = level_windows(
+                    db.levels(ion).energy_kev, grid, kt, 1.0e-9, gaunt=True
+                )
+                np.testing.assert_array_equal(first[lo:hi], win.first)
+                np.testing.assert_array_equal(cutoff[lo:hi], win.cutoff)
+
+    def test_per_ion_active_matches_window_counts(self, db, grid):
+        plan = _get(PlanCache(), db, grid)
+        kt = K_B_KEV * 1.0e7
+        active = plan.per_ion_active(kt)
+        assert active.shape == (len(plan.ions),)
+        for i, ion in enumerate(plan.ions):
+            if db.n_levels(ion) == 0:
+                assert active[i] == 0
+                continue
+            win = level_windows(
+                db.levels(ion).energy_kev, grid, kt, 1.0e-9, gaunt=True
+            )
+            assert active[i] == win.n_active
+
+    def test_window_memo_reuses_arrays(self, db, grid):
+        plan = _get(PlanCache(), db, grid)
+        a = plan.windows(0.8617)
+        b = plan.windows(0.8617)
+        assert a[0] is b[0] and a[1] is b[1]
+
+
+class TestMegabatchEquivalence:
+    @pytest.mark.parametrize("method", ["simpson", "romberg", "gauss"])
+    def test_matches_per_ion_path_seeded(self, db, grid, method):
+        rng = np.random.default_rng(2015)
+        plan = _get(PlanCache(), db, grid, method=method)
+        for temperature in 10 ** rng.uniform(6.3, 7.3, size=3):
+            point = GridPoint(temperature_k=float(temperature), ne_cm3=1.0)
+            expected = np.zeros(grid.n_bins)
+            for ion in db.ions:
+                if db.n_levels(ion) == 0:
+                    continue
+                expected += ion_emissivity_batched(
+                    db, ion, point, grid, method=method,
+                    pieces=32, k=5, tail_tol=1.0e-9,
+                )
+            got = plan.execute(point).values
+            scale = float(np.abs(expected).max())
+            assert np.abs(got - expected).max() <= 1.0e-12 * scale
+
+    def test_factorized_matches_generic_megabatch(self, db, grid):
+        plan = _get(PlanCache(), db, grid, method="simpson")
+        point = GridPoint(temperature_k=1.0e7, ne_cm3=1.0)
+        fast = plan.execute(point)
+        # Disable the shared-abscissa fast path on this instance only.
+        plan._execute_simpson_factorized = lambda *a, **k: None
+        generic = plan.execute(point)
+        assert fast.n_pairs == generic.n_pairs + generic.n_pairs_skipped
+        scale = float(np.abs(generic.values).max())
+        assert np.abs(fast.values - generic.values).max() <= 1.0e-12 * scale
+
+    def test_execute_reports_launch_statistics(self, db, grid):
+        plan = _get(PlanCache(), db, grid)
+        res = plan.execute(GridPoint(temperature_k=1.0e7, ne_cm3=1.0))
+        assert res.n_passes >= 1
+        assert res.n_pairs > 0
+        assert res.values.shape == (grid.n_bins,)
+
+
+class TestPlanCache:
+    def test_same_inputs_hit(self, db, grid):
+        cache = PlanCache()
+        a = _get(cache, db, grid)
+        b = _get(cache, db, grid)
+        assert a is b
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.compilations == 1
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"method": "romberg"},
+            {"pieces": 64},
+            {"k": 6},
+            {"tail_tol": 1.0e-6},
+            {"gaunt": False},
+        ],
+    )
+    def test_every_key_knob_misses(self, db, grid, change):
+        cache = PlanCache()
+        _get(cache, db, grid)
+        _get(cache, db, grid, **change)
+        assert cache.stats.compilations == 2
+        assert cache.stats.hits == 0
+
+    def test_grid_change_misses(self, db, grid):
+        cache = PlanCache()
+        _get(cache, db, grid)
+        _get(cache, db, EnergyGrid.from_wavelength(10.0, 45.0, 50))
+        assert cache.stats.compilations == 2
+
+    def test_temperature_never_recompiles(self, db, grid):
+        cache = PlanCache()
+        plan = _get(cache, db, grid)
+        for t in (5.0e6, 1.0e7, 2.0e7):
+            plan.execute(GridPoint(temperature_k=t, ne_cm3=1.0))
+        again = _get(cache, db, grid)
+        assert again is plan
+        assert cache.stats.compilations == 1
+
+    def test_lru_eviction(self, db, grid):
+        cache = PlanCache(max_entries=2)
+        _get(cache, db, grid, pieces=16)
+        _get(cache, db, grid, pieces=32)
+        _get(cache, db, grid, pieces=64)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The oldest entry (pieces=16) was evicted; refetching recompiles.
+        _get(cache, db, grid, pieces=16)
+        assert cache.stats.compilations == 4
+
+    def test_rejects_unknown_method(self, db, grid):
+        with pytest.raises(ValueError, match="method"):
+            _get(PlanCache(), db, grid, method="midpoint")
+
+    def test_stats_as_dict(self, db, grid):
+        cache = PlanCache()
+        _get(cache, db, grid)
+        d = cache.stats.as_dict()
+        assert d["compilations"] == 1
+        assert cache.stats.lookups == 1
+        assert cache.stats.hit_rate == 0.0

@@ -1,0 +1,123 @@
+"""Megabatch window kernels vs the per-batch CSR kernels.
+
+The megabatch drivers must produce the same per-bin totals as the
+existing :mod:`repro.quadrature.batch` window kernels on identical
+windows (they share the flatten/bounds/reduce machinery), while
+additionally reporting launch statistics and eliding zero-width pairs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quadrature.batch import (
+    KERNEL_COUNTERS,
+    batch_gauss_windows,
+    batch_simpson_windows,
+    batch_romberg_windows,
+)
+from repro.quadrature.megabatch import (
+    megabatch_gauss_windows,
+    megabatch_romberg_windows,
+    megabatch_simpson_windows,
+)
+
+
+@pytest.fixture()
+def windows():
+    """A small ragged window set with one zero-width (clipped) pair."""
+    edges = np.linspace(0.0, 1.0, 9)
+    first = np.array([0, 2, 5, 8])
+    cutoff = np.array([3, 6, 8, 8])
+    # Row 1's clip sits exactly on a bin's upper edge -> its first pair
+    # [0.25, 0.375) clamps to [0.375, 0.375): zero width, elidable.
+    clip = np.array([0.0, 0.375, 0.4, 0.9])
+    return edges, first, cutoff, clip
+
+
+def _f(rows: np.ndarray, x: np.ndarray) -> np.ndarray:
+    return np.exp(-x) * (1.0 + rows[:, None])
+
+
+class TestMatchesBatchKernels:
+    @pytest.mark.parametrize(
+        "mega,batch,kw",
+        [
+            (megabatch_simpson_windows, batch_simpson_windows, {"pieces": 8}),
+            (megabatch_romberg_windows, batch_romberg_windows, {"k": 4}),
+            (megabatch_gauss_windows, batch_gauss_windows, {"n": 6}),
+        ],
+    )
+    def test_values_identical(self, windows, mega, batch, kw):
+        edges, first, cutoff, clip = windows
+        expected = batch(_f, edges, first, cutoff, lower_clip=clip, **kw)
+        res = mega(_f, edges, first, cutoff, lower_clip=clip, **kw)
+        np.testing.assert_array_equal(res.values, expected)
+
+    def test_no_clip_matches_too(self, windows):
+        edges, first, cutoff, _ = windows
+        expected = batch_simpson_windows(_f, edges, first, cutoff, pieces=8)
+        res = megabatch_simpson_windows(_f, edges, first, cutoff, pieces=8)
+        np.testing.assert_array_equal(res.values, expected)
+        assert res.n_pairs_skipped == 0
+
+
+class TestLaunchStatistics:
+    def test_pair_ledger(self, windows):
+        edges, first, cutoff, clip = windows
+        res = megabatch_simpson_windows(
+            _f, edges, first, cutoff, lower_clip=clip, pieces=8
+        )
+        dense_pairs = int((cutoff - first).sum())
+        assert res.n_pairs_skipped == 1
+        assert res.n_pairs == dense_pairs - 1
+        assert res.evals_saved == 9  # pieces + 1 points per elided pair
+        assert res.n_passes >= 1
+
+    def test_empty_windows(self):
+        edges = np.linspace(0.0, 1.0, 5)
+        first = np.array([4, 4])
+        cutoff = np.array([4, 4])
+        res = megabatch_simpson_windows(_f, edges, first, cutoff)
+        assert res.n_passes == 0
+        assert res.n_pairs == 0
+        np.testing.assert_array_equal(res.values, np.zeros(4))
+
+    def test_all_pairs_elided(self):
+        edges = np.linspace(0.0, 1.0, 5)
+        first = np.array([0])
+        cutoff = np.array([1])
+        clip = np.array([0.25])  # clamps the only pair to zero width
+        res = megabatch_simpson_windows(
+            _f, edges, first, cutoff, lower_clip=clip, pieces=4
+        )
+        assert res.n_pairs == 0
+        assert res.n_pairs_skipped == 1
+        np.testing.assert_array_equal(res.values, np.zeros(4))
+
+
+class TestZeroWidthCounters:
+    def test_batch_kernels_book_elisions(self, windows):
+        edges, first, cutoff, clip = windows
+        KERNEL_COUNTERS.reset()
+        batch_simpson_windows(_f, edges, first, cutoff, lower_clip=clip, pieces=8)
+        snap = KERNEL_COUNTERS.snapshot()
+        assert snap["zero_width_pairs"] == 1
+        assert snap["evals_saved"] == 9
+        KERNEL_COUNTERS.reset()
+        assert KERNEL_COUNTERS.snapshot() == {
+            "zero_width_pairs": 0, "evals_saved": 0
+        }
+
+    def test_gauss_kernel_books_too(self, windows):
+        edges, first, cutoff, clip = windows
+        KERNEL_COUNTERS.reset()
+        batch_gauss_windows(_f, edges, first, cutoff, lower_clip=clip, n=6)
+        assert KERNEL_COUNTERS.zero_width_pairs == 1
+        assert KERNEL_COUNTERS.evals_saved == 6
+        KERNEL_COUNTERS.reset()
+
+    def test_unclipped_books_nothing(self, windows):
+        edges, first, cutoff, _ = windows
+        KERNEL_COUNTERS.reset()
+        batch_simpson_windows(_f, edges, first, cutoff, pieces=8)
+        assert KERNEL_COUNTERS.zero_width_pairs == 0

@@ -1,0 +1,107 @@
+"""Plan cache and execution backends through the service layer."""
+
+import numpy as np
+import pytest
+
+from repro.atomic.database import AtomicConfig, AtomicDatabase
+from repro.obs import service_registry
+from repro.physics.plan import PLAN_CACHE, PlanCache
+from repro.service import ServiceConfig, TrafficSpec, generate_trace, run_trace
+from repro.service.requests import SpectrumRequest, compile_tasks
+
+
+@pytest.fixture(scope="module")
+def db() -> AtomicDatabase:
+    return AtomicDatabase(AtomicConfig.tiny())
+
+
+def _request(**kw) -> SpectrumRequest:
+    base = dict(temperature_k=1.0e7, z_max=6, n_bins=32, tail_tol=1.0e-9)
+    base.update(kw)
+    return SpectrumRequest(**base)
+
+
+class TestCompileTasksPlanCache:
+    def test_second_compile_hits(self, db):
+        cache = PlanCache()
+        compile_tasks(_request(), db, plan_cache=cache)
+        compile_tasks(_request(), db, plan_cache=cache)
+        assert cache.stats.compilations == 1
+        assert cache.stats.hits == 1
+
+    def test_different_temperature_zero_new_compilations(self, db):
+        cache = PlanCache()
+        compile_tasks(_request(temperature_k=8.0e6), db, plan_cache=cache)
+        compile_tasks(_request(temperature_k=1.6e7), db, plan_cache=cache)
+        assert cache.stats.compilations == 1
+        assert cache.stats.hits == 1
+
+    def test_rule_or_tail_tol_recompiles(self, db):
+        cache = PlanCache()
+        compile_tasks(_request(), db, plan_cache=cache)
+        compile_tasks(_request(rule="romberg"), db, plan_cache=cache)
+        compile_tasks(_request(tail_tol=1.0e-6), db, plan_cache=cache)
+        assert cache.stats.compilations == 3
+
+    def test_unpruned_requests_skip_the_cache(self, db):
+        cache = PlanCache()
+        compile_tasks(_request(tail_tol=0.0), db, plan_cache=cache)
+        assert cache.stats.lookups == 0
+
+    def test_cost_only_tasks_price_identically(self, db):
+        cache = PlanCache()
+        priced = compile_tasks(_request(), db, plan_cache=cache)
+        costed = compile_tasks(
+            _request(), db, with_payload=False, plan_cache=cache
+        )
+        assert len(priced) == len(costed)
+        for a, b in zip(priced, costed):
+            assert a.kernel.n_integrals == b.kernel.n_integrals
+            assert a.kernel.evals_saved == b.kernel.evals_saved
+            assert a.kernel.total_evals == b.kernel.total_evals
+            assert b.cpu_execute is None and b.kernel.execute is None
+            assert a.cpu_execute is not None
+
+
+class TestBrokerBackends:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(TrafficSpec(n_requests=30, seed=7, n_distinct=6))
+
+    @pytest.fixture(scope="class")
+    def serial_tickets(self, trace):
+        _, tickets = run_trace(trace, ServiceConfig())
+        return tickets
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_spectra_bit_identical_to_serial(
+        self, trace, serial_tickets, backend
+    ):
+        _, tickets = run_trace(
+            trace, ServiceConfig(backend=backend, jobs=2)
+        )
+        assert len(tickets) == len(serial_tickets)
+        for a, b in zip(serial_tickets, tickets):
+            np.testing.assert_array_equal(a.result, b.result)
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ServiceConfig(backend="mpi")
+        with pytest.raises(ValueError, match="jobs"):
+            ServiceConfig(backend="thread", jobs=0)
+
+
+class TestPlanMetricsExported:
+    def test_plan_cache_counters_in_registry(self):
+        trace = generate_trace(
+            TrafficSpec(n_requests=10, seed=3, n_distinct=4, tail_tol=1.0e-9)
+        )
+        PLAN_CACHE.clear()
+        broker, _ = run_trace(trace, ServiceConfig())
+        text = service_registry(broker).render()
+        assert "repro_plan_cache_lookups_total" in text
+        assert "repro_plan_compilations_total" in text
+        assert "repro_plan_cache_hit_ratio" in text
+        # The pruned trace compiled at least one plan and reused it.
+        assert PLAN_CACHE.stats.compilations >= 1
+        assert PLAN_CACHE.stats.hits >= 1

@@ -38,6 +38,9 @@ class TestParser:
             ["serve", "--profile", "--flamegraph", "out.collapsed"],
             ["serve", "--slo", "--slo-p95", "1.5"],
             ["spectrum", "--profile"],
+            ["spectrum", "--fused", "--backend", "process", "--jobs", "2",
+             "--shards", "4"],
+            ["serve", "--backend", "thread", "--jobs", "2"],
             ["bench", "--quick", "--seed", "3"],
             ["bench", "--compare", "old.json", "new.json"],
             ["bench", "--cases", "nei", "--flamegraph", "fg.txt"],
@@ -54,6 +57,10 @@ class TestParser:
     def test_serve_rejects_bad_pattern(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--pattern", "flat"])
+
+    def test_spectrum_rejects_bad_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["spectrum", "--backend", "mpi"])
 
     def test_submit_rejects_bad_lane(self):
         with pytest.raises(SystemExit):
@@ -100,6 +107,27 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert len(payload["flux"]) == 12
         assert payload["components"] == ["rrc"]
+
+    def test_spectrum_fused_backend_matches_serial(self, capsys):
+        import json
+
+        argv = ["spectrum", "--bins", "12", "--tail-tol", "1e-9", "--json"]
+        assert main(argv) == 0
+        serial = json.loads(capsys.readouterr().out)
+        fused = argv + ["--fused", "--backend", "thread", "--jobs", "2"]
+        assert main(fused) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["flux"] == pytest.approx(serial["flux"], rel=1e-12)
+
+    def test_spectrum_metrics_include_plan_cache(self, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        assert main([
+            "spectrum", "--bins", "12", "--tail-tol", "1e-9", "--fused",
+            "--metrics", str(metrics),
+        ]) == 0
+        text = metrics.read_text()
+        assert "repro_plan_cache_lookups_total" in text
+        assert "repro_plan_compilations_total" in text
 
     def test_serve_runs(self, capsys):
         assert main(["serve", "--requests", "40", "--seed", "7"]) == 0
