@@ -270,6 +270,57 @@ def _case_fused_megabatch(quick: bool, seed: int) -> dict:
     }
 
 
+def _case_approx_serving(quick: bool, seed: int) -> dict:
+    """Correlated walk traffic through the lattice tier, accuracy-checked.
+
+    Gated: ``lattice_hit_rate`` (the approximate tier must absorb the
+    bulk of a correlated trace whose temperatures never repeat exactly)
+    and ``within_budget`` — every lattice-served spectrum is re-verified
+    against exact recomputation, so this metric is an accuracy *claim*
+    (1.0 = all within the declared budget), not a perf number.
+    """
+    from repro.approx import RequestEvaluator, peak_rel_error
+    from repro.service.broker import ServiceConfig, run_trace
+    from repro.service.loadgen import TrafficSpec, generate_trace
+
+    budget = 1.0e-3
+    trace = generate_trace(
+        TrafficSpec(
+            n_requests=60 if quick else 200,
+            seed=seed,
+            pattern="walk",
+            accuracy=budget,
+        )
+    )
+    t0 = time.perf_counter()
+    broker, tickets = run_trace(trace, ServiceConfig(n_service_workers=2))
+    wall_s = time.perf_counter() - t0
+
+    evaluator = RequestEvaluator(broker.db)
+    served = [t for t in tickets if t is not None and t.lattice]
+    max_err = 0.0
+    in_budget = 0
+    for ticket in served:
+        exact = evaluator.exact_fn(ticket.request)(ticket.request.temperature_k)
+        err = peak_rel_error(ticket.result, exact)
+        max_err = max(max_err, err)
+        if err <= ticket.request.accuracy:
+            in_budget += 1
+    report = broker.report()
+    completions = report["completions"]
+    return {
+        "wall_s": wall_s,
+        "sim": {
+            "lattice_hit_rate": (
+                len(served) / completions if completions else 0.0
+            ),
+            "within_budget": (in_budget / len(served)) if served else 0.0,
+            "lattice_max_rel_err": max_err,
+            "lattice_node_evals": float(report["lattice"]["node_evals"]),
+        },
+    }
+
+
 def _case_nei(quick: bool, seed: int) -> dict:
     """The Table II NEI workload: hybrid makespan vs the MPI baseline."""
     from repro.core.calibration import CostModel
@@ -304,6 +355,7 @@ CASES: dict[str, Callable] = {
     "pruned_kernels": _case_pruned_kernels,
     "fused_megabatch": _case_fused_megabatch,
     "service_throughput": _case_service_throughput,
+    "approx_serving": _case_approx_serving,
     "nei": _case_nei,
 }
 
@@ -447,6 +499,8 @@ DEFAULT_TOLERANCES: dict[str, Tolerance] = {
     "cache_hit_rate": Tolerance(0.02, "higher"),
     "evals_saved": Tolerance(0.02, "higher"),
     "fused_pass_ratio": Tolerance(0.02, "higher"),
+    "lattice_hit_rate": Tolerance(0.02, "higher"),
+    "within_budget": Tolerance(0.0, "higher"),
 }
 
 

@@ -89,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tail-tol", type=float, default=0.0,
                    help="relative tail tolerance for active-window "
                         "pruning (0 = off, exact)")
+    p.add_argument("--accuracy", type=float, default=0.0,
+                   help="serve from a plan-backed log-T lattice with "
+                        "this certified relative-error budget (rrc "
+                        "component only; 0 = exact path)")
     p.add_argument("--fused", action="store_true",
                    help="execute the RRC component as cached megabatch "
                         "plans (all ions of a shard in one launch)")
@@ -101,8 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p)
 
     p = sub.add_parser("serve", help="play a traffic trace through the service")
-    p.add_argument("--pattern", default="zipf", choices=["zipf", "uniform"],
-                   help="traffic popularity pattern")
+    p.add_argument("--pattern", default="zipf",
+                   choices=["zipf", "uniform", "walk"],
+                   help="traffic popularity pattern ('walk' = correlated "
+                        "log-T random walk, no exact repeats)")
     p.add_argument("--requests", type=int, default=200)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--rate", type=float, default=20.0,
@@ -110,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distinct", type=int, default=32,
                    help="distinct grid points in the request population")
     p.add_argument("--zipf-s", type=float, default=1.1)
+    p.add_argument("--walk-sigma", type=float, default=0.05,
+                   help="log-T random-walk step in dex (--pattern walk)")
+    p.add_argument("--accuracy", type=float, default=0.0,
+                   help="per-request relative accuracy budget; > 0 lets "
+                        "the lattice tier serve interpolated spectra "
+                        "within it (0 = exact only)")
     p.add_argument("--workers", type=int, default=2,
                    help="service workers (one hybrid node each)")
     p.add_argument("--queue-capacity", type=int, default=32)
@@ -172,6 +184,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tail-tol", type=float, default=0.0,
                    help="relative tail tolerance for active-window "
                         "pruning (0 = off; enters the cache key)")
+    p.add_argument("--accuracy", type=float, default=0.0,
+                   help="relative accuracy budget; > 0 allows lattice-"
+                        "interpolated answers within it (enters the "
+                        "cache key)")
     p.add_argument("--lane", default="interactive",
                    choices=["interactive", "survey"])
     p.add_argument("--repeat", type=int, default=2,
@@ -339,6 +355,8 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
 
     db = AtomicDatabase(AtomicConfig(n_max=6, z_max=14))
     grid = EnergyGrid.from_wavelength(10.0, 45.0, args.bins)
+    if args.accuracy > 0.0:
+        return _spectrum_via_lattice(args, db, grid)
     tracer = None
     if args.trace or args.metrics or args.profile or args.flamegraph:
         from repro.obs import EventTracer, WallClock
@@ -425,6 +443,95 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
                 f"Normalized spectrum, T={args.temperature:.2e} K, "
                 f"components={'+'.join(args.components)}"
             ),
+        )
+    )
+    return 0
+
+
+def _spectrum_via_lattice(args: argparse.Namespace, db, grid) -> int:
+    """``spectrum --accuracy E``: interpolate from a plan-backed lattice.
+
+    Builds a log-T lattice around the requested temperature through the
+    shared plan cache, refines the containing interval until its
+    certificate fits the budget, and serves the interpolated spectrum —
+    or recomputes exactly when the certificate cannot be met.
+    """
+    from repro.approx import LatticeSpec, SpectrumLattice, plan_exact_fn
+
+    exact_fn = plan_exact_fn(db, grid, tail_tol=args.tail_tol, ne_cm3=args.density)
+    spec_ = LatticeSpec(
+        t_min_k=args.temperature / 8.0,
+        t_max_k=args.temperature * 8.0,
+        n_nodes=9,
+        method="cubic",
+    )
+    lat = SpectrumLattice(spec_, exact_fn)
+    interval = lat.locate(args.temperature)
+    refinements = 0
+    while (
+        interval is not None
+        and lat.certified_error(interval) > args.accuracy
+        and refinements < 8
+        and lat.n_nodes < spec_.max_nodes
+    ):
+        lat.refine(interval)
+        interval = lat.locate(args.temperature)
+        refinements += 1
+    bound = lat.certified_error(interval) if interval is not None else float("inf")
+    if bound <= args.accuracy:
+        values = lat.interpolate(args.temperature)
+        source = "lattice"
+    else:
+        values = exact_fn(args.temperature)
+        source = "exact-fallback"
+        bound = 0.0
+    peak = float(values.max())
+    flux = values / peak if peak > 0.0 else values
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "temperature_k": args.temperature,
+                    "ne_cm3": args.density,
+                    "accuracy": args.accuracy,
+                    "source": source,
+                    "error_bound": bound,
+                    "refinements": refinements,
+                    "lattice_nodes": lat.n_nodes,
+                    "node_evals": lat.node_evals,
+                    "n_bins": args.bins,
+                    "wavelength_a": [float(w) for w in grid.wavelength_centers],
+                    "flux": [float(v) for v in flux],
+                }
+            )
+        )
+        return 0
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["accuracy budget", f"{args.accuracy:.2e}"],
+                ["served from", source],
+                ["certified error bound", f"{bound:.2e}"],
+                ["lattice nodes / refinements", f"{lat.n_nodes} / {refinements}"],
+                ["exact node evaluations", lat.node_evals],
+            ],
+            title=f"Approximate spectrum, T={args.temperature:.2e} K (rrc)",
+        )
+    )
+    rows = [
+        [f"{wl:.2f}", f"{v:.4f}", "#" * int(round(v * 40))]
+        for wl, v in zip(grid.wavelength_centers, flux)
+    ]
+    step = max(1, len(rows) // 30)
+    print()
+    print(
+        format_table(
+            ["wavelength (A)", "flux", ""],
+            rows[::step],
+            title="Normalized lattice-served spectrum",
         )
     )
     return 0
@@ -555,8 +662,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             mean_interarrival_s=1.0 / args.rate,
             pattern=args.pattern,
             zipf_s=args.zipf_s,
+            walk_sigma_dex=args.walk_sigma,
             n_distinct=args.distinct,
             tail_tol=args.tail_tol,
+            accuracy=args.accuracy,
         )
     )
     config = ServiceConfig(
@@ -632,6 +741,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(json.dumps(report))
         return 0
     cache = report["cache"]
+    lattice = report["lattice"]
     print(
         format_table(
             ["quantity", "value"],
@@ -643,6 +753,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ["retries", report["retries"]],
                 ["coalesced joins", report["coalescer"]["coalesced"]],
                 ["cache hit ratio", f"{cache['hit_ratio']:.1%}"],
+                ["lattice hit ratio", f"{lattice['hit_ratio']:.1%}"],
                 ["virtual time (s)", f"{report['virtual_time_s']:.2f}"],
             ],
             title=(
@@ -658,6 +769,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 lane,
                 s["arrivals"],
                 s["cache_hits"],
+                s["lattice_hits"],
                 s["coalesced"],
                 s["computed"],
                 s["rejections"],
@@ -668,8 +780,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print()
     print(
         format_table(
-            ["lane", "reqs", "cache", "coalesced", "computed", "rejected",
-             "mean lat (s)", "p95 lat (s)"],
+            ["lane", "reqs", "cache", "lattice", "coalesced", "computed",
+             "rejected", "mean lat (s)", "p95 lat (s)"],
             rows,
             title="Per-lane outcomes (virtual seconds)",
         )
@@ -682,6 +794,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ["cache entries / bytes", f"{cache['entries']} / {cache['bytes_stored']}"],
                 ["cache evictions / expirations",
                  f"{cache['evictions']} / {cache['expirations']}"],
+                ["lattice hits / misses / fallbacks",
+                 f"{lattice['hits']} / {lattice['misses']} / {lattice['fallbacks']}"],
+                ["lattice families / nodes / bytes",
+                 f"{lattice['families']} / {lattice['nodes']} / "
+                 f"{lattice['bytes_stored']}"],
+                ["lattice refinements / node evals",
+                 f"{lattice['refinements']} / {lattice['node_evals']}"],
                 ["mean / max queue depth",
                  f"{report['queue_depth_mean']:.2f} / {report['queue_depth_max']}"],
                 ["hybrid batches (mean size)",
@@ -708,6 +827,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         rule=args.rule,
         tolerance=args.tolerance,
         tail_tol=args.tail_tol,
+        accuracy=args.accuracy,
     )
     clock = SimClock()
     tracer = None
@@ -724,6 +844,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         outcomes.append(
             {
                 "cached": ticket.cached,
+                "lattice": ticket.lattice,
+                "error_bound": ticket.error_bound,
                 "latency_s": ticket.latency_s,
                 "peak_flux": float(ticket.result.max()),
                 "total_flux": float(ticket.result.sum()),
@@ -759,6 +881,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         [
             i + 1,
             str(o["cached"]).lower(),
+            str(o["lattice"]).lower(),
+            f"{o['error_bound']:.2e}" if o["lattice"] else "-",
             f"{o['latency_s']:.3f}",
             f"{o['peak_flux']:.4g}",
         ]
@@ -766,7 +890,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     ]
     print(
         format_table(
-            ["submission", "cached", "latency (s)", "peak flux"],
+            ["submission", "cached", "lattice", "err bound", "latency (s)",
+             "peak flux"],
             rows,
             title=f"submit {request.canonical()}  (key {request.key[:12]})",
         )

@@ -102,10 +102,16 @@ class ServiceBus:
             t.instant(self._lane_track(lane), "retry", cat="admission")
 
     def on_completion(
-        self, lane: str, latency_s: float, *, cached: bool, coalesced: bool
+        self,
+        lane: str,
+        latency_s: float,
+        *,
+        cached: bool,
+        coalesced: bool,
+        lattice: bool = False,
     ) -> None:
         self.telemetry.on_completion(
-            lane, latency_s, cached=cached, coalesced=coalesced
+            lane, latency_s, cached=cached, coalesced=coalesced, lattice=lattice
         )
 
     def on_queue_depth(self, depth: int, now: float) -> None:

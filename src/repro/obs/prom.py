@@ -377,6 +377,97 @@ def _plan_cache_metrics(reg: MetricsRegistry) -> None:
     ).set(len(PLAN_CACHE))
 
 
+def _spectrum_cache_metrics(reg: MetricsRegistry, broker) -> None:
+    """Export the broker's spectrum cache under ``repro_spectrum_cache_*``.
+
+    Mirrors the ``repro_plan_cache_*`` family shape so dashboards treat
+    the two caches uniformly.  (The legacy ``repro_cache_*`` names stay
+    exported for compatibility.)
+    """
+    stats = broker.cache.stats
+    lookups = reg.counter(
+        "repro_spectrum_cache_lookups_total",
+        "Spectrum cache lookups by result",
+        ("result",),
+    )
+    lookups.inc(stats.hits, result="hit")
+    lookups.inc(stats.misses, result="miss")
+    reg.counter(
+        "repro_spectrum_cache_insertions_total", "Spectra inserted"
+    ).inc(stats.insertions)
+    churn = reg.counter(
+        "repro_spectrum_cache_removals_total",
+        "Spectrum cache removals by cause",
+        ("cause",),
+    )
+    churn.inc(stats.evictions, cause="evicted")
+    churn.inc(stats.expirations, cause="expired")
+    reg.counter(
+        "repro_spectrum_cache_oversize_rejections_total",
+        "Spectra refused for exceeding the byte budget",
+    ).inc(stats.oversize_rejections)
+    reg.gauge(
+        "repro_spectrum_cache_hit_ratio", "Spectrum-cache hits / lookups"
+    ).set(stats.hit_ratio())
+    reg.gauge(
+        "repro_spectrum_cache_entries", "Spectra resident in the cache"
+    ).set(len(broker.cache))
+    reg.gauge(
+        "repro_spectrum_cache_bytes", "Bytes resident in the cache"
+    ).set(broker.cache.bytes_stored)
+
+
+def _lattice_metrics(reg: MetricsRegistry, store) -> None:
+    """Export one broker's approximate-serving store.
+
+    ``store`` may be ``None`` (no positive-accuracy request seen yet) —
+    the families still render, at zero, so scrapers and CI assertions
+    see a stable schema.
+    """
+    from repro.approx import LatticeStats
+
+    stats = store.stats if store is not None else LatticeStats()
+    requests = reg.counter(
+        "repro_approx_lattice_requests_total",
+        "Lattice lookups by result",
+        ("result",),
+    )
+    requests.inc(stats.hits, result="hit")
+    requests.inc(stats.misses, result="miss")
+    requests.inc(stats.fallbacks, result="fallback")
+    reg.counter(
+        "repro_approx_lattice_refinements_total",
+        "Lattice intervals bisected on demand",
+    ).inc(stats.refinements)
+    reg.counter(
+        "repro_approx_lattice_builds_total", "Family lattices built"
+    ).inc(stats.builds)
+    reg.counter(
+        "repro_approx_lattice_invalidations_total",
+        "Family lattices dropped on fingerprint change",
+    ).inc(stats.invalidations)
+    reg.counter(
+        "repro_approx_lattice_evictions_total",
+        "Family lattices evicted by the byte budget",
+    ).inc(stats.evictions)
+    reg.counter(
+        "repro_approx_lattice_node_evals_total",
+        "Exact spectra evaluated for lattice nodes and certificates",
+    ).inc(stats.node_evals)
+    reg.gauge(
+        "repro_approx_lattice_hit_ratio", "Lattice hits / lookups"
+    ).set(stats.hit_ratio())
+    reg.gauge(
+        "repro_approx_lattice_families", "Family lattices resident"
+    ).set(len(store) if store is not None else 0)
+    reg.gauge(
+        "repro_approx_lattice_nodes", "Lattice nodes resident (all families)"
+    ).set(store.n_nodes if store is not None else 0)
+    reg.gauge(
+        "repro_approx_lattice_bytes", "Bytes resident across family lattices"
+    ).set(store.bytes_stored if store is not None else 0)
+
+
 def service_registry(broker) -> MetricsRegistry:
     """Derive the serving-stack metric set from one broker's ledgers."""
     reg = MetricsRegistry()
@@ -392,6 +483,7 @@ def service_registry(broker) -> MetricsRegistry:
     )
     for lane, stats in tel.lanes.items():
         arrivals.inc(stats.cache_hits, lane=lane, outcome="cache_hit")
+        arrivals.inc(stats.lattice_hits, lane=lane, outcome="lattice_hit")
         arrivals.inc(stats.coalesced, lane=lane, outcome="coalesced")
         arrivals.inc(stats.computed, lane=lane, outcome="computed")
         arrivals.inc(stats.rejections, lane=lane, outcome="rejected")
@@ -423,6 +515,8 @@ def service_registry(broker) -> MetricsRegistry:
     ).inc(broker.coalescer.coalesced)
 
     _plan_cache_metrics(reg)
+    _spectrum_cache_metrics(reg, broker)
+    _lattice_metrics(reg, getattr(broker, "lattice_store", None))
 
     reg.gauge("repro_queue_depth", "Admission depth at snapshot time").set(
         broker.queue_depth

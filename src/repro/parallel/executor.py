@@ -21,6 +21,7 @@ arguments — module-level workers, not closures.
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import os
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -36,6 +37,7 @@ __all__ = [
     "default_jobs",
     "get_backend",
     "shard_items",
+    "shutdown_warm_pools",
     "tree_reduce",
 ]
 
@@ -132,14 +134,69 @@ class ThreadBackend(_PoolBackend):
         )
 
 
+#: Warm process pools parked across backend instances, keyed by worker
+#: count.  Spawning worker processes dominates short maps (it is why the
+#: process backend can lose to serial), so ``ProcessBackend.close`` parks
+#: its pool here and the next backend asking for the same worker count
+#: adopts it instead of forking a fresh one.
+_WARM_POOLS: dict[int, concurrent.futures.ProcessPoolExecutor] = {}
+
+
+def shutdown_warm_pools() -> None:
+    """Tear down every parked warm process pool.
+
+    Registered via ``atexit`` so parked pools are joined before the
+    interpreter starts unloading modules (a pool reaped only by the
+    garbage collector at shutdown races module teardown); tests and
+    long-lived hosts can also call it to release workers early.
+    """
+    while _WARM_POOLS:
+        _, pool = _WARM_POOLS.popitem()
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_warm_pools)
+
+
+def _book_pool(*, reused: bool) -> None:
+    # Imported lazily: the ledger lives with the kernel counters in
+    # quadrature, and this package must stay importable without it.
+    from repro.quadrature.batch import KERNEL_COUNTERS
+
+    KERNEL_COUNTERS.book_pool(reused=reused)
+
+
 class ProcessBackend(_PoolBackend):
     """Process pool: true multi-core parallelism; functions and arguments
-    must be picklable (module-level workers, frozen dataclasses)."""
+    must be picklable (module-level workers, frozen dataclasses).
+
+    Pools are *warm-reused*: ``close`` parks the pool in a module-level
+    registry instead of shutting it down, and the next ``ProcessBackend``
+    with the same worker count adopts it — repeated short maps pay the
+    worker fork cost once per process, not once per backend instance.
+    Adoptions and cold starts are booked as ``pool_reuses`` /
+    ``pool_creates`` on :data:`repro.quadrature.batch.KERNEL_COUNTERS`.
+    """
 
     name = "process"
 
     def _make_pool(self) -> concurrent.futures.Executor:
-        return concurrent.futures.ProcessPoolExecutor(max_workers=self._jobs)
+        pool = _WARM_POOLS.pop(self._jobs, None)
+        reused = pool is not None
+        if pool is None:
+            pool = concurrent.futures.ProcessPoolExecutor(max_workers=self._jobs)
+        _book_pool(reused=reused)
+        return pool
+
+    def close(self) -> None:
+        if self._pool is None:
+            return
+        parked = _WARM_POOLS.setdefault(self._jobs, self._pool)
+        if parked is not self._pool:
+            # A pool of this size is already parked; keeping two warm
+            # doubles the resident workers for no further speedup.
+            self._pool.shutdown(wait=True)
+        self._pool = None
 
 
 def get_backend(name: str, jobs: int | None = None) -> ExecutionBackend:

@@ -235,19 +235,35 @@ class WindowKernelCounters:
 
     zero_width_pairs: int = 0
     evals_saved: int = 0
+    #: Worker-pool lifecycle of the parallel backends: pools spun up vs
+    #: ``map`` calls served by an already-warm pool (booked by
+    #: :mod:`repro.parallel.executor`; lives here so one process-global
+    #: ledger covers every kernel-side savings counter).
+    pool_creates: int = 0
+    pool_reuses: int = 0
 
     def book(self, n_pairs: int, n_pts: int) -> None:
         self.zero_width_pairs += n_pairs
         self.evals_saved += n_pairs * n_pts
 
+    def book_pool(self, *, reused: bool) -> None:
+        if reused:
+            self.pool_reuses += 1
+        else:
+            self.pool_creates += 1
+
     def reset(self) -> None:
         self.zero_width_pairs = 0
         self.evals_saved = 0
+        self.pool_creates = 0
+        self.pool_reuses = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
             "zero_width_pairs": self.zero_width_pairs,
             "evals_saved": self.evals_saved,
+            "pool_creates": self.pool_creates,
+            "pool_reuses": self.pool_reuses,
         }
 
 

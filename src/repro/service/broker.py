@@ -28,6 +28,13 @@ from typing import Generator, Optional, Sequence
 
 import numpy as np
 
+from repro.approx import (
+    INTERP_METHODS,
+    LatticeSpec,
+    LatticeStats,
+    LatticeStore,
+    RequestEvaluator,
+)
 from repro.atomic.database import AtomicConfig, AtomicDatabase
 from repro.cluster.simclock import Signal, SimClock
 from repro.core.calibration import CostModel
@@ -98,6 +105,23 @@ class ServiceConfig:
     backend: str = "serial"
     #: Worker count of the payload pool (``None``: one per core).
     jobs: Optional[int] = None
+    #: Approximate serving (:mod:`repro.approx`).  Engages only for
+    #: requests declaring a positive ``accuracy`` budget; ``False``
+    #: routes every request to the exact path regardless.
+    lattice: bool = True
+    #: Temperature domain of the per-family lattices (log-spaced).
+    lattice_t_min_k: float = 5.0e5
+    lattice_t_max_k: float = 1.0e8
+    #: Initial nodes per lattice; bisection refines on demand.
+    lattice_nodes: int = 33
+    #: Interpolation method along ln kT ("linear" | "cubic").
+    lattice_method: str = "cubic"
+    #: Certified bound = safety x measured midpoint error.
+    lattice_safety: float = 2.0
+    #: Store-wide byte budget across families (LRU past it).
+    lattice_max_bytes: int = 8 << 20
+    #: Interval bisections allowed per served request.
+    lattice_refine_max: int = 2
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -116,6 +140,21 @@ class ServiceConfig:
             )
         if self.jobs is not None and self.jobs < 1:
             raise ValueError("jobs must be >= 1 or None")
+        if not 0.0 < self.lattice_t_min_k < self.lattice_t_max_k:
+            raise ValueError("need 0 < lattice_t_min_k < lattice_t_max_k")
+        if self.lattice_nodes < 2:
+            raise ValueError("lattice_nodes must be >= 2")
+        if self.lattice_method not in INTERP_METHODS:
+            raise ValueError(
+                f"unknown lattice_method {self.lattice_method!r}; "
+                f"expected one of {INTERP_METHODS}"
+            )
+        if self.lattice_safety < 1.0:
+            raise ValueError("lattice_safety must be >= 1")
+        if self.lattice_max_bytes < 1:
+            raise ValueError("lattice_max_bytes must be >= 1")
+        if self.lattice_refine_max < 0:
+            raise ValueError("lattice_refine_max must be >= 0")
 
 
 @dataclass
@@ -129,6 +168,11 @@ class Ticket:
     status: str = "pending"  # pending | completed | rejected
     cached: bool = False
     coalesced: bool = False
+    #: Served by lattice interpolation within the declared accuracy.
+    lattice: bool = False
+    #: Certified peak-relative error bound of a lattice-served result
+    #: (0 on the exact path — the answer is the answer).
+    error_bound: float = 0.0
     retry_after_s: float = 0.0
     completed_at: float = 0.0
     result: Optional[np.ndarray] = None
@@ -213,6 +257,9 @@ class SpectrumBroker:
         self._req_seq = 0
         self._started = False
         self._payload_backend: Optional[ExecutionBackend] = None
+        # Built on the first positive-accuracy request, so exact-only
+        # runs (and their traces) are untouched by the lattice tier.
+        self._lattice: Optional[LatticeStore] = None
         # Route plan-cache events to this broker's tracer (the cache is
         # process-global; the newest broker owns the instrumentation).
         PLAN_CACHE.bind_tracer(self.tracer if self.tracer.enabled else None)
@@ -224,6 +271,11 @@ class SpectrumBroker:
     def queue_depth(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
+    @property
+    def lattice_store(self) -> Optional[LatticeStore]:
+        """The approximate-serving store (``None`` until first used)."""
+        return self._lattice
+
     def report(self) -> dict:
         """One dict spanning the whole stack: service, cache, coalescer."""
         out = self.telemetry.as_dict()
@@ -234,6 +286,11 @@ class SpectrumBroker:
             "opened": self.coalescer.opened,
             "coalesced": self.coalescer.coalesced,
         }
+        if self._lattice is not None:
+            out["lattice"] = self._lattice.as_dict()
+        else:
+            out["lattice"] = LatticeStats().as_dict()
+            out["lattice"].update(families=0, nodes=0, bytes_stored=0)
         return out
 
     def registry(self):
@@ -309,6 +366,33 @@ class SpectrumBroker:
             self.bus.on_completion(lane, 0.0, cached=True, coalesced=False)
             return ticket
 
+        if self.config.lattice and request.accuracy > 0.0:
+            served = self._lattice_serve(request)
+            if served is not None:
+                ticket.lattice = True
+                ticket.error_bound = served.error_bound
+                ticket._complete(now, served.values)
+                sig = Signal(name=f"lattice.{key[:8]}")
+                sig.fire(self.clock, served.values)
+                ticket.signal = sig
+                if traced:
+                    lt = self._lane_tracks[lane]
+                    self.tracer.async_begin(
+                        lt, "request", ticket.trace_id, cat="request",
+                        args={
+                            "key": key[:8],
+                            "outcome": "lattice_hit",
+                            "error_bound": served.error_bound,
+                        },
+                    )
+                    self.tracer.async_end(
+                        lt, "request", ticket.trace_id, cat="request"
+                    )
+                self.bus.on_completion(
+                    lane, 0.0, cached=False, coalesced=False, lattice=True
+                )
+                return ticket
+
         entry = self.coalescer.lookup(key)
         if entry is not None:
             ticket.coalesced = True
@@ -339,6 +423,42 @@ class SpectrumBroker:
         self.bus.on_queue_depth(self.queue_depth, now)
         self._wake_worker()
         return ticket
+
+    # ------------------------------------------------------------------
+    # Approximate serving
+    # ------------------------------------------------------------------
+    def _lattice_serve(self, request: SpectrumRequest):
+        """Lattice lookup for one positive-accuracy request.
+
+        Returns the :class:`~repro.approx.store.LatticeResult` on a
+        certified hit, ``None`` when the exact path must run (out of
+        domain, or still over budget after refinement).  Store work is
+        host-side precomputation — zero virtual time, like plan
+        compilation.
+        """
+        if self._lattice is None:
+            track = (
+                self.tracer.track("service", "lattice")
+                if self.tracer.enabled
+                else 0
+            )
+            cfg = self.config
+            self._lattice = LatticeStore(
+                evaluator=RequestEvaluator(self.db),
+                spec=LatticeSpec(
+                    t_min_k=cfg.lattice_t_min_k,
+                    t_max_k=cfg.lattice_t_max_k,
+                    n_nodes=cfg.lattice_nodes,
+                    method=cfg.lattice_method,
+                    safety=cfg.lattice_safety,
+                ),
+                max_bytes=cfg.lattice_max_bytes,
+                refine_max=cfg.lattice_refine_max,
+                tracer=self.tracer,
+                track=track,
+            )
+        result = self._lattice.serve(request)
+        return result if result.served else None
 
     # ------------------------------------------------------------------
     # Worker pool

@@ -10,6 +10,7 @@ Everything is driven by one seeded :class:`numpy.random.Generator`, so a
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,7 +19,7 @@ from repro.service.requests import SpectrumRequest
 
 __all__ = ["Arrival", "TrafficSpec", "generate_trace", "zipf_weights"]
 
-_PATTERNS = ("zipf", "uniform")
+_PATTERNS = ("zipf", "uniform", "walk")
 
 
 @dataclass(frozen=True)
@@ -38,10 +39,17 @@ class TrafficSpec:
     seed: int = 7
     #: Mean of the exponential interarrival time (1 / arrival rate).
     mean_interarrival_s: float = 0.05
-    #: "zipf" (rank-skewed popularity) or "uniform" over the population.
+    #: "zipf" (rank-skewed popularity), "uniform" over the population,
+    #: or "walk" (a reflected random walk in log T: each request sits
+    #: near its predecessor — correlated traffic that revisits nearby
+    #: temperatures without repeating any exactly).
     pattern: str = "zipf"
     #: Zipf exponent; larger = more skew = hotter hot set.
     zipf_s: float = 1.1
+    #: Step size of the "walk" pattern, in dex of temperature.
+    walk_sigma_dex: float = 0.05
+    #: Accuracy budget stamped on every generated request (0 = exact).
+    accuracy: float = 0.0
     #: Distinct grid points in the request population.
     n_distinct: int = 32
     #: Fraction of requests on the interactive lane (rest: survey).
@@ -67,6 +75,10 @@ class TrafficSpec:
             )
         if self.zipf_s <= 0.0:
             raise ValueError("zipf exponent must be positive")
+        if self.walk_sigma_dex <= 0.0:
+            raise ValueError("walk step size must be positive")
+        if self.accuracy < 0.0:
+            raise ValueError("accuracy budget must be non-negative")
         if self.n_distinct < 1:
             raise ValueError("need at least one distinct grid point")
         if not 0.0 <= self.interactive_fraction <= 1.0:
@@ -82,38 +94,68 @@ def zipf_weights(n: int, s: float) -> np.ndarray:
     return w / w.sum()
 
 
+def _walk_temperatures(spec: TrafficSpec, rng: np.random.Generator) -> np.ndarray:
+    """Reflected log-T random walk over [t_min, t_max].
+
+    Starts at a uniform point in log T, steps by N(0, sigma) in log
+    space, and folds excursions back into the domain (a walk off one
+    edge re-enters mirrored), so long traces stay in range while each
+    request lands *near* — almost never *on* — its predecessor.
+    """
+    lo, hi = math.log(spec.t_min_k), math.log(spec.t_max_k)
+    span = hi - lo
+    if span == 0.0:
+        return np.full(spec.n_requests, spec.t_min_k)
+    sigma = spec.walk_sigma_dex * math.log(10.0)
+    steps = rng.normal(0.0, sigma, size=spec.n_requests)
+    steps[0] = rng.uniform(0.0, span)
+    u = np.cumsum(steps)
+    folded = np.mod(u, 2.0 * span)
+    folded = np.where(folded > span, 2.0 * span - folded, folded)
+    return np.exp(lo + folded)
+
+
 def generate_trace(spec: TrafficSpec) -> list[Arrival]:
     """Materialize one trace: times ascending from the first arrival."""
     rng = np.random.default_rng(spec.seed)
     times = np.cumsum(
         rng.exponential(spec.mean_interarrival_s, size=spec.n_requests)
     )
-    if spec.pattern == "zipf":
-        p = zipf_weights(spec.n_distinct, spec.zipf_s)
+    # Draw order is part of each pattern's contract: a (spec) pair maps
+    # to one trace forever, so new patterns branch rather than reorder.
+    if spec.pattern == "walk":
+        request_temps = _walk_temperatures(spec, rng)
     else:
-        p = np.full(spec.n_distinct, 1.0 / spec.n_distinct)
-    point_ids = rng.choice(spec.n_distinct, size=spec.n_requests, p=p)
+        if spec.pattern == "zipf":
+            p = zipf_weights(spec.n_distinct, spec.zipf_s)
+        else:
+            p = np.full(spec.n_distinct, 1.0 / spec.n_distinct)
+        point_ids = rng.choice(spec.n_distinct, size=spec.n_requests, p=p)
+        if spec.n_distinct == 1:
+            temperatures = np.array([spec.t_min_k])
+        else:
+            temperatures = np.geomspace(
+                spec.t_min_k, spec.t_max_k, spec.n_distinct
+            )
+        request_temps = temperatures[point_ids]
     lanes = np.where(
         rng.random(spec.n_requests) < spec.interactive_fraction,
         "interactive",
         "survey",
     )
-    if spec.n_distinct == 1:
-        temperatures = np.array([spec.t_min_k])
-    else:
-        temperatures = np.geomspace(spec.t_min_k, spec.t_max_k, spec.n_distinct)
     trace = []
-    for t, pid, lane in zip(times, point_ids, lanes):
+    for t, temp, lane in zip(times, request_temps, lanes):
         trace.append(
             Arrival(
                 t=float(t),
                 request=SpectrumRequest(
-                    temperature_k=float(temperatures[pid]),
+                    temperature_k=float(temp),
                     z_max=spec.z_max,
                     n_bins=spec.n_bins,
                     rule=spec.rule,
                     tolerance=spec.tolerance,
                     tail_tol=spec.tail_tol,
+                    accuracy=spec.accuracy,
                 ),
                 lane=str(lane),
             )

@@ -67,6 +67,13 @@ class SpectrumRequest:
         (:mod:`repro.physics.windows`); ``0`` disables pruning.  Part of
         the content address — a pruned and an unpruned spectrum must
         never share a cache entry.
+    accuracy:
+        Declared peak-relative error budget for approximate serving
+        (:mod:`repro.approx`); ``0`` (the default) demands the exact
+        path.  Positive budgets join the content address — an
+        interpolated and an exact spectrum must never share a cache
+        entry — while ``0`` renders exactly as before, keeping legacy
+        keys stable.
     """
 
     temperature_k: float
@@ -76,6 +83,7 @@ class SpectrumRequest:
     rule: str = "simpson"
     tolerance: float = 1.0e-6
     tail_tol: float = 0.0
+    accuracy: float = 0.0
 
     def __post_init__(self) -> None:
         if self.temperature_k <= 0.0:
@@ -92,15 +100,45 @@ class SpectrumRequest:
             raise ValueError("tolerance must be positive")
         if self.tail_tol < 0.0:
             raise ValueError("tail tolerance must be non-negative")
+        if self.accuracy < 0.0:
+            raise ValueError("accuracy budget must be non-negative")
 
     # ------------------------------------------------------------------
     # Content addressing
     # ------------------------------------------------------------------
     def canonical(self) -> str:
-        """Canonical text form: equal requests render identically."""
+        """Canonical text form: equal requests render identically.
+
+        The ``acc=`` field appears only for positive budgets, so every
+        pre-accuracy request renders (and hashes) exactly as it always
+        has — ``accuracy=0`` is bit-compatible with history.
+        """
+        fields = [
+            f"T={self.temperature_k:.9e}",
+            f"ne={self.ne_cm3:.9e}",
+            f"z={self.z_max}",
+            f"bins={self.n_bins}",
+            f"rule={self.rule}",
+            f"tol={self.tolerance:.3e}",
+            f"tt={self.tail_tol:.3e}",
+        ]
+        if self.accuracy > 0.0:
+            fields.append(f"acc={self.accuracy:.3e}")
+        return "|".join(fields)
+
+    @property
+    def key(self) -> str:
+        """Content address: sha1 of the canonical form."""
+        return hashlib.sha1(self.canonical().encode("ascii")).hexdigest()
+
+    def family_canonical(self) -> str:
+        """Canonical form of the request *family*: everything but the
+        temperature and the accuracy budget.  One family maps to one
+        lattice in :class:`repro.approx.store.LatticeStore` — the
+        lattice spans the temperature axis, and budgets are evaluated
+        per request against its certificates."""
         return "|".join(
             (
-                f"T={self.temperature_k:.9e}",
                 f"ne={self.ne_cm3:.9e}",
                 f"z={self.z_max}",
                 f"bins={self.n_bins}",
@@ -111,9 +149,9 @@ class SpectrumRequest:
         )
 
     @property
-    def key(self) -> str:
-        """Content address: sha1 of the canonical form."""
-        return hashlib.sha1(self.canonical().encode("ascii")).hexdigest()
+    def family_key(self) -> str:
+        """Content address of the request family (lattice lookup key)."""
+        return hashlib.sha1(self.family_canonical().encode("ascii")).hexdigest()
 
     # ------------------------------------------------------------------
     # Quadrature pricing

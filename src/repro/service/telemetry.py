@@ -48,6 +48,8 @@ class LaneStats:
     arrivals: int = 0
     completions: int = 0
     cache_hits: int = 0
+    #: Served by lattice interpolation within the declared budget.
+    lattice_hits: int = 0
     coalesced: int = 0
     computed: int = 0
     rejections: int = 0
@@ -120,6 +122,7 @@ class LaneStats:
             "completions": self.completions,
             "lost": self.lost,
             "cache_hits": self.cache_hits,
+            "lattice_hits": self.lattice_hits,
             "coalesced": self.coalesced,
             "computed": self.computed,
             "rejections": self.rejections,
@@ -182,13 +185,21 @@ class ServiceTelemetry:
         self._lane(lane).retries += 1
 
     def on_completion(
-        self, lane: str, latency_s: float, *, cached: bool, coalesced: bool
+        self,
+        lane: str,
+        latency_s: float,
+        *,
+        cached: bool,
+        coalesced: bool,
+        lattice: bool = False,
     ) -> None:
         stats = self._lane(lane)
         stats.completions += 1
         stats.record_latency(latency_s)
         if cached:
             stats.cache_hits += 1
+        elif lattice:
+            stats.lattice_hits += 1
         elif coalesced:
             stats.coalesced += 1
         else:

@@ -1,0 +1,93 @@
+"""Log-log interpolation kernels: exactness, zeros, and the error metric."""
+
+import numpy as np
+import pytest
+
+from repro.approx.interp import INTERP_METHODS, interpolate_loglog, peak_rel_error
+
+
+def _power_law_nodes(n_nodes: int = 9, n_bins: int = 6):
+    """Node spectra exactly log-linear in u: flux_b(u) = C_b * exp(a_b u)."""
+    u = np.linspace(0.0, 2.0, n_nodes)
+    a = np.linspace(-1.5, 2.0, n_bins)
+    c = np.linspace(0.5, 3.0, n_bins)
+    values = c[None, :] * np.exp(u[:, None] * a[None, :])
+    return u, values, a, c
+
+
+class TestPeakRelError:
+    def test_identical_is_zero(self):
+        x = np.array([1.0, 2.0, 0.5])
+        assert peak_rel_error(x, x) == 0.0
+
+    def test_normalizes_by_exact_peak(self):
+        exact = np.array([0.0, 10.0, 0.0])
+        approx = np.array([1.0, 10.0, 0.0])
+        assert peak_rel_error(approx, exact) == pytest.approx(0.1)
+
+    def test_all_zero_exact_does_not_divide_by_zero(self):
+        err = peak_rel_error(np.zeros(3), np.zeros(3))
+        assert err == 0.0
+
+
+class TestValidation:
+    def test_unknown_method(self):
+        u, values, _, _ = _power_law_nodes()
+        with pytest.raises(ValueError, match="unknown method"):
+            interpolate_loglog(u, values, 1.0, method="spline")
+
+    def test_out_of_domain(self):
+        u, values, _, _ = _power_law_nodes()
+        with pytest.raises(ValueError, match="outside the lattice domain"):
+            interpolate_loglog(u, values, 2.5)
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            interpolate_loglog(np.array([1.0]), np.ones((1, 4)), 1.0)
+
+
+class TestInterpolation:
+    @pytest.mark.parametrize("method", INTERP_METHODS)
+    def test_node_passthrough_is_bitexact(self, method):
+        u, values, _, _ = _power_law_nodes()
+        for j in (0, 3, len(u) - 1):
+            out = interpolate_loglog(u, values, float(u[j]), method=method)
+            np.testing.assert_array_equal(out, values[j])
+
+    @pytest.mark.parametrize("method", INTERP_METHODS)
+    def test_power_law_is_reproduced(self, method):
+        # A pure power law is linear in (u, ln flux) — both stencils
+        # reproduce it to rounding at any off-node u.
+        u, values, a, c = _power_law_nodes()
+        for uu in (0.11, 0.97, 1.83):
+            out = interpolate_loglog(u, values, uu, method=method)
+            np.testing.assert_allclose(out, c * np.exp(uu * a), rtol=1e-12)
+
+    def test_exact_zeros_stay_exact(self):
+        u, values, _, _ = _power_law_nodes()
+        values = values.copy()
+        values[:, 2] = 0.0  # one bin is identically zero at every node
+        for method in INTERP_METHODS:
+            out = interpolate_loglog(u, values, 0.77, method=method)
+            assert out[2] == 0.0
+
+    def test_mixed_zero_stencil_falls_back_to_linear_flux(self):
+        # A bin with one zero node cannot use the log transform; the
+        # linear-flux fallback must stay finite and sign-sane.
+        u = np.array([0.0, 1.0, 2.0, 3.0])
+        values = np.ones((4, 3))
+        values[1, 0] = 0.0
+        for method in INTERP_METHODS:
+            out = interpolate_loglog(u, values, 0.5, method=method)
+            assert np.all(np.isfinite(out))
+            assert out[0] == pytest.approx(0.5, abs=0.26)
+
+    def test_cubic_beats_linear_on_smooth_curvature(self):
+        # ln flux quadratic in u: linear leaves O(h^2) error, the
+        # Hermite stencil tracks the curvature.
+        u = np.linspace(0.0, 2.0, 9)
+        values = np.exp(-((u - 1.0) ** 2))[:, None] * np.ones((1, 4))
+        exact = float(np.exp(-((0.625 - 1.0) ** 2)))
+        lin = interpolate_loglog(u, values, 0.625, method="linear")
+        cub = interpolate_loglog(u, values, 0.625, method="cubic")
+        assert abs(cub[0] - exact) < abs(lin[0] - exact)

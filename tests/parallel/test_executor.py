@@ -11,8 +11,10 @@ from repro.parallel.executor import (
     default_jobs,
     get_backend,
     shard_items,
+    shutdown_warm_pools,
     tree_reduce,
 )
+from repro.quadrature.batch import KERNEL_COUNTERS
 
 
 def _square(x: int) -> int:
@@ -112,3 +114,47 @@ class TestProcessBackend:
     def test_module_level_function_roundtrip(self):
         with ProcessBackend(2) as backend:
             assert backend.map(_square, [2, 3, 4]) == [4, 9, 16]
+
+
+class TestWarmPools:
+    @pytest.fixture(autouse=True)
+    def _fresh_registry(self):
+        shutdown_warm_pools()
+        KERNEL_COUNTERS.reset()
+        yield
+        shutdown_warm_pools()
+        KERNEL_COUNTERS.reset()
+
+    def test_pool_survives_close_and_is_adopted(self):
+        with ProcessBackend(1) as backend:
+            assert backend.map(_square, [5]) == [25]
+        # The workers are parked, not torn down: a second backend with
+        # the same worker count adopts them instead of forking anew.
+        with ProcessBackend(1) as backend:
+            assert backend.map(_square, [6]) == [36]
+        snap = KERNEL_COUNTERS.snapshot()
+        assert snap["pool_creates"] == 1
+        assert snap["pool_reuses"] == 1
+
+    def test_different_worker_counts_get_distinct_pools(self):
+        with ProcessBackend(1) as a:
+            assert a.map(_square, [2]) == [4]
+        with ProcessBackend(2) as b:
+            assert b.map(_square, [3]) == [9]
+        snap = KERNEL_COUNTERS.snapshot()
+        assert snap["pool_creates"] == 2
+        assert snap["pool_reuses"] == 0
+
+    def test_shutdown_empties_registry(self):
+        with ProcessBackend(1) as backend:
+            assert backend.map(_square, [7]) == [49]
+        shutdown_warm_pools()
+        with ProcessBackend(1) as backend:
+            assert backend.map(_square, [8]) == [64]
+        assert KERNEL_COUNTERS.snapshot()["pool_creates"] == 2
+
+    def test_thread_backend_unaffected(self):
+        backend = ThreadBackend(2)
+        assert backend.map(_square, [3]) == [9]
+        backend.close()
+        assert KERNEL_COUNTERS.snapshot()["pool_creates"] == 0

@@ -105,7 +105,10 @@ class TestZeroWidthCounters:
         assert snap["evals_saved"] == 9
         KERNEL_COUNTERS.reset()
         assert KERNEL_COUNTERS.snapshot() == {
-            "zero_width_pairs": 0, "evals_saved": 0
+            "zero_width_pairs": 0,
+            "evals_saved": 0,
+            "pool_creates": 0,
+            "pool_reuses": 0,
         }
 
     def test_gauss_kernel_books_too(self, windows):

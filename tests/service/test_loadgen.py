@@ -70,6 +70,63 @@ class TestZipf:
         assert max(zipf.values()) > max(uniform.values())
 
 
+class TestWalk:
+    def test_deterministic(self):
+        a = generate_trace(TrafficSpec(n_requests=80, seed=11, pattern="walk"))
+        b = generate_trace(TrafficSpec(n_requests=80, seed=11, pattern="walk"))
+        assert [x.t for x in a] == [x.t for x in b]
+        assert [x.request.temperature_k for x in a] == [
+            x.request.temperature_k for x in b
+        ]
+
+    def test_temperatures_stay_in_domain(self):
+        spec = TrafficSpec(
+            n_requests=500, seed=9, pattern="walk", walk_sigma_dex=0.4
+        )
+        temps = np.array([x.request.temperature_k for x in generate_trace(spec)])
+        assert np.all(temps >= spec.t_min_k)
+        assert np.all(temps <= spec.t_max_k)
+
+    def test_never_repeats_a_temperature_exactly(self):
+        # The point of the walk: it defeats the exact cache, every
+        # request is a fresh temperature.
+        spec = TrafficSpec(n_requests=300, seed=9, pattern="walk")
+        temps = [x.request.temperature_k for x in generate_trace(spec)]
+        assert len(set(temps)) == len(temps)
+
+    def test_steps_are_correlated_not_uniform(self):
+        spec = TrafficSpec(n_requests=500, seed=9, pattern="walk")
+        logs = np.log(
+            [x.request.temperature_k for x in generate_trace(spec)]
+        )
+        span = np.log(spec.t_max_k) - np.log(spec.t_min_k)
+        # Consecutive requests sit within a few step sigmas of each
+        # other — far closer than independent uniform draws would be.
+        assert np.median(np.abs(np.diff(logs))) < 0.05 * span
+
+    def test_accuracy_is_stamped_on_requests(self):
+        spec = TrafficSpec(
+            n_requests=20, seed=3, pattern="walk", accuracy=1.0e-3
+        )
+        trace = generate_trace(spec)
+        assert all(x.request.accuracy == 1.0e-3 for x in trace)
+        assert all("acc=1.000e-03" in x.request.canonical() for x in trace)
+
+    def test_exact_patterns_default_to_accuracy_zero(self):
+        trace = generate_trace(TrafficSpec(n_requests=20, seed=3))
+        assert all(x.request.accuracy == 0.0 for x in trace)
+
+    def test_walk_fields_do_not_perturb_zipf_traces(self):
+        # The golden service trace (zipf, seed 11) must not shift when
+        # walk knobs are present but the pattern is not "walk".
+        a = generate_trace(TrafficSpec(n_requests=50, seed=11))
+        b = generate_trace(
+            TrafficSpec(n_requests=50, seed=11, walk_sigma_dex=0.9)
+        )
+        assert [x.request.key for x in a] == [x.request.key for x in b]
+        assert [x.t for x in a] == [x.t for x in b]
+
+
 class TestValidation:
     @pytest.mark.parametrize(
         "kwargs",
@@ -81,6 +138,8 @@ class TestValidation:
             {"n_distinct": 0},
             {"interactive_fraction": 1.5},
             {"t_min_k": 0.0},
+            {"walk_sigma_dex": 0.0},
+            {"accuracy": -1.0e-3},
         ],
     )
     def test_rejects_bad_specs(self, kwargs):
