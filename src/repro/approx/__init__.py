@@ -17,9 +17,11 @@ from repro.approx.interp import (
 )
 from repro.approx.lattice import (
     ExactFn,
+    ExactManyFn,
     LatticeSpec,
     SpectrumLattice,
     plan_exact_fn,
+    plan_exact_many_fn,
 )
 from repro.approx.store import (
     LatticeResult,
@@ -30,6 +32,7 @@ from repro.approx.store import (
 
 __all__ = [
     "ExactFn",
+    "ExactManyFn",
     "INTERP_METHODS",
     "LatticeResult",
     "LatticeSpec",
@@ -40,4 +43,5 @@ __all__ = [
     "interpolate_loglog",
     "peak_rel_error",
     "plan_exact_fn",
+    "plan_exact_many_fn",
 ]

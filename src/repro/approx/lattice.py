@@ -47,13 +47,20 @@ from repro.approx.interp import (
 
 __all__ = [
     "ExactFn",
+    "ExactManyFn",
     "LatticeSpec",
     "SpectrumLattice",
     "plan_exact_fn",
+    "plan_exact_many_fn",
 ]
 
 #: An exact spectrum evaluator: temperature (K) -> per-bin flux array.
 ExactFn = Callable[[float], np.ndarray]
+
+#: A batched exact evaluator: temperatures (K) -> one flux array each.
+#: Contract: element ``i`` must be bit-identical to ``exact_fn(temps[i])``
+#: — batching amortizes setup, never changes the answer.
+ExactManyFn = Callable[[list[float]], list[np.ndarray]]
 
 #: Flat bookkeeping charge per node (abscissa, list links, certificates).
 NODE_OVERHEAD_BYTES = 64
@@ -141,9 +148,15 @@ class SpectrumLattice:
         spec: LatticeSpec,
         exact_fn: ExactFn,
         fingerprint: str = "",
+        exact_many_fn: Optional[ExactManyFn] = None,
     ) -> None:
         self.spec = spec
         self.exact_fn = exact_fn
+        #: Batched evaluator for node sets whose temperatures are known
+        #: up front (the whole initial build).  Rides the megabatch path
+        #: — one stacked launch instead of a node-by-node loop — and
+        #: must return bit-identical spectra per temperature.
+        self.exact_many_fn = exact_many_fn
         #: Content address of the inputs the node spectra derive from
         #: (database + grid); the store drops lattices whose fingerprint
         #: no longer matches the live evaluator's.
@@ -154,9 +167,16 @@ class SpectrumLattice:
             np.geomspace(spec.t_min_k, spec.t_max_k, spec.n_nodes)
         )
         self._u: list[float] = [float(x) for x in u]
-        self._values: list[np.ndarray] = [self._eval_u(x) for x in self._u]
+        # Build-time node and certificate temperatures are all known
+        # before any evaluation happens, so both sweeps batch.
+        self._values: list[np.ndarray] = self._eval_many_u(self._u)
+        mid_us = [
+            0.5 * (self._u[i] + self._u[i + 1])
+            for i in range(len(self._u) - 1)
+        ]
+        mid_values = self._eval_many_u(mid_us)
         self._intervals: list[_Interval] = [
-            self._certify(i) for i in range(len(self._u) - 1)
+            self._measure(mu, mv) for mu, mv in zip(mid_us, mid_values)
         ]
 
     # ------------------------------------------------------------------
@@ -269,6 +289,30 @@ class SpectrumLattice:
         out.setflags(write=False)
         return out
 
+    def _eval_many_u(self, us: list[float]) -> list[np.ndarray]:
+        """Evaluate a known set of node abscissae, batched when possible.
+
+        With no batched evaluator this is exactly the node-by-node loop;
+        with one, all temperatures go through a single megabatched call
+        (bit-identical per node by the :data:`ExactManyFn` contract) and
+        the eval counter advances by the same amount either way.
+        """
+        if self.exact_many_fn is None or len(us) <= 1:
+            return [self._eval_u(u) for u in us]
+        self.node_evals += len(us)
+        values = self.exact_many_fn([float(math.exp(u)) for u in us])
+        if len(values) != len(us):
+            raise ValueError(
+                f"batched evaluator returned {len(values)} spectra "
+                f"for {len(us)} temperatures"
+            )
+        out = []
+        for v in values:
+            arr = np.asarray(v, dtype=np.float64)
+            arr.setflags(write=False)
+            out.append(arr)
+        return out
+
     def _certify(self, interval: int) -> _Interval:
         mid_u = 0.5 * (self._u[interval] + self._u[interval + 1])
         mid_values = self._eval_u(mid_u)
@@ -344,3 +388,41 @@ def plan_exact_fn(
         return plan.execute(point).values
 
     return exact
+
+
+def plan_exact_many_fn(
+    db,
+    grid,
+    ions=None,
+    method: str = "simpson",
+    pieces: int = 64,
+    k: int = 7,
+    gl_points: int = 12,
+    tail_tol: float = 0.0,
+    gaunt: bool = True,
+    ne_cm3: float = 1.0,
+    plan_cache=None,
+) -> ExactManyFn:
+    """An :data:`ExactManyFn` over ``SpectrumPlan.execute_many``.
+
+    The batched companion of :func:`plan_exact_fn`: a whole lattice
+    build becomes one plan lookup plus a single stacked-exp megabatch
+    over every node temperature, bit-identical per node to the scalar
+    evaluator.
+    """
+    from repro.physics.apec import GridPoint
+    from repro.physics.plan import PLAN_CACHE
+
+    cache = plan_cache if plan_cache is not None else PLAN_CACHE
+
+    def exact_many(temps_k: list[float]) -> list[np.ndarray]:
+        plan = cache.get(
+            db, grid, ions=ions, method=method, pieces=pieces, k=k,
+            gl_points=gl_points, tail_tol=tail_tol, gaunt=gaunt,
+        )
+        points = [
+            GridPoint(temperature_k=float(t), ne_cm3=ne_cm3) for t in temps_k
+        ]
+        return [res.values for res in plan.execute_many(points)]
+
+    return exact_many

@@ -35,7 +35,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.approx.lattice import ExactFn, LatticeSpec, SpectrumLattice
+from repro.approx.lattice import (
+    ExactFn,
+    ExactManyFn,
+    LatticeSpec,
+    SpectrumLattice,
+)
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["LatticeResult", "LatticeStats", "LatticeStore", "RequestEvaluator"]
@@ -81,6 +86,31 @@ class RequestEvaluator:
             return request_spectrum((probe, n_max, z_max))
 
         return exact
+
+    def exact_many_fn(self, request) -> "ExactManyFn":
+        """Batched node evaluator over the megabatch payload path.
+
+        Lattice builds know every node temperature up front, so node
+        refills ride :func:`repro.service.requests.family_spectra` —
+        one ion-major stacked evaluation whose row ``j`` is
+        bit-identical to ``exact_fn(request)(temps[j])``.
+        """
+        from repro.service.requests import family_spectra
+
+        n_max = self.db.config.n_max
+        z_max = self.db.config.z_max
+
+        def exact_many(temps_k: list) -> list[np.ndarray]:
+            probes = tuple(
+                dataclasses.replace(
+                    request, temperature_k=float(t), accuracy=0.0
+                )
+                for t in temps_k
+            )
+            stacked = family_spectra((probes, n_max, z_max))
+            return [stacked[j].copy() for j in range(stacked.shape[0])]
+
+        return exact_many
 
 
 @dataclass
@@ -265,8 +295,16 @@ class LatticeStore:
             self._instant("lattice.invalidate", request)
             lat = None
         if lat is None:
+            # Duck-typed evaluators (tests, plan-backed sweeps) may not
+            # offer a batched path; the lattice then builds node by node.
+            many_factory = getattr(self.evaluator, "exact_many_fn", None)
             lat = SpectrumLattice(
-                self.spec, self.evaluator.exact_fn(request), fingerprint=fp
+                self.spec,
+                self.evaluator.exact_fn(request),
+                fingerprint=fp,
+                exact_many_fn=(
+                    many_factory(request) if many_factory is not None else None
+                ),
             )
             self._lattices[key] = lat
             self.stats.builds += 1

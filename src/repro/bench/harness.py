@@ -196,6 +196,98 @@ def _case_service_throughput(
     }
 
 
+def _case_continuous_batching(quick: bool, seed: int) -> dict:
+    """Continuous cross-request megabatching under bursty survey traffic.
+
+    Three runs feed the gates.  A bursty, tight-tolerance trace
+    (clusters of 32 arrivals over a 96-point uniform population — the
+    shape batch assembly feeds on) is played twice: **batched**
+    (admission window + width-32 megabatch groups) and **unbatched**
+    (same trace, batching off), and every per-request spectrum must
+    match bit for bit — ``bit_identical`` gates at 1.0 with zero slack.
+    The headline ratios are measured against the unbatched service
+    baseline: the case re-runs :func:`_case_service_throughput`
+    in-process and divides by its figures, so
+    ``utilization_vs_unbatched`` (must stay >= 3) and
+    ``p95_vs_unbatched`` (must stay <= 0.5) are pinned to the same
+    numbers the suite already publishes.  The same-trace ratios are
+    reported alongside, ungated — a strictly harder comparison, since
+    saturating the unbatched broker raises its utilization too.
+    """
+    import numpy as np
+
+    from repro.obs.profile import Profile
+    from repro.obs.tracer import EventTracer
+    from repro.service.broker import ServiceConfig, run_trace
+    from repro.service.loadgen import TrafficSpec, generate_trace
+
+    trace = generate_trace(
+        TrafficSpec(
+            n_requests=128,
+            seed=seed,
+            mean_interarrival_s=0.01,
+            burst=32,
+            pattern="uniform",
+            n_distinct=96,
+            n_bins=128,
+            tolerance=1.0e-9,
+        )
+    )
+
+    def play(cfg: ServiceConfig):
+        tracer = EventTracer()
+        broker, tickets = run_trace(trace, cfg, tracer=tracer)
+        lat = [
+            s for lane in broker.telemetry.lanes.values() for s in lane.latencies_s
+        ]
+        p95 = float(np.percentile(np.asarray(lat), 95.0)) if lat else 0.0
+        devices = Profile.from_tracer(tracer).device_usage()
+        util = (
+            sum(d.utilization for d in devices) / len(devices) if devices else 0.0
+        )
+        return broker, tickets, util, p95
+
+    t0 = time.perf_counter()
+    batched, b_tickets, b_util, b_p95 = play(
+        ServiceConfig(
+            n_service_workers=2,
+            queue_capacity=96,
+            batch_max=32,
+            batch_width_max=32,
+            batch_window_s=0.05,
+        )
+    )
+    _, u_tickets, u_util, u_p95 = play(
+        ServiceConfig(n_service_workers=2, queue_capacity=96)
+    )
+    wall_s = time.perf_counter() - t0
+
+    identical = len(b_tickets) == len(u_tickets) and all(
+        b is not None
+        and u is not None
+        and np.array_equal(b.result, u.result)
+        for b, u in zip(b_tickets, u_tickets)
+    )
+    ref = _case_service_throughput(quick, seed)["sim"]
+    tel = batched.telemetry
+    widths = list(tel.megabatch_widths)
+    return {
+        "wall_s": wall_s,
+        "sim": {
+            "device_utilization": b_util,
+            "p95_latency_s": b_p95,
+            "utilization_vs_unbatched": b_util / ref["device_utilization"],
+            "p95_vs_unbatched": b_p95 / ref["p95_latency_s"],
+            "bit_identical": 1.0 if identical else 0.0,
+            "batch_width_mean": float(np.mean(widths)) if widths else 0.0,
+            "batch_width_max": float(max(widths)) if widths else 0.0,
+            "batched_temperatures": float(tel.batched_temperatures),
+            "same_trace_utilization_ratio": b_util / u_util if u_util else 0.0,
+            "same_trace_p95_ratio": b_p95 / u_p95 if u_p95 else 0.0,
+        },
+    }
+
+
 def _case_fused_megabatch(quick: bool, seed: int) -> dict:
     """Megabatch fusion: pass-count ledger (sim) + wall speedups (ungated).
 
@@ -355,6 +447,7 @@ CASES: dict[str, Callable] = {
     "pruned_kernels": _case_pruned_kernels,
     "fused_megabatch": _case_fused_megabatch,
     "service_throughput": _case_service_throughput,
+    "continuous_batching": _case_continuous_batching,
     "approx_serving": _case_approx_serving,
     "nei": _case_nei,
 }
@@ -501,6 +594,9 @@ DEFAULT_TOLERANCES: dict[str, Tolerance] = {
     "fused_pass_ratio": Tolerance(0.02, "higher"),
     "lattice_hit_rate": Tolerance(0.02, "higher"),
     "within_budget": Tolerance(0.0, "higher"),
+    "utilization_vs_unbatched": Tolerance(0.05, "higher"),
+    "p95_vs_unbatched": Tolerance(0.05, "lower"),
+    "bit_identical": Tolerance(0.0, "higher"),
 }
 
 

@@ -126,6 +126,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="service workers (one hybrid node each)")
     p.add_argument("--queue-capacity", type=int, default=32)
     p.add_argument("--batch-max", type=int, default=4)
+    p.add_argument("--batch-window", type=float, default=None,
+                   help="continuous-batching admission window in virtual "
+                        "seconds: a worker finding a short backlog waits "
+                        "this long for more compatible requests before "
+                        "dispatching one fused megabatch (default: off, "
+                        "one request per dispatch)")
+    p.add_argument("--batch-width", type=int, default=16,
+                   help="max temperatures fused into one megabatch group")
+    p.add_argument("--burst", type=int, default=1,
+                   help="arrivals per cluster: >1 lands requests in "
+                        "simultaneous bursts at the same long-run rate")
     p.add_argument("--gpus", type=int, default=1, help="GPUs per worker node")
     p.add_argument("--cache-entries", type=int, default=256)
     p.add_argument("--cache-mb", type=float, default=32.0)
@@ -660,6 +671,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             n_requests=args.requests,
             seed=args.seed,
             mean_interarrival_s=1.0 / args.rate,
+            burst=args.burst,
             pattern=args.pattern,
             zipf_s=args.zipf_s,
             walk_sigma_dex=args.walk_sigma,
@@ -672,6 +684,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         n_service_workers=args.workers,
         batch_max=args.batch_max,
+        batch_window_s=args.batch_window,
+        batch_width_max=args.batch_width,
         cache_max_entries=args.cache_entries,
         cache_max_bytes=int(args.cache_mb * (1 << 20)),
         cache_ttl_s=args.ttl,
@@ -752,6 +766,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ["rejections (backpressure)", report["rejections"]],
                 ["retries", report["retries"]],
                 ["coalesced joins", report["coalescer"]["coalesced"]],
+                ["megabatch groups", report["megabatch_groups"]],
+                ["megabatch width (mean)",
+                 f"{report['batch_width_mean']:.1f}"],
                 ["cache hit ratio", f"{cache['hit_ratio']:.1%}"],
                 ["lattice hit ratio", f"{lattice['hit_ratio']:.1%}"],
                 ["virtual time (s)", f"{report['virtual_time_s']:.2f}"],

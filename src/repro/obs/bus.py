@@ -120,6 +120,23 @@ class ServiceBus:
         if t.enabled:
             t.counter(self.queue_track, "queue_depth", depth)
 
+    def on_megabatch(self, widths: Sequence[int]) -> None:
+        self.telemetry.on_megabatch(list(widths))
+        t = self.tracer
+        if t.enabled:
+            t.instant(
+                self.queue_track,
+                "megabatch.assembled",
+                cat="batch",
+                args={"groups": len(widths), "widths": list(widths)},
+            )
+
+    def on_window_wait(self) -> None:
+        self.telemetry.on_window_wait()
+        t = self.tracer
+        if t.enabled:
+            t.instant(self.queue_track, "batch.window_wait", cat="batch")
+
     def on_batch(self, result, n_requests: int) -> None:
         self.telemetry.on_batch(result, n_requests)
 

@@ -468,6 +468,43 @@ def _lattice_metrics(reg: MetricsRegistry, store) -> None:
     ).set(store.bytes_stored if store is not None else 0)
 
 
+#: Width buckets of the megabatch histogram — powers of two up to the
+#: widest fused launch a service config can reasonably ask for.
+BATCH_WIDTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+def _batch_metrics(reg: MetricsRegistry, tel) -> None:
+    """Export continuous-batching counters under ``repro_batch_*``.
+
+    The families render even when batching never engaged (legacy
+    dispatch, or ``batch_window_s=None``) — counters at zero, the
+    histogram empty — so scrapers and the CI smoke step always see the
+    schema.
+    """
+    widths = reg.histogram(
+        "repro_batch_width",
+        "Temperatures fused per megabatch group",
+        buckets=BATCH_WIDTH_BUCKETS,
+    )
+    for w in tel.megabatch_widths:
+        widths.observe(float(w))
+    reg.counter(
+        "repro_batch_groups_total", "Megabatch groups dispatched"
+    ).inc(len(tel.megabatch_widths))
+    reg.counter(
+        "repro_batch_temperatures_total",
+        "Temperatures dispatched through megabatch groups",
+    ).inc(tel.batched_temperatures)
+    reg.counter(
+        "repro_batch_coalesced_requests_total",
+        "Requests that shared a fused launch with at least one other",
+    ).inc(tel.batch_coalesced_requests)
+    reg.counter(
+        "repro_batch_window_waits_total",
+        "Admission-window waits taken by service workers",
+    ).inc(tel.batch_window_waits)
+
+
 def service_registry(broker) -> MetricsRegistry:
     """Derive the serving-stack metric set from one broker's ledgers."""
     reg = MetricsRegistry()
@@ -538,6 +575,8 @@ def service_registry(broker) -> MetricsRegistry:
         "repro_evals_saved_total",
         "Integrand evaluations pruned by active windows",
     ).inc(tel.evals_saved)
+
+    _batch_metrics(reg, tel)
 
     residency = reg.gauge(
         "repro_device_load_residency_seconds",

@@ -179,6 +179,7 @@ class SpectrumPlan:
         self._window_memo: OrderedDict[float, tuple[np.ndarray, np.ndarray]]
         self._window_memo = OrderedDict()
         self._memo_lock = threading.Lock()
+        self._simpson_shared_arrays: tuple[np.ndarray, ...] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -265,6 +266,54 @@ class SpectrumPlan:
             pref[i] = ne * n_ion * 4.0 * norm / kt
         return pref[self.ion_index] * self.c_base
 
+    def _simpson_shared(self) -> tuple[np.ndarray, ...]:
+        """Temperature-independent Simpson node arrays, built once per plan.
+
+        Every quantity here depends only on the grid and the rule knobs:
+        the full-grid node matrix ``x_all``, its ``cbrt``, the per-bin
+        step ``h_all = width / pieces`` and its outer product with the
+        Simpson weights, and the per-level ``1 / cbrt(I_l)``.  The
+        factorized executor *slices* these instead of recomputing them —
+        elementwise ufuncs make the slice bit-identical to computing on
+        the slice — so repeated and batched executions amortize every
+        transcendental except ``exp(-E/kT)`` itself.
+        """
+        shared = self._simpson_shared_arrays
+        if shared is None:
+            pieces = self.key.pieces
+            w = simpson_weights(pieces)
+            frac = unit_fractions(pieces + 1)
+            grid = self.grid
+            x_all = grid.lower[:, None] + grid.widths[:, None] * frac[None, :]
+            cbrt_all = np.cbrt(x_all)
+            h_all = grid.widths / pieces
+            hw_all = h_all[:, None] * w[None, :]
+            with np.errstate(divide="ignore"):
+                inv_cbrt = 1.0 / np.cbrt(self.energy_kev)
+            shared = (w, frac, x_all, cbrt_all, h_all, hw_all, inv_cbrt)
+            for arr in shared:
+                arr.setflags(write=False)
+            self._simpson_shared_arrays = shared
+        return shared
+
+    def _factorized_safe(self, kt: float) -> bool:
+        """Whether the shared-abscissa rescaling holds at this ``kT``.
+
+        Mirrors the guard inside :meth:`_execute_simpson_factorized`:
+        ``exp(I_l/kT) * exp(-E/kT)`` must neither overflow nor cost more
+        relative precision than the tail budget tolerates.
+        """
+        from repro.physics.apec import _SAFE_RESCALE_ARG
+
+        tail_tol = self.key.tail_tol
+        if tail_tol <= 0.0 or self.n_levels == 0:
+            return False
+        arg = (float(self.energy_kev.max()) + float(self.grid.upper[-1])) / kt
+        return (
+            arg < _SAFE_RESCALE_ARG
+            and arg * np.finfo(np.float64).eps < 0.05 * tail_tol
+        )
+
     def execute(
         self, point: "GridPointLike", abundances: AbundanceSet = SOLAR
     ) -> MegabatchResult:
@@ -293,12 +342,59 @@ class SpectrumPlan:
             lower_clip=self.energy_kev, n=self.key.gl_points,
         )
 
+    def execute_many(
+        self,
+        points: Iterable["GridPointLike"],
+        abundances: AbundanceSet = SOLAR,
+    ) -> list[MegabatchResult]:
+        """Execute one plan at N grid points with shared launch setup.
+
+        The temperature axis of the factorized Simpson path is batched:
+        ``exp(-x/kT)`` for every temperature is issued as *one* stacked
+        ufunc call over the plan's shared node matrix, and the node
+        ``cbrt``/weight products are reused from the per-plan memo — so a
+        group of N compatible requests pays the transcendental setup once
+        instead of N times.  Each element of the result is bit-identical
+        to ``execute(points[i])``: the stacked exp is elementwise, so its
+        i-th row equals the per-temperature exp exactly, and every other
+        array on the path is shared (not recomputed) between the two
+        entry points.  Non-Simpson methods and temperatures rejected by
+        the rescaling guard fall back to a per-point :meth:`execute`
+        loop.
+        """
+        points = list(points)
+        if not points:
+            return []
+        results: list[MegabatchResult | None] = [None] * len(points)
+        batch: list[tuple[int, float]] = []
+        if self.key.method == "simpson":
+            for i, point in enumerate(points):
+                kt = float(point.kt_kev)
+                if self._factorized_safe(kt):
+                    batch.append((i, kt))
+        if batch:
+            x_all = self._simpson_shared()[2]
+            kts = np.array([kt for _, kt in batch])
+            with np.errstate(under="ignore"):
+                exp_stack = np.exp(-x_all[None, :, :] / kts[:, None, None])
+            for j, (i, kt) in enumerate(batch):
+                first, cutoff = self.windows(kt)
+                c_l = self.flat_constants(points[i], abundances)
+                results[i] = self._execute_simpson_factorized(
+                    first, cutoff, c_l, kt, exp_full=exp_stack[j]
+                )
+        for i, point in enumerate(points):
+            if results[i] is None:
+                results[i] = self.execute(point, abundances)
+        return results
+
     def _execute_simpson_factorized(
         self,
         first: np.ndarray,
         cutoff: np.ndarray,
         c_l: np.ndarray,
         kt: float,
+        exp_full: np.ndarray | None = None,
     ) -> MegabatchResult | None:
         """Shared-abscissa Simpson megabatch (all ions fused, one exp).
 
@@ -312,19 +408,16 @@ class SpectrumPlan:
         keep per-level nodes.  Returns ``None`` when the rescaling would
         overflow or cost more precision than the tail budget allows — the
         caller then takes the generic unfactored megabatch.
-        """
-        from repro.physics.apec import _SAFE_RESCALE_ARG
 
-        tail_tol = self.key.tail_tol
+        ``exp_full``, when given, is the precomputed ``exp(-x/kT)`` over
+        the *whole* grid's node matrix (one row of the stacked exp that
+        :meth:`execute_many` issues for N temperatures at once); the bin
+        union is sliced out of it.
+        """
+        if not self._factorized_safe(kt):
+            return None
         energies = self.energy_kev
         grid = self.grid
-        arg = (float(energies.max()) + float(grid.upper[-1])) / kt
-        if (
-            tail_tol <= 0.0
-            or arg >= _SAFE_RESCALE_ARG
-            or arg * np.finfo(np.float64).eps >= 0.05 * tail_tol
-        ):
-            return None
 
         n_bins = grid.n_bins
         out = np.zeros(n_bins, dtype=np.float64)
@@ -332,8 +425,9 @@ class SpectrumPlan:
         if not active.any():
             return MegabatchResult(out, 0, 0, 0, 0)
         pieces = self.key.pieces
-        w = simpson_weights(pieces)
-        frac = unit_fractions(pieces + 1)
+        w, frac, x_all, cbrt_all, h_all, hw_all, inv_cbrt = (
+            self._simpson_shared()
+        )
         n_passes = 0
 
         # --- edge pairs: the one bin per level split by its
@@ -364,12 +458,12 @@ class SpectrumPlan:
             return MegabatchResult(out, n_passes, n_edge, 0, 0)
         bmin = int(start[full].min())
         bmax = int(cutoff[full].max())
-        lo_u = grid.lower[bmin:bmax]
-        width_u = grid.widths[bmin:bmax]
-        x_sh = lo_u[:, None] + width_u[:, None] * frac[None, :]
-        with np.errstate(under="ignore"):
-            e_sh = np.exp(-x_sh / kt)
-        h_u = width_u / pieces
+        if exp_full is not None:
+            e_sh = exp_full[bmin:bmax]
+        else:
+            with np.errstate(under="ignore"):
+                e_sh = np.exp(-x_all[bmin:bmax] / kt)
+        h_u = h_all[bmin:bmax]
         scale = c_l * np.exp(np.where(full, energies, 0.0) / kt)
         n_passes += 1
 
@@ -392,9 +486,8 @@ class SpectrumPlan:
         # pays only cheap rational arithmetic per pair.
         rows, bins = _flatten_windows(start, cutoff)
         rel = bins - bmin
-        cbrt_sh = np.cbrt(x_sh)
-        ehw = e_sh * (h_u[:, None] * w[None, :])
-        inv_cbrt = 1.0 / np.cbrt(energies)
+        cbrt_sh = cbrt_all[bmin:bmax]
+        ehw = e_sh * hw_all[bmin:bmax]
         # One logical launch per memory-bounded chunk (what a device
         # would issue); within a chunk the host evaluation blocks pairs
         # so the rational-arithmetic scratch stays cache-resident — the

@@ -241,6 +241,12 @@ class WindowKernelCounters:
     #: ledger covers every kernel-side savings counter).
     pool_creates: int = 0
     pool_reuses: int = 0
+    #: Chunked-map IPC ledger of the process backend: chunks submitted
+    #: across the pool boundary vs items they carried.  ``map_items -
+    #: map_chunks`` is the number of per-item round trips the chunked
+    #: submission elided.
+    map_chunks: int = 0
+    map_items: int = 0
 
     def book(self, n_pairs: int, n_pts: int) -> None:
         self.zero_width_pairs += n_pairs
@@ -252,11 +258,17 @@ class WindowKernelCounters:
         else:
             self.pool_creates += 1
 
+    def book_map(self, n_chunks: int, n_items: int) -> None:
+        self.map_chunks += n_chunks
+        self.map_items += n_items
+
     def reset(self) -> None:
         self.zero_width_pairs = 0
         self.evals_saved = 0
         self.pool_creates = 0
         self.pool_reuses = 0
+        self.map_chunks = 0
+        self.map_items = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -264,6 +276,8 @@ class WindowKernelCounters:
             "evals_saved": self.evals_saved,
             "pool_creates": self.pool_creates,
             "pool_reuses": self.pool_reuses,
+            "map_chunks": self.map_chunks,
+            "map_items": self.map_items,
         }
 
 

@@ -43,12 +43,15 @@ from repro.obs.bus import ServiceBus
 from repro.obs.tracer import NULL_TRACER
 from repro.parallel.executor import BACKENDS, ExecutionBackend, get_backend
 from repro.physics.plan import PLAN_CACHE
+from repro.service.batching import BatchAssembler, MegabatchGroup
 from repro.service.cache import SpectrumCache
 from repro.service.coalesce import InFlight, RequestCoalescer
 from repro.service.loadgen import Arrival
 from repro.service.requests import (
     SpectrumRequest,
+    compile_group_tasks,
     compile_tasks,
+    family_spectra,
     request_spectrum,
 )
 from repro.service.telemetry import ServiceTelemetry
@@ -84,6 +87,15 @@ class ServiceConfig:
     n_service_workers: int = 2
     #: Unique requests dispatched per hybrid batch.
     batch_max: int = 4
+    #: Continuous batching: how long a worker lingers (virtual seconds)
+    #: to let plan-compatible arrivals accumulate before dispatching a
+    #: megabatch.  ``None`` (the default) keeps the legacy one-request-
+    #: per-plan dispatch path bit for bit; ``0.0`` batches whatever is
+    #: already queued without waiting (the "empty window" edge case).
+    #: Interactive arrivals always short-circuit the wait.
+    batch_window_s: Optional[float] = None
+    #: Max temperatures fused into one megabatch group.
+    batch_width_max: int = 16
     #: Backpressure hint returned with a rejection.
     retry_after_s: float = 0.5
     cache_max_entries: int = 256
@@ -130,6 +142,10 @@ class ServiceConfig:
             raise ValueError("need at least one service worker")
         if self.batch_max < 1:
             raise ValueError("batch_max must be >= 1")
+        if self.batch_window_s is not None and self.batch_window_s < 0.0:
+            raise ValueError("batch_window_s must be >= 0 or None")
+        if self.batch_width_max < 1:
+            raise ValueError("batch_width_max must be >= 1")
         if self.retry_after_s <= 0.0:
             raise ValueError("retry_after_s must be positive")
         if self.latency_reservoir is not None and self.latency_reservoir < 1:
@@ -252,6 +268,7 @@ class SpectrumBroker:
             lane_tracks=lane_tracks,
         )
         self._queues: dict[str, deque[InFlight]] = {lane: deque() for lane in LANES}
+        self._assembler = BatchAssembler(width_max=self.config.batch_width_max)
         self._idle: deque[Signal] = deque()
         self._batch_seq = 0
         self._req_seq = 0
@@ -488,23 +505,28 @@ class SpectrumBroker:
             self._payload_backend.close()
             self._payload_backend = None
 
-    def _batch_payloads(
-        self, batch: list[InFlight]
+    def _group_payloads(
+        self, groups: list[MegabatchGroup], batching: bool
     ) -> Optional[list[np.ndarray]]:
-        """Precomputed spectra of one batch, or ``None`` on the serial path.
+        """Precomputed spectra per group, or ``None`` on the serial path.
 
         On a parallel backend the batch's request spectra are evaluated
         on the host pool while the hybrid simulation runs cost-only
-        tasks; :func:`request_spectrum` accumulates in exact task order,
-        so the result is bit-identical to in-simulation accumulation.
+        tasks; :func:`request_spectrum` / :func:`family_spectra`
+        accumulate in exact task order, so the results are bit-identical
+        to in-simulation accumulation.  The legacy path (``batching``
+        off, every group width 1) maps :func:`request_spectrum` exactly
+        as it always did; megabatch groups map the stacked
+        :func:`family_spectra` — one pool item per fused launch.
         """
         if self.config.backend == "serial":
             return None
-        payloads = [
-            (entry.request, self.db.config.n_max, self.db.config.z_max)
-            for entry in batch
-        ]
-        return self._backend().map(request_spectrum, payloads)
+        n_max, z_max = self.db.config.n_max, self.db.config.z_max
+        if not batching:
+            payloads = [(g.entries[0].request, n_max, z_max) for g in groups]
+            return self._backend().map(request_spectrum, payloads)
+        items = [(g.requests, n_max, z_max) for g in groups]
+        return self._backend().map(family_spectra, items)
 
     def _drain_batch(self) -> list[InFlight]:
         """Up to ``batch_max`` entries, interactive strictly first."""
@@ -525,23 +547,59 @@ class SpectrumBroker:
         worker_track = (
             self.tracer.track(f"svc{wid}", "dispatch") if traced else 0
         )
+        window = self.config.batch_window_s
+        batching = window is not None
         while True:
+            if (
+                batching
+                and window > 0.0
+                and 0 < self.queue_depth < self.config.batch_max
+                and not self._queues["interactive"]
+            ):
+                # Admission window: a pure-survey backlog narrower than
+                # a full batch lingers so plan-compatible arrivals can
+                # pile onto the same fused launch.  An interactive
+                # entry anywhere in the queue short-circuits the wait —
+                # latency-sensitive requests never pay for batch width.
+                self.bus.on_window_wait()
+                yield window
             batch = self._drain_batch()
             if not batch:
                 idle = Signal(name=f"svc{wid}.idle")
                 self._idle.append(idle)
                 yield idle
                 continue
-            payloads = self._batch_payloads(batch)
+            if batching:
+                groups = self._assembler.assemble(batch)
+                self.bus.on_megabatch([g.width for g in groups])
+            else:
+                groups = [MegabatchGroup((entry,)) for entry in batch]
+            payloads = self._group_payloads(groups, batching)
             tasks = []
-            for i, entry in enumerate(batch):
-                tasks.extend(
-                    compile_tasks(
-                        entry.request, self.db,
-                        point_index=i, task_id_base=len(tasks),
-                        with_payload=payloads is None,
+            # Megabatch groups compile with spread point indices — one
+            # point per ion task — so the hybrid rank partition shares a
+            # group's host prep across every rank instead of chaining
+            # the whole group on one.  ``group_slots[gi]`` remembers the
+            # (first point, task count) slice for the fan-back fold.
+            group_slots: list[tuple[int, int]] = []
+            for gi, group in enumerate(groups):
+                if batching:
+                    base = tasks[-1].point_index + 1 if tasks else 0
+                    gtasks = compile_group_tasks(
+                        group.requests, self.db,
+                        point_index=base, task_id_base=len(tasks),
+                        with_payload=payloads is None, spread=True,
                     )
-                )
+                    group_slots.append((base, len(gtasks)))
+                    tasks.extend(gtasks)
+                else:
+                    tasks.extend(
+                        compile_tasks(
+                            group.entries[0].request, self.db,
+                            point_index=gi, task_id_base=len(tasks),
+                            with_payload=payloads is None,
+                        )
+                    )
             self._batch_seq += 1
             batch_name = f"svc{wid}.batch{self._batch_seq}"
             dispatched_at = self.clock.now
@@ -557,32 +615,56 @@ class SpectrumBroker:
                     cat="dispatch",
                     args={"n_requests": len(batch), "n_tasks": len(tasks)},
                 )
-            for i, entry in enumerate(batch):
+            for gi, group in enumerate(groups):
                 if payloads is not None:
-                    spectrum = payloads[i]
+                    block = payloads[gi]
+                elif batching:
+                    # Ion-order fold of the group's spread per-task
+                    # blocks: the same copy-then-`+=` sequence the
+                    # runner applies when every task shares one point,
+                    # so the fold is bit-identical however completions
+                    # interleaved across ranks.
+                    base, count = group_slots[gi]
+                    block = None
+                    for p in range(base, base + count):
+                        arr = result.spectra.get(p)
+                        if arr is None:
+                            continue
+                        if block is None:
+                            block = arr.copy()
+                        else:
+                            block += arr
                 else:
-                    spectrum = result.spectra.get(i)
-                if spectrum is None:  # cost-only tasks produce no payload
-                    spectrum = np.zeros(entry.request.n_bins)
-                self.cache.put(entry.key, spectrum, now)
-                self.coalescer.resolve(entry.key)
-                for ticket in entry.subscribers:
-                    ticket._complete(now, spectrum)
-                    if traced and ticket.trace_id:
-                        self.tracer.async_end(
-                            self._lane_tracks[ticket.lane],
-                            "request",
-                            ticket.trace_id,
-                            cat="request",
-                            args={"latency_s": ticket.latency_s},
+                    block = result.spectra.get(gi)
+                for j, entry in enumerate(group.entries):
+                    if block is None:  # cost-only tasks, no payload
+                        spectrum = np.zeros(entry.request.n_bins)
+                    elif getattr(block, "ndim", 1) == 2:
+                        # Megabatch payloads stack one row per
+                        # temperature; each row is bit-identical to the
+                        # request's unbatched spectrum.
+                        spectrum = block[j].copy()
+                    else:
+                        spectrum = block
+                    self.cache.put(entry.key, spectrum, now)
+                    self.coalescer.resolve(entry.key)
+                    for ticket in entry.subscribers:
+                        ticket._complete(now, spectrum)
+                        if traced and ticket.trace_id:
+                            self.tracer.async_end(
+                                self._lane_tracks[ticket.lane],
+                                "request",
+                                ticket.trace_id,
+                                cat="request",
+                                args={"latency_s": ticket.latency_s},
+                            )
+                        self.bus.on_completion(
+                            ticket.lane,
+                            ticket.latency_s,
+                            cached=False,
+                            coalesced=ticket.coalesced,
                         )
-                    self.bus.on_completion(
-                        ticket.lane,
-                        ticket.latency_s,
-                        cached=False,
-                        coalesced=ticket.coalesced,
-                    )
-                entry.done.fire(self.clock, spectrum)
+                    entry.done.fire(self.clock, spectrum)
             self.bus.on_batch(result, len(batch))
             if self.slo is not None and self.slo.rules:
                 self.slo.sample(self.registry(), now)

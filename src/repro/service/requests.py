@@ -29,7 +29,9 @@ from repro.physics.spectrum import EnergyGrid
 
 __all__ = [
     "SpectrumRequest",
+    "compile_group_tasks",
     "compile_tasks",
+    "family_spectra",
     "ion_emission",
     "request_grid",
     "request_spectrum",
@@ -243,6 +245,39 @@ def request_spectrum(
     return out
 
 
+def family_spectra(
+    payload: tuple[tuple[SpectrumRequest, ...], int, int]
+) -> np.ndarray:
+    """Stacked spectra of one same-family request group, ion-major.
+
+    ``payload`` is ``(requests, db n_max, db z_max)`` — module-level and
+    picklable like :func:`request_spectrum`, so megabatch payloads can
+    cross a process pool.  Returns shape ``(len(requests), n_bins)``.
+
+    Accumulation runs ion-major (outer loop over ions, inner over
+    temperatures): row ``j`` receives exactly the same additions in
+    exactly the same order as ``request_spectrum(requests[j])``, so each
+    row is bit-identical to unbatched evaluation — the determinism
+    contract the continuous-batching tests pin down.
+    """
+    from repro.physics.apec import _worker_db
+
+    requests, n_max, z_max = payload
+    if not requests:
+        return np.zeros((0, 0), dtype=np.float64)
+    lead = requests[0]
+    db = _worker_db(n_max, z_max)
+    grid = request_grid(lead)
+    out = np.zeros((len(requests), grid.n_bins), dtype=np.float64)
+    for ion in db.ions:
+        if ion.z > lead.z_max:
+            continue
+        n_levels = db.n_levels(ion)
+        for j, request in enumerate(requests):
+            out[j] += ion_emission(ion, n_levels, request, grid)
+    return out
+
+
 def compile_tasks(
     request: SpectrumRequest,
     db: AtomicDatabase,
@@ -318,6 +353,103 @@ def compile_tasks(
                 n_levels=n_levels,
                 cpu_execute=execute,
                 label=f"req{point_index}/{ion.name}",
+            )
+        )
+        tid += 1
+    return tasks
+
+
+def compile_group_tasks(
+    requests: tuple[SpectrumRequest, ...],
+    db: AtomicDatabase,
+    point_index: int = 0,
+    task_id_base: int = 0,
+    with_payload: bool = True,
+    plan_cache: PlanCache = PLAN_CACHE,
+    spread: bool = False,
+) -> list[Task]:
+    """Lower a same-family request group to megabatched ion tasks.
+
+    The continuous-batching analogue of :func:`compile_tasks`: one task
+    per ion covers *all* temperatures of the group, returning a stacked
+    ``(width, n_bins)`` payload whose row ``j`` is bit-identical to the
+    single-request task for ``requests[j]``.  The kernel is priced as the
+    fused launch it models — the per-level parameter upload (``bytes_in``)
+    is paid once for the whole group while the output, the dense bound
+    and the active-pair count scale with the batch width — so the host
+    prep, RPC, and submit overheads the simulation charges per *task*
+    amortize across every temperature riding the batch.
+
+    Active-window prices come from the shared plan (windows memoized per
+    ``kT``), summed over the group's temperatures.
+
+    ``spread=True`` gives task ``i`` point index ``point_index + i`` —
+    one point per ion task — so the hybrid runner's per-point rank
+    partition spreads the group's host prep across every rank instead
+    of serializing the whole group on ``point_index % n_workers``.  The
+    caller then owns the ion-order fold of the per-task blocks (the
+    runner's per-point accumulation degenerates to identity).
+    """
+    group = tuple(requests)
+    if not group:
+        return []
+    lead = group[0]
+    if any(r.family_key != lead.family_key for r in group[1:]):
+        raise ValueError("megabatch group must share one request family")
+    if lead.z_max > db.config.z_max:
+        raise ValueError(
+            f"request z_max={lead.z_max} exceeds database "
+            f"z_max={db.config.z_max}"
+        )
+    width = len(group)
+    grid = request_grid(lead)
+    evals = lead.evals_per_integral
+    ions = tuple(ion for ion in db.ions if ion.z <= lead.z_max)
+
+    active_per_ion = None
+    if lead.tail_tol > 0.0:
+        pieces, k = _plan_rule_knobs(lead)
+        plan = plan_cache.get(
+            db, grid, ions=ions, method=lead.rule,
+            pieces=pieces, k=k, tail_tol=lead.tail_tol, gaunt=True,
+        )
+        active_per_ion = np.zeros(len(ions), dtype=np.int64)
+        for request in group:
+            active_per_ion += plan.per_ion_active(K_B_KEV * request.temperature_k)
+
+    tasks: list[Task] = []
+    tid = task_id_base
+    for i, ion in enumerate(ions):
+        n_levels = db.n_levels(ion)
+        n_active = None
+        if active_per_ion is not None and n_levels > 0:
+            n_active = int(active_per_ion[i])
+
+        if with_payload:
+            def execute(ion=ion, n_levels=n_levels) -> np.ndarray:
+                return np.stack(
+                    [ion_emission(ion, n_levels, r, grid) for r in group]
+                )
+        else:
+            execute = None
+
+        label = f"grp{point_index}/{ion.name}x{width}"
+        tasks.append(
+            Task(
+                task_id=tid,
+                kind=TaskKind.ION,
+                kernel=KernelSpec.for_ion_task(
+                    n_levels=n_levels,
+                    n_bins=lead.n_bins * width,
+                    evals_per_integral=evals,
+                    label=label,
+                    execute=execute,
+                    n_active=n_active,
+                ),
+                point_index=point_index + len(tasks) if spread else point_index,
+                n_levels=n_levels,
+                cpu_execute=execute,
+                label=label,
             )
         )
         tid += 1

@@ -159,6 +159,13 @@ class ServiceTelemetry:
         self.gpu_tasks = 0
         self.cpu_tasks = 0
         self.evals_saved = 0
+        # Continuous-batching ledger: one width sample per assembled
+        # megabatch group, plus the counters the repro_batch_* metric
+        # families export.  All stay zero on the legacy dispatch path.
+        self.megabatch_widths: list[int] = []
+        self.batched_temperatures = 0
+        self.batch_coalesced_requests = 0
+        self.batch_window_waits = 0
         #: Summed device load residency across batches (device x load
         #: virtual seconds), grown to the widest batch shape seen.
         self.load_residency: Optional[np.ndarray] = None
@@ -215,6 +222,23 @@ class ServiceTelemetry:
         self._depth = depth
         self._depth_since = now
         self.max_depth = max(self.max_depth, depth)
+
+    def on_megabatch(self, widths: list[int]) -> None:
+        """Record one dispatch cycle's assembled megabatch groups.
+
+        ``widths`` holds the temperature count of each group.  A request
+        counts as *batch-coalesced* when it shared its fused launch with
+        at least one other request (group width >= 2).
+        """
+        self.megabatch_widths.extend(int(w) for w in widths)
+        self.batched_temperatures += sum(int(w) for w in widths)
+        self.batch_coalesced_requests += sum(
+            int(w) for w in widths if w >= 2
+        )
+
+    def on_window_wait(self) -> None:
+        """One admission-window wait taken by a service worker."""
+        self.batch_window_waits += 1
 
     def on_batch(self, result: RunResult, n_requests: int) -> None:
         """Fold one dispatched batch's hybrid ledger into the totals."""
@@ -294,6 +318,16 @@ class ServiceTelemetry:
             "cpu_tasks": self.cpu_tasks,
             "gpu_task_ratio": self.gpu_task_ratio(),
             "evals_saved": self.evals_saved,
+            "megabatch_groups": len(self.megabatch_widths),
+            "batch_width_mean": (
+                float(np.mean(self.megabatch_widths))
+                if self.megabatch_widths
+                else 0.0
+            ),
+            "batch_width_max": max(self.megabatch_widths, default=0),
+            "batched_temperatures": self.batched_temperatures,
+            "batch_coalesced_requests": self.batch_coalesced_requests,
+            "batch_window_waits": self.batch_window_waits,
             "virtual_time_s": self.end_time,
             "lanes": {lane: s.as_dict() for lane, s in self.lanes.items()},
         }

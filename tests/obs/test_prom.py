@@ -216,3 +216,55 @@ class TestDerivations:
         count = sum(v for _lbl, v in fams["repro_request_latency_seconds_count"])
         completed = sum(1 for t in tickets if t is not None and t.done)
         assert count == completed
+
+    def test_batch_families_zeroed_without_batching(self):
+        from repro.service.broker import ServiceConfig, run_trace
+        from repro.service.loadgen import TrafficSpec, generate_trace
+
+        trace = generate_trace(TrafficSpec(n_requests=8, seed=3, n_distinct=4))
+        broker, _ = run_trace(trace, ServiceConfig(n_service_workers=1))
+        fams = parse_exposition(service_registry(broker).render())
+        # Stable schema: the batch families exist (at zero) even when
+        # continuous batching never engaged.
+        for family in (
+            "repro_batch_groups_total",
+            "repro_batch_temperatures_total",
+            "repro_batch_coalesced_requests_total",
+            "repro_batch_window_waits_total",
+        ):
+            assert sum(v for _lbl, v in fams[family]) == 0
+        assert "repro_batch_width" in service_registry(broker).render()
+
+    def test_batch_families_book_megabatch_dispatch(self):
+        from repro.service.broker import ServiceConfig, run_trace
+        from repro.service.loadgen import TrafficSpec, generate_trace
+
+        trace = generate_trace(
+            TrafficSpec(
+                n_requests=24,
+                seed=13,
+                n_distinct=8,
+                burst=6,
+                mean_interarrival_s=0.02,
+                pattern="uniform",
+            )
+        )
+        broker, _ = run_trace(
+            trace,
+            ServiceConfig(
+                n_service_workers=2,
+                batch_max=8,
+                batch_width_max=8,
+                batch_window_s=0.02,
+            ),
+        )
+        fams = parse_exposition(service_registry(broker).render())
+        tel = broker.telemetry
+        groups = sum(v for _lbl, v in fams["repro_batch_groups_total"])
+        temps = sum(v for _lbl, v in fams["repro_batch_temperatures_total"])
+        assert groups == len(tel.megabatch_widths) > 0
+        assert temps == tel.batched_temperatures
+        width_count = sum(
+            v for _lbl, v in fams["repro_batch_width_count"]
+        )
+        assert width_count == groups

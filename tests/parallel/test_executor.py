@@ -115,6 +115,35 @@ class TestProcessBackend:
         with ProcessBackend(2) as backend:
             assert backend.map(_square, [2, 3, 4]) == [4, 9, 16]
 
+    def test_chunked_map_preserves_order(self):
+        # Far more items than chunks: results must still arrive in
+        # submission order after the chunk flatten.
+        with ProcessBackend(2) as backend:
+            assert backend.map(_square, list(range(53))) == [
+                i * i for i in range(53)
+            ]
+
+    def test_chunked_map_books_counters(self):
+        KERNEL_COUNTERS.reset()
+        with ProcessBackend(2) as backend:
+            backend.map(_square, list(range(23)))
+        snap = KERNEL_COUNTERS.snapshot()
+        # At most 4 x jobs chunks per call — one pickle round trip per
+        # chunk, not per item.
+        assert snap["map_items"] == 23
+        assert 1 <= snap["map_chunks"] <= 8
+        KERNEL_COUNTERS.reset()
+
+    def test_empty_map_short_circuits(self):
+        KERNEL_COUNTERS.reset()
+        with ProcessBackend(2) as backend:
+            assert backend.map(_square, []) == []
+        snap = KERNEL_COUNTERS.snapshot()
+        assert snap["map_chunks"] == 0 and snap["map_items"] == 0
+        # No pool was created for the empty call.
+        assert snap["pool_creates"] == 0
+        KERNEL_COUNTERS.reset()
+
 
 class TestWarmPools:
     @pytest.fixture(autouse=True)

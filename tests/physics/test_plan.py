@@ -112,6 +112,43 @@ class TestMegabatchEquivalence:
         assert res.values.shape == (grid.n_bins,)
 
 
+class TestExecuteMany:
+    @pytest.mark.parametrize("method", ["simpson", "romberg", "gauss"])
+    def test_bit_identical_to_per_point_execute(self, db, grid, method):
+        plan = _get(PlanCache(), db, grid, method=method)
+        points = [
+            GridPoint(temperature_k=t, ne_cm3=1.0)
+            for t in (4.0e6, 1.0e7, 2.5e7)
+        ]
+        many = plan.execute_many(points)
+        assert len(many) == len(points)
+        for point, res in zip(points, many):
+            single = plan.execute(point)
+            np.testing.assert_array_equal(res.values, single.values)
+            assert res.n_pairs == single.n_pairs
+
+    def test_empty_and_single_point(self, db, grid):
+        plan = _get(PlanCache(), db, grid)
+        assert plan.execute_many([]) == []
+        point = GridPoint(temperature_k=1.0e7, ne_cm3=1.0)
+        np.testing.assert_array_equal(
+            plan.execute_many([point])[0].values, plan.execute(point).values
+        )
+
+    def test_unsafe_temperatures_fall_back_per_point(self, db, grid):
+        # A kT far outside the rescaling guard's comfort zone must not
+        # poison the batch: the guard routes it through execute().
+        plan = _get(PlanCache(), db, grid)
+        points = [
+            GridPoint(temperature_k=t, ne_cm3=1.0) for t in (1.0e4, 1.0e7)
+        ]
+        many = plan.execute_many(points)
+        for point, res in zip(points, many):
+            np.testing.assert_array_equal(
+                res.values, plan.execute(point).values
+            )
+
+
 class TestPlanCache:
     def test_same_inputs_hit(self, db, grid):
         cache = PlanCache()

@@ -109,6 +109,8 @@ class TestZeroWidthCounters:
             "evals_saved": 0,
             "pool_creates": 0,
             "pool_reuses": 0,
+            "map_chunks": 0,
+            "map_items": 0,
         }
 
     def test_gauss_kernel_books_too(self, windows):

@@ -127,12 +127,56 @@ class TestWalk:
         assert [x.t for x in a] == [x.t for x in b]
 
 
+class TestBurst:
+    def test_burst_one_replays_legacy_trace_bit_for_bit(self):
+        a = generate_trace(TrafficSpec(n_requests=50, seed=11))
+        b = generate_trace(TrafficSpec(n_requests=50, seed=11, burst=1))
+        assert [x.t for x in a] == [x.t for x in b]
+        assert [x.request.key for x in a] == [x.request.key for x in b]
+        assert [x.lane for x in a] == [x.lane for x in b]
+
+    def test_clusters_share_one_arrival_time(self):
+        trace = generate_trace(TrafficSpec(n_requests=40, seed=3, burst=8))
+        times = [x.t for x in trace]
+        for i in range(0, 40, 8):
+            assert len(set(times[i: i + 8])) == 1
+        # Cluster times still strictly ascend.
+        heads = times[::8]
+        assert all(b > a for a, b in zip(heads, heads[1:]))
+
+    def test_ragged_tail_keeps_request_count(self):
+        trace = generate_trace(TrafficSpec(n_requests=21, seed=3, burst=8))
+        assert len(trace) == 21
+
+    def test_long_run_rate_is_preserved(self):
+        # Cluster gaps have mean burst * interarrival, so n/T matches
+        # the Poisson trace's rate within sampling noise.
+        poisson = generate_trace(
+            TrafficSpec(n_requests=400, seed=9, mean_interarrival_s=0.05)
+        )
+        bursty = generate_trace(
+            TrafficSpec(
+                n_requests=400, seed=9, mean_interarrival_s=0.05, burst=16
+            )
+        )
+        rate_p = len(poisson) / poisson[-1].t
+        rate_b = len(bursty) / bursty[-1].t
+        assert rate_b == pytest.approx(rate_p, rel=0.35)
+
+    def test_deterministic_per_spec(self):
+        spec = TrafficSpec(n_requests=30, seed=4, burst=6)
+        a, b = generate_trace(spec), generate_trace(spec)
+        assert [x.t for x in a] == [x.t for x in b]
+        assert [x.request.key for x in a] == [x.request.key for x in b]
+
+
 class TestValidation:
     @pytest.mark.parametrize(
         "kwargs",
         [
             {"n_requests": 0},
             {"mean_interarrival_s": 0.0},
+            {"burst": 0},
             {"pattern": "burst"},
             {"zipf_s": 0.0},
             {"n_distinct": 0},

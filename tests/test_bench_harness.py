@@ -136,7 +136,14 @@ class TestTolerance:
             Tolerance(0.1, "sideways")
 
     def test_every_default_direction_is_sensible(self):
-        times = {"makespan_s", "device_time_s", "virtual_time_s", "p95_latency_s"}
+        times = {
+            "makespan_s",
+            "device_time_s",
+            "virtual_time_s",
+            "p95_latency_s",
+            # A latency ratio: batched p95 over the unbatched baseline.
+            "p95_vs_unbatched",
+        }
         for metric, tol in DEFAULT_TOLERANCES.items():
             expected = "lower" if metric in times else "higher"
             assert tol.direction == expected, metric
