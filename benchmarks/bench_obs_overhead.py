@@ -87,3 +87,72 @@ def test_obs_overhead(ion_tasks, results_dir):
     assert noop_frac < 0.02
     # Sanity: the traced run actually recorded the stream.
     assert n_events > len(ion_tasks)
+
+
+def test_attribution_off_overhead(results_dir):
+    """Attribution off must be free: no ledger, no model, guard-only cost.
+
+    With tracing off the broker never constructs an
+    :class:`~repro.obs.attribution.Attribution` or cost model — the only
+    residue on the hot path is one ``is not None`` check per batch
+    completion (plus the trace-id plumbing riding fields that already
+    exist).  As above, the assertion is absolute: the measured guard
+    cost times the number of sites an untraced serve run crosses must
+    stay under 2% of its wall time.
+    """
+    from repro.service.broker import ServiceConfig, run_trace
+    from repro.service.loadgen import TrafficSpec, generate_trace
+
+    trace = generate_trace(TrafficSpec(n_requests=60, seed=7))
+    cfg = ServiceConfig(n_service_workers=2)
+
+    t_off = _best_of(lambda: run_trace(trace, cfg))
+    broker, _ = run_trace(trace, cfg)
+    assert broker.attribution is None
+    assert broker.cost_model is None
+    report = broker.report()
+
+    def attributed_run():
+        tracer = EventTracer()
+        b, _ = run_trace(trace, cfg, tracer=tracer)
+        b.cost_report()
+
+    t_on = _best_of(attributed_run)
+
+    # Per-site cost of the disabled guard (`if attribution is not None`).
+    n_probe = 1_000_000
+    attribution = None
+    t0 = time.perf_counter()
+    for _ in range(n_probe):
+        if attribution is not None:
+            raise AssertionError("unreachable")
+    guard_s = (time.perf_counter() - t0) / n_probe
+
+    # One guard per batch completion plus one per request completion
+    # (the trace-id pass-through on the telemetry path).
+    n_sites = report["batches"] + report["completions"]
+    noop_cost_s = guard_s * n_sites
+    noop_frac = noop_cost_s / t_off
+    on_overhead = t_on / t_off - 1.0
+
+    emit(
+        results_dir,
+        "attribution_overhead",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["workload", "60-request zipf trace, 2 workers"],
+                ["wall time, attribution off (s)", f"{t_off:.3f}"],
+                ["wall time, attribution on (s)", f"{t_on:.3f}"],
+                ["attribution-on overhead", f"{on_overhead:+.1%}"],
+                ["guarded sites crossed", n_sites],
+                ["disabled-guard cost (ns/site)", f"{guard_s * 1e9:.1f}"],
+                ["no-op cost, all sites (ms)", f"{noop_cost_s * 1e3:.3f}"],
+                ["no-op overhead vs run", f"{noop_frac:.4%}"],
+            ],
+            title="Attribution overhead — service stack",
+        ),
+    )
+
+    # The headline guarantee: attribution *off* costs < 2% of the run.
+    assert noop_frac < 0.02

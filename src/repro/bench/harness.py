@@ -413,6 +413,65 @@ def _case_approx_serving(quick: bool, seed: int) -> dict:
     }
 
 
+def _case_cost_attribution(quick: bool, seed: int) -> dict:
+    """Causal cost attribution over a batched trace, gated exactly.
+
+    A bursty megabatched run is traced end to end and the attribution
+    ledger audited: ``conservation`` (attributed / measured span ticks,
+    min over components) and ``kernel_rooted_fraction`` (gpusim kernel
+    spans reachable from a request root through parent edges) are exact
+    claims gated at **zero tolerance** — the integer-tick largest-
+    remainder split makes both decidable bit-for-bit.  The online cost
+    model's mean absolute relative prediction error is gated loosely
+    (it is deterministic, but intentional model changes may move it).
+    """
+    from repro.obs.attribution import kernel_root_map
+    from repro.obs.tracer import EventTracer
+    from repro.service.broker import ServiceConfig, run_trace
+    from repro.service.loadgen import TrafficSpec, generate_trace
+
+    trace = generate_trace(
+        TrafficSpec(
+            n_requests=48 if quick else 160,
+            seed=seed,
+            mean_interarrival_s=0.02,
+            burst=8,
+            pattern="uniform",
+            n_distinct=24,
+        )
+    )
+    tracer = EventTracer()
+    t0 = time.perf_counter()
+    broker, _tickets = run_trace(
+        trace,
+        ServiceConfig(
+            n_service_workers=2,
+            queue_capacity=64,
+            batch_max=16,
+            batch_width_max=16,
+            batch_window_s=0.05,
+        ),
+        tracer=tracer,
+    )
+    wall_s = time.perf_counter() - t0
+    result = broker.cost_report()
+    roots = kernel_root_map(tracer)
+    rooted = sum(1 for _, root in roots if root is not None)
+    attributed = sum(1 for e in result.entries if sum(e.ticks.values()) > 0)
+    model = broker.cost_model
+    return {
+        "wall_s": wall_s,
+        "sim": {
+            "conservation": result.conservation,
+            "kernel_rooted_fraction": rooted / len(roots) if roots else 0.0,
+            "attributed_requests": float(attributed),
+            "cost_model_rel_err": model.mean_abs_rel_error,
+            "cost_model_keys": float(model.n_keys),
+            "cost_model_observations": float(model.n_observations),
+        },
+    }
+
+
 def _case_nei(quick: bool, seed: int) -> dict:
     """The Table II NEI workload: hybrid makespan vs the MPI baseline."""
     from repro.core.calibration import CostModel
@@ -449,6 +508,7 @@ CASES: dict[str, Callable] = {
     "service_throughput": _case_service_throughput,
     "continuous_batching": _case_continuous_batching,
     "approx_serving": _case_approx_serving,
+    "cost_attribution": _case_cost_attribution,
     "nei": _case_nei,
 }
 
@@ -597,6 +657,9 @@ DEFAULT_TOLERANCES: dict[str, Tolerance] = {
     "utilization_vs_unbatched": Tolerance(0.05, "higher"),
     "p95_vs_unbatched": Tolerance(0.05, "lower"),
     "bit_identical": Tolerance(0.0, "higher"),
+    "conservation": Tolerance(0.0, "higher"),
+    "kernel_rooted_fraction": Tolerance(0.0, "higher"),
+    "cost_model_rel_err": Tolerance(0.25, "lower"),
 }
 
 

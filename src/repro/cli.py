@@ -162,6 +162,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo-depth", type=float, default=None,
                    help="queue-depth objective (default: 80%% of "
                         "--queue-capacity; with --slo)")
+    p.add_argument("--postmortem", metavar="DIR", default=None,
+                   help="arm an SLO-triggered flight recorder: each rule "
+                        "entering 'firing' dumps a postmortem bundle "
+                        "(trailing trace window + cost ledger) into DIR "
+                        "(enables tracing and the default SLO rules)")
+    p.add_argument("--postmortem-window", type=float, default=10.0,
+                   help="trailing trace window of each postmortem "
+                        "bundle, virtual seconds")
 
     p = sub.add_parser(
         "bench", help="seeded perf suite -> schema-validated BENCH_PERF.json"
@@ -231,6 +239,34 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--flamegraph", metavar="PATH", default=None,
                    help="write a collapsed-stack flamegraph "
                         "(FlameGraph/speedscope-importable)")
+    p.add_argument("--cost-report", action="store_true",
+                   help="print the per-request attributed cost ledger "
+                        "(fair-share over fused groups; enables tracing)")
+
+
+def _emit_cost_report(args: argparse.Namespace, broker=None, tracer=None) -> None:
+    """Honour ``--cost-report`` for one run.
+
+    With a broker the report comes from its attribution ledger and cost
+    model; a bare tracer (the standalone ``spectrum`` path) gets a fresh
+    ledger over its events — honest about unattributed spans.
+    """
+    if not getattr(args, "cost_report", False):
+        return
+    from repro.obs import Attribution, render_cost_report
+
+    if broker is not None:
+        result = broker.cost_report()
+        if result is not None:
+            print(render_cost_report(result, broker.cost_model))
+            return
+        tracer = getattr(broker, "tracer", None)
+    if tracer is None or not getattr(tracer, "enabled", False):
+        print("(--cost-report needs tracing)", file=sys.stderr)
+        return
+    ledger = Attribution(tracer)
+    ledger.ingest()
+    print(render_cost_report(ledger.result()))
 
 
 def _emit_profile(args: argparse.Namespace, tracer) -> None:
@@ -369,7 +405,7 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
     if args.accuracy > 0.0:
         return _spectrum_via_lattice(args, db, grid)
     tracer = None
-    if args.trace or args.metrics or args.profile or args.flamegraph:
+    if args.trace or args.metrics or args.profile or args.flamegraph or args.cost_report:
         from repro.obs import EventTracer, WallClock
 
         tracer = EventTracer(WallClock())
@@ -425,6 +461,7 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
                 fh.write(reg.render())
             print(f"wrote Prometheus metrics to {args.metrics}", file=sys.stderr)
         _emit_profile(args, tracer)
+        _emit_cost_report(args, tracer=tracer)
     if args.json:
         import json
 
@@ -695,12 +732,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
     )
     tracer = None
-    if args.trace or args.gantt or args.profile or args.flamegraph:
+    if (
+        args.trace
+        or args.gantt
+        or args.profile
+        or args.flamegraph
+        or args.cost_report
+        or args.postmortem
+    ):
         from repro.obs import EventTracer
 
         tracer = EventTracer()
     slo = None
-    if args.slo:
+    if args.slo or args.postmortem:
         from repro.obs import Rule, SLOEngine
 
         depth = (
@@ -727,7 +771,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ),
             )
         )
-    broker, _tickets = run_trace(trace, config, tracer=tracer, slo=slo)
+    broker, _tickets = run_trace(
+        trace,
+        config,
+        tracer=tracer,
+        slo=slo,
+        flight_dir=args.postmortem,
+        flight_window_s=args.postmortem_window,
+    )
+    if args.postmortem and broker.flight is not None and broker.flight.bundles:
+        for bundle in broker.flight.bundles:
+            print(f"wrote postmortem bundle {bundle}", file=sys.stderr)
     if args.trace:
         from repro.obs import write_chrome_trace
 
@@ -745,6 +799,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(render_gantt(tracer))
         print(render_summary(tracer))
     _emit_profile(args, tracer)
+    _emit_cost_report(args, broker=broker)
     if slo is not None:
         print(slo.report())
         print()
@@ -848,7 +903,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     )
     clock = SimClock()
     tracer = None
-    if args.trace or args.profile or args.flamegraph:
+    if args.trace or args.profile or args.flamegraph or args.cost_report:
         from repro.obs import EventTracer
 
         tracer = EventTracer(clock)
@@ -881,6 +936,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             fh.write(service_registry(broker).render())
         print(f"wrote Prometheus metrics to {args.metrics}", file=sys.stderr)
     _emit_profile(args, tracer)
+    _emit_cost_report(args, broker=broker)
     if args.json:
         import json
 

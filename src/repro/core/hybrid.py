@@ -332,6 +332,10 @@ class HybridRunner:
         point_share = self._point_share(my_tasks)
         for task in my_tasks:
             task_started = clock.now
+            # One span id per task: the gpusim sub-spans parent under it,
+            # and it parents under whatever compiled the task (megabatch
+            # group span or request root) via task.trace_parent.
+            span_id = tracer.new_id() if tracer.enabled else 0
             # Per-point overhead (I/O, ion balance) is interleaved with the
             # task loop in APEC, so it is amortized across the point's
             # tasks rather than paid as a serial prelude that would starve
@@ -359,7 +363,7 @@ class HybridRunner:
                 yield cost.submit_overhead_s
                 submitted_at = clock.now
                 try:
-                    done = gpus[device].submit(task.kernel)
+                    done = gpus[device].submit(task.kernel, parent=span_id)
                 except RuntimeError:
                     # The device died between admission and submission:
                     # release the slot, revoke the phantom admission, and
@@ -384,6 +388,7 @@ class HybridRunner:
                                 rank_track, "queue-wait", submitted_at,
                                 submitted_at + wait_s, cat="wait",
                                 args={"device": device},
+                                parent=span_id,
                             )
                         tracer.complete(
                             rank_track,
@@ -396,6 +401,8 @@ class HybridRunner:
                                 "wait_s": wait_s,
                                 "service_s": service,
                             },
+                            id=span_id,
+                            parent=task.trace_parent or None,
                         )
                     if cfg.record_trace:
                         bus.on_task_event(TaskEvent(
@@ -415,6 +422,8 @@ class HybridRunner:
                         task_started,
                         cat="task",
                         args={"placement": "cpu", "device": -1, "wait_s": 0.0},
+                        id=span_id,
+                        parent=task.trace_parent or None,
                     )
                 if cfg.record_trace:
                     bus.on_task_event(TaskEvent(
@@ -443,6 +452,7 @@ class HybridRunner:
         point_share = self._point_share(my_tasks)
 
         for task in my_tasks:
+            span_id = tracer.new_id() if tracer.enabled else 0
             yield cost.prep_s(task.n_levels) + point_share[task.point_index]
             while len(in_flight) >= cfg.async_depth:
                 oldest = in_flight.popleft()
@@ -468,9 +478,9 @@ class HybridRunner:
             if device != NO_DEVICE:
                 yield cost.submit_overhead_s
                 submitted_at = clock.now
-                done = gpus[device].submit(task.kernel)
+                done = gpus[device].submit(task.kernel, parent=span_id)
 
-                def on_done(payload, d=device, t=task, t0=submitted_at):
+                def on_done(payload, d=device, t=task, t0=submitted_at, sid=span_id):
                     sched.sche_free(d, clock.now)
                     self._accumulate(spectra, t, payload)
                     if tracer.enabled:
@@ -480,6 +490,8 @@ class HybridRunner:
                             t0,
                             cat="task",
                             args={"placement": "gpu", "device": d},
+                            id=sid,
+                            parent=t.trace_parent or None,
                         )
 
                 done.add_callback(clock, on_done)
@@ -496,6 +508,8 @@ class HybridRunner:
                         cpu_started,
                         cat="task",
                         args={"placement": "cpu", "device": -1},
+                        id=span_id,
+                        parent=task.trace_parent or None,
                     )
         for sig in in_flight:
             yield sig

@@ -59,6 +59,10 @@ class Task:
     cpu_evals_per_integral: Optional[int] = None
     cpu_execute: Optional[Callable[[], object]] = field(default=None, repr=False)
     label: str = ""
+    #: Trace span id of whatever caused this task (megabatch group span or
+    #: request root); 0 = untraced.  The hybrid runner parents the task
+    #: span — and through it every gpusim sub-span — under this id.
+    trace_parent: int = 0
 
     def __post_init__(self) -> None:
         if self.task_id < 0:

@@ -166,9 +166,9 @@ class SimulatedGPU:
         self.index = index
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.track = track
-        self._waiting: deque[tuple[KernelSpec, Signal]] = deque()
+        self._waiting: deque[tuple[KernelSpec, Signal, int]] = deque()
         self._active = 0  # tasks in any phase
-        self._compute_queue: deque[tuple[KernelSpec, Signal]] = deque()
+        self._compute_queue: deque[tuple[KernelSpec, Signal, int]] = deque()
         self._compute_busy = False
         self.busy_time = 0.0  # any-phase-active time
         self.completed = 0
@@ -185,16 +185,20 @@ class SimulatedGPU:
         """Failure injection: device stops accepting and completing work."""
         self.failed = True
 
-    def submit(self, kernel: KernelSpec) -> Signal:
-        """Queue one task; returns the signal fired at completion."""
+    def submit(self, kernel: KernelSpec, parent: int = 0) -> Signal:
+        """Queue one task; returns the signal fired at completion.
+
+        ``parent`` is the trace span id of the causing task span; the
+        three sub-spans the device emits link back to it.
+        """
         if self.failed:
             raise RuntimeError(f"GPU {self.index} has failed")
         self._seq += 1
         done = self.clock.signal(f"gpu{self.index}.task{self._seq}")
         if self._active < self.spec.max_concurrent_kernels:
-            self._start(kernel, done)
+            self._start(kernel, done, parent)
         else:
-            self._waiting.append((kernel, done))
+            self._waiting.append((kernel, done, parent))
         return done
 
     # ------------------------------------------------------------------
@@ -207,18 +211,18 @@ class SimulatedGPU:
             + self.spec.kernel_launch_s
         )
 
-    def _start(self, kernel: KernelSpec, done: Signal) -> None:
+    def _start(self, kernel: KernelSpec, done: Signal, parent: int = 0) -> None:
         self._active += 1
         if self._busy_since is None:
             self._busy_since = self.clock.now
         t0 = self.clock.now if self.tracer.enabled else 0.0
         self.clock.at(
             self._ingress_time(kernel),
-            lambda k=kernel, d=done, t=t0: self._enter_compute(k, d, t),
+            lambda k=kernel, d=done, t=t0, p=parent: self._enter_compute(k, d, t, p),
         )
 
     def _enter_compute(
-        self, kernel: KernelSpec, done: Signal, started: float = 0.0
+        self, kernel: KernelSpec, done: Signal, started: float = 0.0, parent: int = 0
     ) -> None:
         if self.failed:
             return
@@ -229,23 +233,24 @@ class SimulatedGPU:
                 started,
                 cat="ingress",
                 args={"label": kernel.label, "bytes_in": kernel.bytes_in},
+                parent=parent or None,
             )
-        self._compute_queue.append((kernel, done))
+        self._compute_queue.append((kernel, done, parent))
         self._pump_compute()
 
     def _pump_compute(self) -> None:
         if self._compute_busy or not self._compute_queue:
             return
         self._compute_busy = True
-        kernel, done = self._compute_queue.popleft()
+        kernel, done, parent = self._compute_queue.popleft()
         t0 = self.clock.now if self.tracer.enabled else 0.0
         self.clock.at(
             self.spec.compute_time(kernel),
-            lambda k=kernel, d=done, t=t0: self._finish_compute(k, d, t),
+            lambda k=kernel, d=done, t=t0, p=parent: self._finish_compute(k, d, t, p),
         )
 
     def _finish_compute(
-        self, kernel: KernelSpec, done: Signal, started: float = 0.0
+        self, kernel: KernelSpec, done: Signal, started: float = 0.0, parent: int = 0
     ) -> None:
         self._compute_busy = False
         if self.tracer.enabled and not self.failed:
@@ -259,17 +264,18 @@ class SimulatedGPU:
                     "evals": kernel.total_evals,
                     "evals_saved": kernel.evals_saved,
                 },
+                parent=parent or None,
             )
         if not self.failed:
             t0 = self.clock.now if self.tracer.enabled else 0.0
             self.clock.at(
                 self.spec.transfer_time(kernel.bytes_out),
-                lambda k=kernel, d=done, t=t0: self._complete(k, d, t),
+                lambda k=kernel, d=done, t=t0, p=parent: self._complete(k, d, t, p),
             )
         self._pump_compute()
 
     def _complete(
-        self, kernel: KernelSpec, done: Signal, started: float = 0.0
+        self, kernel: KernelSpec, done: Signal, started: float = 0.0, parent: int = 0
     ) -> None:
         if self.failed:
             return  # results from a failed device never arrive
@@ -280,6 +286,7 @@ class SimulatedGPU:
                 started,
                 cat="egress",
                 args={"label": kernel.label, "bytes_out": kernel.bytes_out},
+                parent=parent or None,
             )
         self._active -= 1
         self.completed += 1
@@ -289,8 +296,8 @@ class SimulatedGPU:
         payload = kernel.execute() if kernel.execute is not None else None
         done.fire(self.clock, payload)
         if self._waiting and self._active < self.spec.max_concurrent_kernels:
-            kernel_next, done_next = self._waiting.popleft()
-            self._start(kernel_next, done_next)
+            kernel_next, done_next, parent_next = self._waiting.popleft()
+            self._start(kernel_next, done_next, parent_next)
 
     def utilization(self, makespan: float) -> float:
         """Fraction of the run this device had work in some phase."""

@@ -15,10 +15,24 @@ shared virtual clock:
   streams: self-vs-total tables, device utilization, critical paths,
   and collapsed-stack flamegraph export;
 - :mod:`repro.obs.slo` — declarative SLO rules evaluated over registry
-  snapshots on the sim clock, with ``for:`` hysteresis and burn rates.
+  snapshots on the sim clock, with ``for:`` hysteresis and burn rates;
+- :mod:`repro.obs.attribution` — request-scoped causal cost attribution
+  (fair-share split of fused-group spans back to member requests, exact
+  conservation) and the online EWMA :class:`CostModel`;
+- :mod:`repro.obs.flight` — the SLO-triggered flight recorder dumping
+  postmortem bundles (trailing trace window + cost ledger).
 """
 
+from repro.obs.attribution import (
+    Attribution,
+    AttributionResult,
+    CostEntry,
+    CostModel,
+    kernel_root_map,
+    render_cost_report,
+)
 from repro.obs.bus import RunBus, ServiceBus
+from repro.obs.flight import FlightRecorder
 from repro.obs.export import (
     render_gantt,
     render_summary,
@@ -45,8 +59,13 @@ from repro.obs.slo import Rule, RuleState, SLOEngine, Transition
 from repro.obs.tracer import NULL_TRACER, EventTracer, NullTracer, WallClock
 
 __all__ = [
+    "Attribution",
+    "AttributionResult",
+    "CostEntry",
+    "CostModel",
     "Counter",
     "EventTracer",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -60,7 +79,9 @@ __all__ = [
     "ServiceBus",
     "Transition",
     "WallClock",
+    "kernel_root_map",
     "parse_exposition",
+    "render_cost_report",
     "render_gantt",
     "render_profile",
     "render_summary",

@@ -1,0 +1,621 @@
+"""Fair-share causal cost attribution and the online task cost model.
+
+Since megabatching, one fused device launch serves many requests at
+once, so "where did this request's latency go?" has no per-span answer —
+the compute is shared.  This module closes the loop the span links in
+:mod:`repro.obs.tracer` open: every gpusim sub-span (h2d+launch /
+compute / d2h), queue-wait span, and CPU-fallback task span is reachable
+through ``parent`` edges from exactly one request root (request →
+megabatch group → task → kernel interval), and :class:`Attribution`
+folds each measured interval *back* onto the member requests of the
+group that caused it.
+
+The split is deterministic fair share: width-proportional across the
+group's members, corrected by each member's marginal work (its
+temperature's active (level, bin) pair count when window pruning is on —
+see :func:`repro.service.requests.group_member_weights`).  Costs are
+accounted in integer picosecond ticks split by largest remainder, so the
+attributed shares of every span sum to its measured duration *exactly* —
+conservation holds at zero tolerance, and, because the inputs are
+virtual-time spans and plain integer arithmetic, the ledger is
+bit-identical across execution backends.
+
+Cache hits, lattice hits, and coalesced followers appear in the ledger
+as zero-cost attributed outcomes (a follower links to its leader, whose
+entry carries the group share).
+
+:class:`CostModel` is the forward-looking half: an EWMA per
+(ion, method, window-width-bucket) of measured device service time,
+seeded from the calibrated device prior and the process-wide
+:data:`~repro.quadrature.batch.KERNEL_COUNTERS` pruning ledger, updated
+online from attributed spans, queryable for predicted task cost, and
+serializable — the substrate a measured-cost scheduler plugs into.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "Attribution",
+    "AttributionResult",
+    "CostEntry",
+    "CostModel",
+    "kernel_root_map",
+    "render_cost_report",
+]
+
+#: Cost components a request's ledger entry is split into.
+COMPONENTS = ("compute", "transfer", "wait")
+
+#: Integer accounting resolution: picoseconds per virtual second.  Small
+#: enough that no simulated interval rounds to zero, large enough that
+#: run-wide tick sums stay far below 2**53 (exact in float64 and JSON).
+TICKS_PER_S = 10**12
+
+_CAT_COMPONENT = {"compute": "compute", "ingress": "transfer", "egress": "transfer", "wait": "wait"}
+
+_GROUP_LABEL_SUFFIX = re.compile(r"x\d+$")
+
+
+def _ticks(seconds: float) -> int:
+    return int(round(seconds * TICKS_PER_S))
+
+
+def _split_ticks(total: int, weights: list[float]) -> list[int]:
+    """Largest-remainder split of ``total`` ticks by ``weights``.
+
+    Returns non-negative integers summing to ``total`` exactly; ties on
+    the remainder break by member index, so the split is a pure function
+    of (total, weights) — deterministic across platforms and backends.
+    """
+    n = len(weights)
+    if n == 1:
+        return [total]
+    wsum = sum(weights)
+    raw = [total * (w / wsum) for w in weights]
+    base = [int(x) for x in raw]
+    rem = total - sum(base)
+    order = sorted(range(n), key=lambda i: (-(raw[i] - base[i]), i))
+    k = 0
+    while rem > 0:
+        base[order[k % n]] += 1
+        rem -= 1
+        k += 1
+    while rem < 0:  # float-noise guard: raw summed a hair above total
+        idx = max(range(n), key=lambda i: (base[i], -i))
+        base[idx] -= 1
+        rem += 1
+    return base
+
+
+def ion_from_label(label: str) -> str:
+    """Ion name carried by a kernel label (``req3/O+7``, ``grp0/Fe+13x4``)."""
+    seg = label.split("/", 1)[-1]
+    return _GROUP_LABEL_SUFFIX.sub("", seg)
+
+
+def width_bucket(evals: int) -> int:
+    """Power-of-two work bucket of a kernel's priced evaluation count."""
+    return max(0, int(evals).bit_length())
+
+
+@dataclass
+class CostEntry:
+    """Attributed cost ledger of one request."""
+
+    trace_id: int
+    key: str = ""
+    lane: str = ""
+    outcome: str = ""  # queued | cache_hit | lattice_hit | coalesced
+    #: Leader request id a coalesced follower rode on (0 otherwise).
+    leader: int = 0
+    #: Megabatch group span ids this request's work ran in.
+    groups: list[int] = field(default_factory=list)
+    #: Attributed cost per component, integer picosecond ticks.
+    ticks: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in COMPONENTS}
+    )
+
+    @property
+    def compute_s(self) -> float:
+        return self.ticks["compute"] / TICKS_PER_S
+
+    @property
+    def transfer_s(self) -> float:
+        return self.ticks["transfer"] / TICKS_PER_S
+
+    @property
+    def wait_s(self) -> float:
+        return self.ticks["wait"] / TICKS_PER_S
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.ticks.values()) / TICKS_PER_S
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "key": self.key,
+            "lane": self.lane,
+            "outcome": self.outcome,
+            "leader": self.leader,
+            "groups": list(self.groups),
+            "compute_s": self.compute_s,
+            "transfer_s": self.transfer_s,
+            "wait_s": self.wait_s,
+            "total_s": self.total_s,
+        }
+
+
+@dataclass
+class AttributionResult:
+    """One consistent snapshot of the attribution ledger."""
+
+    entries: list[CostEntry]
+    #: Resolved measured span ticks per component.
+    measured_ticks: dict[str, int]
+    #: Attributed ticks per component (sums of the entry shares).
+    attributed_ticks: dict[str, int]
+    #: Measured spans with no causal chain to a request (standalone
+    #: hybrid runs, spans still pending resolution) — never silently
+    #: folded into the conserving totals.
+    unattributed_ticks: dict[str, int]
+
+    @property
+    def measured_s(self) -> dict[str, float]:
+        return {c: t / TICKS_PER_S for c, t in self.measured_ticks.items()}
+
+    @property
+    def attributed_s(self) -> dict[str, float]:
+        return {c: t / TICKS_PER_S for c, t in self.attributed_ticks.items()}
+
+    @property
+    def unattributed_s(self) -> dict[str, float]:
+        return {c: t / TICKS_PER_S for c, t in self.unattributed_ticks.items()}
+
+    @property
+    def conservation(self) -> float:
+        """min over components of attributed/measured (1.0 = exact).
+
+        Both sides are integer tick sums, so equality — and a ratio of
+        exactly 1.0 — is decidable at zero tolerance.
+        """
+        worst = 1.0
+        for comp in COMPONENTS:
+            measured = self.measured_ticks[comp]
+            if measured == 0:
+                continue
+            worst = min(worst, self.attributed_ticks[comp] / measured)
+        return worst
+
+    def as_dict(self) -> dict:
+        return {
+            "entries": [e.as_dict() for e in self.entries],
+            "measured_s": self.measured_s,
+            "attributed_s": self.attributed_s,
+            "unattributed_s": self.unattributed_s,
+            "conservation": self.conservation,
+        }
+
+
+@dataclass
+class TaskObservation:
+    """One task's measured device cost, ready for the cost model."""
+
+    ion: str
+    method: str
+    evals: int
+    service_s: float
+
+
+@dataclass
+class _Group:
+    members: list[int]
+    weights: list[float]
+    method: str
+
+
+@dataclass
+class _TaskState:
+    group: int = 0  # group span id once the task span arrives
+    parts: dict[str, int] = field(default_factory=dict)  # cat -> ticks
+    label: str = ""
+    evals: int = 0
+    cpu: bool = False
+    observed: bool = False
+
+
+class Attribution:
+    """Incremental fair-share attribution over one tracer's event stream.
+
+    Bind it to the run's :class:`~repro.obs.tracer.EventTracer` and call
+    :meth:`ingest` whenever new events have landed (the broker does so at
+    every batch completion); :meth:`result` snapshots the ledger at any
+    point.  Events arrive out of causal order — kernel sub-spans close
+    before their task span, task spans before their group span — so
+    measured spans wait in a pending set until their chain resolves.
+    """
+
+    def __init__(self, tracer) -> None:
+        self._tracer = tracer
+        self._cursor = 0
+        self._entries: dict[int, CostEntry] = {}
+        self._groups: dict[int, _Group] = {}
+        self._tasks: dict[int, _TaskState] = {}
+        self._pending: list = []  # measured TraceEvents awaiting their chain
+        self._measured: dict[str, int] = {c: 0 for c in COMPONENTS}
+        self._attributed: dict[str, int] = {c: 0 for c in COMPONENTS}
+        self._orphaned: dict[str, int] = {c: 0 for c in COMPONENTS}
+        self._observations: list[TaskObservation] = []
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _lane_of(self, track: int) -> str:
+        tracks = getattr(self._tracer, "tracks", [])
+        if 0 <= track < len(tracks):
+            thread = tracks[track].thread
+            if thread.startswith("lane."):
+                return thread[len("lane."):]
+        return ""
+
+    def ingest(self) -> int:
+        """Process events recorded since the last call; returns how many."""
+        events = self._tracer.events
+        new = events[self._cursor:]
+        self._cursor = len(events)
+        for ev in new:
+            if ev.ph == "b" and ev.cat == "request" and ev.id is not None:
+                args = ev.args or {}
+                entry = self._entries.get(ev.id)
+                if entry is None:
+                    entry = CostEntry(trace_id=ev.id)
+                    self._entries[ev.id] = entry
+                entry.key = args.get("key", entry.key)
+                entry.lane = self._lane_of(ev.track) or entry.lane
+                entry.outcome = args.get("outcome", entry.outcome)
+                if ev.parent:
+                    entry.leader = ev.parent
+            elif ev.ph == "X" and ev.cat == "group" and ev.id is not None:
+                args = ev.args or {}
+                self._groups[ev.id] = _Group(
+                    members=[int(m) for m in args.get("members", [])],
+                    weights=[float(w) for w in args.get("weights", [])],
+                    method=args.get("method", ""),
+                )
+            elif ev.ph == "X" and ev.cat == "task" and ev.id is not None:
+                state = self._tasks.setdefault(ev.id, _TaskState())
+                state.group = ev.parent or 0
+                state.label = ev.name
+                if (ev.args or {}).get("placement") == "cpu":
+                    state.cpu = True
+                    self._pending.append(ev)
+            elif ev.ph == "X" and ev.cat in _CAT_COMPONENT:
+                self._pending.append(ev)
+        self._resolve()
+        return len(new)
+
+    def _resolve(self) -> None:
+        """Attribute every pending span whose causal chain is complete."""
+        still_pending = []
+        for ev in self._pending:
+            task_id = ev.id if ev.cat == "task" else ev.parent
+            if not task_id:
+                # No causal edge at all: a standalone run's span.  It can
+                # never resolve — book it as unattributed and move on.
+                self._orphaned[self._component_of(ev)] += _ticks(ev.dur)
+                continue
+            state = self._tasks.get(task_id)
+            group = self._groups.get(state.group) if state and state.group else None
+            if group is None:
+                still_pending.append(ev)
+                continue
+            self._attribute(ev, task_id, state, group)
+        self._pending = still_pending
+        self._emit_observations()
+
+    @staticmethod
+    def _component_of(ev) -> str:
+        if ev.cat == "task":
+            return "compute"  # CPU fallback: the span *is* the compute
+        return _CAT_COMPONENT[ev.cat]
+
+    def _attribute(self, ev, task_id: int, state: _TaskState, group: _Group) -> None:
+        comp = self._component_of(ev)
+        total = _ticks(ev.dur)
+        self._measured[comp] += total
+        members = group.members or [0]
+        weights = group.weights if len(group.weights) == len(members) else [1.0] * len(members)
+        shares = _split_ticks(total, weights)
+        for member, share in zip(members, shares):
+            entry = self._entries.get(member)
+            if entry is None:
+                entry = CostEntry(trace_id=member)
+                self._entries[member] = entry
+            entry.ticks[comp] += share
+            self._attributed[comp] += share
+            if state.group and state.group not in entry.groups:
+                entry.groups.append(state.group)
+        # Book the measured part for the cost model's task observation.
+        if ev.cat in ("ingress", "compute", "egress"):
+            state.parts[ev.cat] = state.parts.get(ev.cat, 0) + total
+            if ev.cat == "compute":
+                args = ev.args or {}
+                state.evals = int(args.get("evals", state.evals))
+                state.label = args.get("label", state.label)
+        elif ev.cat == "task" and state.cpu:
+            state.parts["cpu"] = state.parts.get("cpu", 0) + total
+
+    def _emit_observations(self) -> None:
+        for tid, state in self._tasks.items():
+            if state.observed or not state.group:
+                continue
+            group = self._groups.get(state.group)
+            if group is None:
+                continue
+            # A GPU task is complete once its egress span landed; the CPU
+            # fallback never reaches the device, so it stays out of the
+            # device cost model.
+            if "egress" not in state.parts or "compute" not in state.parts:
+                continue
+            state.observed = True
+            service = sum(
+                state.parts.get(p, 0) for p in ("ingress", "compute", "egress")
+            )
+            self._observations.append(
+                TaskObservation(
+                    ion=ion_from_label(state.label),
+                    method=group.method,
+                    evals=state.evals,
+                    service_s=service / TICKS_PER_S,
+                )
+            )
+
+    def drain_observations(self) -> list[TaskObservation]:
+        """New completed-task observations since the last drain."""
+        out = self._observations
+        self._observations = []
+        return out
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def result(self) -> AttributionResult:
+        """Snapshot the ledger (pending spans count as unattributed)."""
+        unattributed = dict(self._orphaned)
+        for ev in self._pending:
+            unattributed[self._component_of(ev)] += _ticks(ev.dur)
+        entries = [self._entries[k] for k in sorted(self._entries)]
+        return AttributionResult(
+            entries=entries,
+            measured_ticks=dict(self._measured),
+            attributed_ticks=dict(self._attributed),
+            unattributed_ticks=unattributed,
+        )
+
+
+# ----------------------------------------------------------------------
+# Online cost model
+# ----------------------------------------------------------------------
+class CostModel:
+    """EWMA of measured device service time per (ion, method, width).
+
+    The *width* axis buckets the kernel's priced evaluation count by
+    powers of two, so one key covers one (ion, quadrature rule,
+    active-window width) regime — exactly the workload signature a
+    measured-cost scheduler prices.  Unseen keys fall back to the
+    analytic prior (per-task overhead + evals at the calibrated rate);
+    every observation then pulls its key toward the measured truth with
+    exponential forgetting.
+
+    Prediction quality is tracked online: each :meth:`observe` first
+    predicts, then updates, and the running mean absolute relative error
+    is exported (and gated by the ``cost_attribution`` bench case).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.25,
+        prior_overhead_s: float = 0.0,
+        prior_eval_rate: float = 2.16e9,
+        seeded_from: Optional[dict] = None,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if prior_eval_rate <= 0.0:
+            raise ValueError("prior_eval_rate must be positive")
+        self.alpha = alpha
+        self.prior_overhead_s = prior_overhead_s
+        self.prior_eval_rate = prior_eval_rate
+        self.seeded_from = dict(seeded_from or {})
+        self._table: dict[tuple[str, str, int], dict] = {}
+        self._err_sum = 0.0
+        self._err_n = 0
+
+    @classmethod
+    def seeded_from_counters(
+        cls, spec, counters=None, alpha: float = 0.25
+    ) -> "CostModel":
+        """Seed the prior from a device spec and the kernel-savings ledger.
+
+        ``spec`` is a :class:`~repro.gpusim.device.DeviceSpec`; the prior
+        per-task overhead is its context switch + launch + two PCIe
+        latencies, and the prior throughput its calibrated ``eval_rate``.
+        ``counters`` defaults to the process-wide
+        :data:`~repro.quadrature.batch.KERNEL_COUNTERS`; its snapshot is
+        recorded as the model's seed provenance — the pruning ledger
+        documents that priced ``evals`` already exclude window-elided
+        work, which is why the prior rate applies to them unscaled.
+        """
+        if counters is None:
+            from repro.quadrature.batch import KERNEL_COUNTERS
+
+            counters = KERNEL_COUNTERS
+        overhead = (
+            spec.context_switch_s + spec.kernel_launch_s + 2.0 * spec.pcie_latency_s
+        )
+        return cls(
+            alpha=alpha,
+            prior_overhead_s=overhead,
+            prior_eval_rate=spec.eval_rate,
+            seeded_from=counters.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    def _key(self, ion: str, method: str, evals: int) -> tuple[str, str, int]:
+        return (ion, method, width_bucket(evals))
+
+    def seed(self, ion: str, method: str, evals: int, cost_s: float) -> None:
+        """Install an analytic starting point for an unseen key."""
+        key = self._key(ion, method, evals)
+        if key not in self._table:
+            self._table[key] = {"mean_s": float(cost_s), "count": 0}
+
+    def predict(self, ion: str, method: str, evals: int) -> float:
+        """Predicted device service time of one task, in seconds."""
+        row = self._table.get(self._key(ion, method, evals))
+        if row is not None:
+            return row["mean_s"]
+        return self.prior_overhead_s + evals / self.prior_eval_rate
+
+    def observe(self, ion: str, method: str, evals: int, measured_s: float) -> None:
+        """Fold one measured task cost into its key's EWMA."""
+        if measured_s > 0.0:
+            predicted = self.predict(ion, method, evals)
+            self._err_sum += abs(predicted - measured_s) / measured_s
+            self._err_n += 1
+        key = self._key(ion, method, evals)
+        row = self._table.get(key)
+        if row is None or row["count"] == 0:
+            self._table[key] = {"mean_s": float(measured_s), "count": 1}
+            return
+        row["mean_s"] += self.alpha * (measured_s - row["mean_s"])
+        row["count"] += 1
+
+    def ingest(self, observations: list[TaskObservation]) -> None:
+        for obs in observations:
+            self.observe(obs.ion, obs.method, obs.evals, obs.service_s)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_keys(self) -> int:
+        return len(self._table)
+
+    @property
+    def n_observations(self) -> int:
+        return self._err_n
+
+    @property
+    def mean_abs_rel_error(self) -> float:
+        """Running mean |predicted - measured| / measured before updates."""
+        return self._err_sum / self._err_n if self._err_n else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "prior_overhead_s": self.prior_overhead_s,
+            "prior_eval_rate": self.prior_eval_rate,
+            "seeded_from": dict(self.seeded_from),
+            "error": {"sum": self._err_sum, "n": self._err_n},
+            "keys": [
+                {
+                    "ion": ion,
+                    "method": method,
+                    "bucket": bucket,
+                    "mean_s": row["mean_s"],
+                    "count": row["count"],
+                }
+                for (ion, method, bucket), row in sorted(self._table.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CostModel":
+        model = cls(
+            alpha=doc["alpha"],
+            prior_overhead_s=doc["prior_overhead_s"],
+            prior_eval_rate=doc["prior_eval_rate"],
+            seeded_from=doc.get("seeded_from"),
+        )
+        err = doc.get("error", {})
+        model._err_sum = float(err.get("sum", 0.0))
+        model._err_n = int(err.get("n", 0))
+        for row in doc.get("keys", []):
+            model._table[(row["ion"], row["method"], int(row["bucket"]))] = {
+                "mean_s": float(row["mean_s"]),
+                "count": int(row["count"]),
+            }
+        return model
+
+
+# ----------------------------------------------------------------------
+# Reachability + rendering helpers
+# ----------------------------------------------------------------------
+def kernel_root_map(tracer) -> list[tuple[int, Optional[int]]]:
+    """(event index, request root id) of every gpusim kernel sub-span.
+
+    Walks the ``parent`` edges from each ingress/compute/egress span up
+    to its request root; ``None`` marks a span with no reachable root.
+    The acceptance check "every kernel interval reachable from exactly
+    one request" is ``all(root is not None for _, root in ...)`` —
+    uniqueness is structural (each event has at most one parent edge).
+    """
+    request_ids = set()
+    parent_of: dict[int, int] = {}
+    for ev in tracer.events:
+        if ev.ph == "b" and ev.cat == "request" and ev.id is not None:
+            request_ids.add(ev.id)
+        if ev.id is not None and ev.parent:
+            parent_of.setdefault(ev.id, ev.parent)
+    out: list[tuple[int, Optional[int]]] = []
+    for i, ev in enumerate(tracer.events):
+        if ev.ph != "X" or ev.cat not in ("ingress", "compute", "egress"):
+            continue
+        node = ev.parent
+        seen = set()
+        while node and node not in request_ids and node not in seen:
+            seen.add(node)
+            node = parent_of.get(node)
+        out.append((i, node if node in request_ids else None))
+    return out
+
+
+def render_cost_report(
+    result: AttributionResult, model: Optional[CostModel] = None, top: int = 10
+) -> str:
+    """Terminal view of the per-request cost ledger."""
+    lines = ["per-request attributed cost (fair-share over fused groups)"]
+    lines.append(
+        f"{'trace':>6} {'lane':<12} {'outcome':<12} {'compute (ms)':>13} "
+        f"{'transfer (ms)':>14} {'wait (ms)':>10} {'total (ms)':>11}"
+    )
+    ranked = sorted(result.entries, key=lambda e: (-sum(e.ticks.values()), e.trace_id))
+    for entry in ranked[:top]:
+        lines.append(
+            f"{entry.trace_id:>6} {entry.lane or '-':<12} {entry.outcome or '-':<12} "
+            f"{entry.compute_s * 1e3:>13.4f} {entry.transfer_s * 1e3:>14.4f} "
+            f"{entry.wait_s * 1e3:>10.4f} {entry.total_s * 1e3:>11.4f}"
+        )
+    if len(ranked) > top:
+        lines.append(f"... {len(ranked) - top} more entries")
+    measured = result.measured_s
+    unattributed = result.unattributed_s
+    lines.append(
+        "measured: "
+        + "  ".join(f"{c}={measured[c] * 1e3:.4f}ms" for c in COMPONENTS)
+        + f"  conservation={result.conservation:.6f}"
+    )
+    if any(unattributed.values()):
+        lines.append(
+            "unattributed: "
+            + "  ".join(f"{c}={unattributed[c] * 1e3:.4f}ms" for c in COMPONENTS)
+        )
+    if model is not None:
+        lines.append(
+            f"cost model: {model.n_keys} keys, {model.n_observations} observations, "
+            f"mean |rel err|={model.mean_abs_rel_error:.4f}"
+        )
+    return "\n".join(lines)

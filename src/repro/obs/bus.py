@@ -109,9 +109,15 @@ class ServiceBus:
         cached: bool,
         coalesced: bool,
         lattice: bool = False,
+        trace_id: int = 0,
     ) -> None:
         self.telemetry.on_completion(
-            lane, latency_s, cached=cached, coalesced=coalesced, lattice=lattice
+            lane,
+            latency_s,
+            cached=cached,
+            coalesced=coalesced,
+            lattice=lattice,
+            trace_id=trace_id,
         )
 
     def on_queue_depth(self, depth: int, now: float) -> None:

@@ -65,7 +65,16 @@ def to_chrome(tracer: EventTracer) -> list[dict]:
             }
         )
 
+    # Anchor per span id: where (pid, tid, ts) a flow arrow can attach.
+    # "X" spans anchor at their start; async lifetimes at their "b".
+    anchors: dict[int, tuple[int, int, float]] = {}
+    for ev in tracer.events:
+        if ev.id is not None and ev.ph in ("X", "b") and ev.id not in anchors:
+            pid, tid = tids.get(ev.track, (0, 0))
+            anchors[ev.id] = (pid, tid, ev.ts * _US)
+
     rows: list[dict] = []
+    flow_seq = 0
     for ev in sorted(tracer.events, key=lambda e: (e.ts, -e.dur)):
         pid, tid = tids.get(ev.track, (0, 0))
         row: dict = {
@@ -87,6 +96,18 @@ def to_chrome(tracer: EventTracer) -> list[dict]:
         elif ev.ph == "C":
             row["args"] = {"value": 0}
         rows.append(row)
+        # Parent link -> one Perfetto flow arrow (step "s" at the parent
+        # anchor, terminus "f" at this event's start, bound by id).
+        src = anchors.get(ev.parent) if ev.parent else None
+        if src is not None:
+            flow_seq += 1
+            s_pid, s_tid, s_ts = src
+            common = {"name": "link", "cat": "flow", "id": flow_seq}
+            rows.append({"ph": "s", "pid": s_pid, "tid": s_tid, "ts": s_ts, **common})
+            rows.append(
+                {"ph": "f", "bp": "e", "pid": pid, "tid": tid, "ts": ev.ts * _US, **common}
+            )
+    rows.sort(key=lambda r: (r["ts"], -r.get("dur", 0.0)))
     return meta + rows
 
 
@@ -103,12 +124,13 @@ def validate_chrome_trace(trace: Union[dict, list]) -> list[str]:
 
     Checks: required keys per phase, non-negative timestamps, ``X``
     events with non-negative durations that nest or disjoint cleanly per
-    (pid, tid) track, and async ``b``/``e`` events matched one-to-one by
-    (cat, id).
+    (pid, tid) track, async ``b``/``e`` events matched one-to-one by
+    (cat, id), and flow ``s``/``f`` events paired one-to-one by (cat, id).
     """
     events = trace["traceEvents"] if isinstance(trace, dict) else trace
     problems: list[str] = []
     open_async: dict[tuple, int] = {}
+    flows: dict[tuple, list[int]] = {}
     complete_by_track: dict[tuple, list[tuple[float, float]]] = {}
     for i, ev in enumerate(events):
         ph = ev.get("ph")
@@ -142,11 +164,22 @@ def validate_chrome_trace(trace: Union[dict, list]) -> list[str]:
                     )
                 else:
                     open_async[key] -= 1
+        elif ph in ("s", "f"):
+            if ev.get("id") is None:
+                problems.append(f"event {i} ({ev['name']}): flow event without id")
+            else:
+                counts = flows.setdefault((ev.get("cat"), ev.get("id")), [0, 0])
+                counts[0 if ph == "s" else 1] += 1
         elif ph not in ("i", "C"):
             problems.append(f"event {i} ({ev['name']}): unknown phase {ph!r}")
     for key, n in open_async.items():
         if n:
             problems.append(f"{n} unmatched async begin event(s) for {key}")
+    for key, (n_s, n_f) in flows.items():
+        if n_s != 1 or n_f != 1:
+            problems.append(
+                f"flow {key}: expected one 's' and one 'f', got {n_s} and {n_f}"
+            )
     # Per-track X intervals must nest or be disjoint (never cross).
     for track, spans in complete_by_track.items():
         spans.sort(key=lambda p: (p[0], -p[1]))

@@ -100,6 +100,10 @@ class _Metric:
             )
         return tuple(str(labels[k]) for k in self.labelnames)
 
+    def exemplar_suffix(self, name: str, labels: dict) -> str:
+        """OpenMetrics exemplar annotation for one sample line ('' = none)."""
+        return ""
+
 
 class Counter(_Metric):
     """Monotone accumulator."""
@@ -159,17 +163,35 @@ class Histogram(_Metric):
         self.bounds = bounds
         self._counts: dict[tuple, list[int]] = {}
         self._sums: dict[tuple, float] = {}
+        #: label key -> bucket index -> (exemplar labels, exemplar value).
+        self._exemplars: dict[tuple, dict[int, tuple[dict, float]]] = {}
 
-    def observe(self, value: float, **labels) -> None:
-        key = self._key(labels)
-        counts = self._counts.setdefault(key, [0] * (len(self.bounds) + 1))
+    def _bucket_index(self, value: float) -> int:
         for i, bound in enumerate(self.bounds):
             if value <= bound:
-                counts[i] += 1
-                break
-        else:
-            counts[-1] += 1
+                return i
+        return len(self.bounds)
+
+    def observe(self, value: float, exemplar: Optional[dict] = None, **labels) -> None:
+        key = self._key(labels)
+        counts = self._counts.setdefault(key, [0] * (len(self.bounds) + 1))
+        counts[self._bucket_index(value)] += 1
         self._sums[key] = self._sums.get(key, 0.0) + value
+        if exemplar:
+            self.annotate(value, exemplar, **labels)
+
+    def annotate(self, value: float, exemplar: dict, **labels) -> None:
+        """Attach an exemplar to the bucket ``value`` falls in.
+
+        Does not change any count — the observation itself must have been
+        (or be) recorded separately.  The most recent exemplar per bucket
+        wins, matching OpenMetrics's one-exemplar-per-bucket-line rule.
+        """
+        key = self._key(labels)
+        self._exemplars.setdefault(key, {})[self._bucket_index(value)] = (
+            dict(exemplar),
+            float(value),
+        )
 
     def count(self, **labels) -> int:
         """Observations recorded for one label set."""
@@ -216,6 +238,27 @@ class Histogram(_Metric):
             yield self.name + "_bucket", {**labels, "le": "+Inf"}, cum
             yield self.name + "_sum", labels, self._sums[key]
             yield self.name + "_count", labels, cum
+
+    def exemplar_suffix(self, name: str, labels: dict) -> str:
+        if name != self.name + "_bucket" or not self._exemplars:
+            return ""
+        per = self._exemplars.get(tuple(str(labels[k]) for k in self.labelnames))
+        if not per:
+            return ""
+        le = labels.get("le", "")
+        if le == "+Inf":
+            idx = len(self.bounds)
+        else:
+            idx = next(
+                (i for i, b in enumerate(self.bounds) if _fmt(b) == le), -1
+            )
+            if idx < 0:
+                return ""
+        ex = per.get(idx)
+        if ex is None:
+            return ""
+        ex_labels, ex_value = ex
+        return f" # {_label_str(ex_labels)} {_fmt(ex_value)}"
 
 
 class MetricsRegistry:
@@ -265,7 +308,10 @@ class MetricsRegistry:
             lines.append(f"# HELP {metric.name} {metric.help}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for name, labels, value in metric.samples():
-                lines.append(f"{name}{_label_str(labels)} {_fmt(value)}")
+                lines.append(
+                    f"{name}{_label_str(labels)} {_fmt(value)}"
+                    + metric.exemplar_suffix(name, labels)
+                )
         return "\n".join(lines) + "\n"
 
 
@@ -335,6 +381,9 @@ def _parse_sample(line: str, lineno: int) -> tuple[str, dict[str, str], str]:
                     f"line {lineno}: malformed label block {rest!r}"
                 )
         rest = rest[pos:]
+    # Tolerate an OpenMetrics exemplar annotation (` # {...} value`) —
+    # the renderer attaches them to histogram bucket lines.
+    rest = rest.split(" # ", 1)[0]
     value = rest.strip()
     if not value or any(c.isspace() for c in value.strip()):
         raise ValueError(f"line {lineno}: malformed sample {line!r}")
@@ -505,6 +554,69 @@ def _batch_metrics(reg: MetricsRegistry, tel) -> None:
     ).inc(tel.batch_window_waits)
 
 
+def _cost_metrics(reg: MetricsRegistry, broker) -> None:
+    """Export the causal-attribution ledger under ``repro_request_cost_*``.
+
+    The families render even when tracing is off (no attribution rides
+    the broker) — zeroed samples per component, conservation at its
+    vacuous 1.0 — so scrapers and the CI smoke step always see the
+    schema.  With tracing on, the counters carry the fair-share
+    attributed virtual seconds and the gauges describe the online cost
+    model (:class:`repro.obs.attribution.CostModel`).
+    """
+    from repro.obs.attribution import COMPONENTS, TICKS_PER_S
+
+    cost = reg.counter(
+        "repro_request_cost_seconds_total",
+        "Attributed virtual seconds by lane and cost component",
+        ("lane", "component"),
+    )
+    unattributed = reg.counter(
+        "repro_request_cost_unattributed_seconds_total",
+        "Measured span seconds with no causal chain to a request",
+        ("component",),
+    )
+    conservation = reg.gauge(
+        "repro_request_cost_conservation_ratio",
+        "min over components of attributed/measured cost (1.0 = exact)",
+    )
+    model_keys = reg.gauge(
+        "repro_request_cost_model_keys",
+        "Distinct (ion, method, width-bucket) cost-model keys",
+    )
+    model_obs = reg.counter(
+        "repro_request_cost_model_observations_total",
+        "Measured task costs folded into the online cost model",
+    )
+    model_err = reg.gauge(
+        "repro_request_cost_model_mean_abs_rel_error",
+        "Running mean |predicted - measured| / measured of the cost model",
+    )
+    for lane in sorted(broker.telemetry.lanes):
+        for comp in COMPONENTS:
+            cost.inc(0.0, lane=lane, component=comp)
+    for comp in COMPONENTS:
+        unattributed.inc(0.0, component=comp)
+    result = broker.cost_report() if hasattr(broker, "cost_report") else None
+    if result is None:
+        conservation.set(1.0)
+        return
+    for entry in result.entries:
+        lane = entry.lane or "unknown"
+        for comp, ticks in entry.ticks.items():
+            cost.inc(ticks / TICKS_PER_S, lane=lane, component=comp)
+    for comp in COMPONENTS:
+        unattributed.inc(
+            result.unattributed_ticks.get(comp, 0) / TICKS_PER_S, component=comp
+        )
+    conservation.set(result.conservation)
+    model = getattr(broker, "cost_model", None)
+    if model is not None:
+        model_keys.set(model.n_keys)
+        model_obs.inc(model.n_observations)
+        model_err.set(model.mean_abs_rel_error)
+
+
 def service_registry(broker) -> MetricsRegistry:
     """Derive the serving-stack metric set from one broker's ledgers."""
     reg = MetricsRegistry()
@@ -527,6 +639,11 @@ def service_registry(broker) -> MetricsRegistry:
         arrivals.inc(stats.retries, lane=lane, outcome="retried")
         for sample in stats.latency_samples():
             latency.observe(sample, lane=lane)
+        # Trace-id exemplars: the most recent traced completions annotate
+        # the buckets their latencies fell in, linking the histogram back
+        # to the causal trace (OpenMetrics-style).
+        for latency_s, trace_id in getattr(stats, "latency_exemplars", ()):
+            latency.annotate(latency_s, {"trace_id": f"{trace_id:x}"}, lane=lane)
 
     cache = broker.cache.stats
     lookups = reg.counter(
@@ -577,6 +694,7 @@ def service_registry(broker) -> MetricsRegistry:
     ).inc(tel.evals_saved)
 
     _batch_metrics(reg, tel)
+    _cost_metrics(reg, broker)
 
     residency = reg.gauge(
         "repro_device_load_residency_seconds",

@@ -144,8 +144,19 @@ class SLOEngine:
         self.rules: list[Rule] = []
         self._states: dict[str, _State] = {}
         self.transitions: list[Transition] = []
+        self._listeners: list = []
         for rule in rules:
             self.add(rule)
+
+    def on_transition(self, listener) -> None:
+        """Register a callback invoked with each :class:`Transition`.
+
+        Called after the rule's state has advanced, so a listener reading
+        :meth:`state` or :meth:`report` sees the post-transition engine —
+        the hook the flight recorder arms to dump postmortem bundles on
+        ``* -> firing``.
+        """
+        self._listeners.append(listener)
 
     def add(self, rule: Rule) -> Rule:
         if rule.name in self._states:
@@ -217,8 +228,11 @@ class SLOEngine:
     def _transition(
         self, rule: Rule, state: _State, to: str, now: float, value: float
     ) -> None:
-        self.transitions.append(Transition(now, rule.name, state.state, to, value))
+        tr = Transition(now, rule.name, state.state, to, value)
+        self.transitions.append(tr)
         state.state = to
+        for listener in self._listeners:
+            listener(tr)
 
     # ------------------------------------------------------------------
     # Introspection

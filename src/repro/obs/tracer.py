@@ -27,6 +27,14 @@ Event vocabulary (a deliberate subset of the Chrome trace-event model):
 - *instant*      — a point event (cache hit, placement decision) ("i");
 - *counter*      — a sampled series (queue depth, device load) ("C").
 
+Causal links: any event may carry an ``id`` (a span identity from
+:meth:`EventTracer.new_id`, one shared monotone space per tracer) and a
+``parent`` (the id of the span that *caused* it).  The chain request →
+megabatch group → task → kernel sub-span makes every device interval
+reachable from exactly one request root; the exporter renders each link
+as a Perfetto flow arrow and :mod:`repro.obs.attribution` folds measured
+child costs back onto the requests.
+
 A *track* is one horizontal lane of the rendered timeline, named by a
 ``(process, thread)`` pair — e.g. ``("svc0", "rank3")`` or
 ``("service", "lane.interactive")`` — and interned to an integer handle
@@ -53,6 +61,7 @@ class TraceEvent:
     dur: float = 0.0
     id: Optional[int] = None
     args: Optional[dict] = None
+    parent: Optional[int] = None  # id of the causing span, if any
 
 
 class NullTracer:
@@ -66,16 +75,19 @@ class NullTracer:
     def track(self, process: str, thread: str) -> int:
         return 0
 
-    def complete(self, track, name, start, cat="", args=None) -> None:
+    def new_id(self) -> int:
+        return 0
+
+    def complete(self, track, name, start, cat="", args=None, id=None, parent=None) -> None:
         pass
 
-    def span(self, track, name, start, end, cat="", args=None) -> None:
+    def span(self, track, name, start, end, cat="", args=None, id=None, parent=None) -> None:
         pass
 
-    def instant(self, track, name, cat="", args=None) -> None:
+    def instant(self, track, name, cat="", args=None, parent=None) -> None:
         pass
 
-    def async_begin(self, track, name, id, cat="", args=None) -> None:
+    def async_begin(self, track, name, id, cat="", args=None, parent=None) -> None:
         pass
 
     def async_end(self, track, name, id, cat="", args=None) -> None:
@@ -123,6 +135,7 @@ class EventTracer:
         self.events: list[TraceEvent] = []
         self.tracks: list[_Track] = []
         self._track_ids: dict[tuple[str, str], int] = {}
+        self._next_id = 0
 
     def bind(self, clock) -> "EventTracer":
         """Late-bind the clock (for runs that build their own SimClock)."""
@@ -152,27 +165,36 @@ class EventTracer:
             self._track_ids[key] = tid
         return tid
 
+    def new_id(self) -> int:
+        """Allocate a fresh span id (one monotone space per tracer)."""
+        self._next_id += 1
+        return self._next_id
+
     # ------------------------------------------------------------------
     # Emission
     # ------------------------------------------------------------------
-    def complete(self, track, name, start, cat="", args=None) -> None:
+    def complete(self, track, name, start, cat="", args=None, id=None, parent=None) -> None:
         """Close a span opened at virtual time ``start`` on ``track``."""
         now = self.now
         self.events.append(
-            TraceEvent("X", name, cat, track, start, now - start, None, args)
+            TraceEvent("X", name, cat, track, start, now - start, id, args, parent)
         )
 
-    def span(self, track, name, start, end, cat="", args=None) -> None:
+    def span(self, track, name, start, end, cat="", args=None, id=None, parent=None) -> None:
         """Record a span with an explicit ``[start, end]`` interval."""
         self.events.append(
-            TraceEvent("X", name, cat, track, start, end - start, None, args)
+            TraceEvent("X", name, cat, track, start, end - start, id, args, parent)
         )
 
-    def instant(self, track, name, cat="", args=None) -> None:
-        self.events.append(TraceEvent("i", name, cat, track, self.now, 0.0, None, args))
+    def instant(self, track, name, cat="", args=None, parent=None) -> None:
+        self.events.append(
+            TraceEvent("i", name, cat, track, self.now, 0.0, None, args, parent)
+        )
 
-    def async_begin(self, track, name, id, cat="", args=None) -> None:
-        self.events.append(TraceEvent("b", name, cat, track, self.now, 0.0, id, args))
+    def async_begin(self, track, name, id, cat="", args=None, parent=None) -> None:
+        self.events.append(
+            TraceEvent("b", name, cat, track, self.now, 0.0, id, args, parent)
+        )
 
     def async_end(self, track, name, id, cat="", args=None) -> None:
         self.events.append(TraceEvent("e", name, cat, track, self.now, 0.0, id, args))

@@ -589,12 +589,14 @@ class PlanCache:
         """Route hit/miss/compile instants to a tracer (or unbind)."""
         self._tracer = tracer
 
-    def _instant(self, name: str, **args: object) -> None:
+    def _instant(self, name: str, parent: int = 0, **args: object) -> None:
         # The track is interned lazily on the first event so traces that
         # never consult the plan cache are unchanged by the binding.
         if self._tracer is not None:
             track = self._tracer.track("service", "plan-cache")
-            self._tracer.instant(track, name, cat="plan", args=dict(args))
+            self._tracer.instant(
+                track, name, cat="plan", args=dict(args), parent=parent or None
+            )
 
     def make_key(
         self,
@@ -637,8 +639,14 @@ class PlanCache:
         gl_points: int = 12,
         tail_tol: float = 0.0,
         gaunt: bool = True,
+        trace_parent: int = 0,
     ) -> SpectrumPlan:
-        """The compiled plan for these inputs, compiling on first use."""
+        """The compiled plan for these inputs, compiling on first use.
+
+        ``trace_parent`` links the cache instants (and a compile, when
+        one happens) to the causing span — the request or megabatch
+        group whose lowering consulted the plan.
+        """
         key, ion_set = self.make_key(
             db, grid, ions, method, pieces, k, gl_points, tail_tol, gaunt
         )
@@ -647,16 +655,21 @@ class PlanCache:
             if plan is not None:
                 self.stats.hits += 1
                 self._plans.move_to_end(key)
-                self._instant("plan-hit", method=method)
+                self._instant("plan-hit", parent=trace_parent, method=method)
                 return plan
             self.stats.misses += 1
-            self._instant("plan-miss", method=method)
+            self._instant("plan-miss", parent=trace_parent, method=method)
         # Compile outside the lock: a concurrent duplicate costs repeated
         # work, never an inconsistent cache (last writer wins).
         plan = SpectrumPlan(key, db, grid, ion_set)
         with self._lock:
             self.stats.compilations += 1
-            self._instant("plan-compile", method=method, levels=plan.n_levels)
+            self._instant(
+                "plan-compile",
+                parent=trace_parent,
+                method=method,
+                levels=plan.n_levels,
+            )
             self._plans[key] = plan
             self._plans.move_to_end(key)
             while len(self._plans) > self.max_entries:

@@ -39,6 +39,8 @@ from repro.atomic.database import AtomicConfig, AtomicDatabase
 from repro.cluster.simclock import Signal, SimClock
 from repro.core.calibration import CostModel
 from repro.core.hybrid import HybridConfig, HybridRunner
+from repro.obs.attribution import Attribution, AttributionResult
+from repro.obs.attribution import CostModel as SpanCostModel
 from repro.obs.bus import ServiceBus
 from repro.obs.tracer import NULL_TRACER
 from repro.parallel.executor import BACKENDS, ExecutionBackend, get_backend
@@ -52,6 +54,7 @@ from repro.service.requests import (
     compile_group_tasks,
     compile_tasks,
     family_spectra,
+    group_member_weights,
     request_spectrum,
 )
 from repro.service.telemetry import ServiceTelemetry
@@ -194,7 +197,12 @@ class Ticket:
     result: Optional[np.ndarray] = None
     #: Async-span correlation id of this request in the trace (0 when
     #: tracing is off or the ticket was rejected before a span opened).
+    #: Allocated from the tracer's span-id space, so group/task/kernel
+    #: spans link to it directly.
     trace_id: int = 0
+    #: Leader's trace id when this ticket coalesced onto an in-flight
+    #: request — the causal link from a follower to the executed work.
+    leader_trace_id: int = 0
     #: Fires with the spectrum when the request resolves (pre-fired for
     #: cache hits); ``None`` on rejected tickets.
     signal: Optional[Signal] = None
@@ -271,8 +279,17 @@ class SpectrumBroker:
         self._assembler = BatchAssembler(width_max=self.config.batch_width_max)
         self._idle: deque[Signal] = deque()
         self._batch_seq = 0
-        self._req_seq = 0
         self._started = False
+        # Causal cost attribution rides the trace: with tracing off both
+        # handles stay None and the hot path pays nothing.
+        if self.tracer.enabled:
+            self.attribution: Optional[Attribution] = Attribution(self.tracer)
+            self.cost_model: Optional[SpanCostModel] = (
+                SpanCostModel.seeded_from_counters(self.config.hybrid.device)
+            )
+        else:
+            self.attribution = None
+            self.cost_model = None
         self._payload_backend: Optional[ExecutionBackend] = None
         # Built on the first positive-accuracy request, so exact-only
         # runs (and their traces) are untouched by the lattice tier.
@@ -336,6 +353,19 @@ class SpectrumBroker:
             )
         return Profile.from_tracer(self.tracer)
 
+    def cost_report(self) -> Optional[AttributionResult]:
+        """Per-request attributed cost ledger (``None`` when untraced).
+
+        Ingests any spans recorded since the last batch completion first,
+        so the snapshot is current as of the call.
+        """
+        if self.attribution is None:
+            return None
+        self.attribution.ingest()
+        if self.cost_model is not None:
+            self.cost_model.ingest(self.attribution.drain_observations())
+        return self.attribution.result()
+
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
@@ -363,8 +393,7 @@ class SpectrumBroker:
         ticket = Ticket(request=request, lane=lane, key=key, submitted_at=now)
         traced = self.tracer.enabled
         if traced:
-            self._req_seq += 1
-            ticket.trace_id = self._req_seq
+            ticket.trace_id = self.tracer.new_id()
 
         hit = self.cache.get(key, now)
         if hit is not None:
@@ -380,7 +409,9 @@ class SpectrumBroker:
                     args={"key": key[:8], "outcome": "cache_hit"},
                 )
                 self.tracer.async_end(lt, "request", ticket.trace_id, cat="request")
-            self.bus.on_completion(lane, 0.0, cached=True, coalesced=False)
+            self.bus.on_completion(
+                lane, 0.0, cached=True, coalesced=False, trace_id=ticket.trace_id
+            )
             return ticket
 
         if self.config.lattice and request.accuracy > 0.0:
@@ -406,7 +437,12 @@ class SpectrumBroker:
                         lt, "request", ticket.trace_id, cat="request"
                     )
                 self.bus.on_completion(
-                    lane, 0.0, cached=False, coalesced=False, lattice=True
+                    lane,
+                    0.0,
+                    cached=False,
+                    coalesced=False,
+                    lattice=True,
+                    trace_id=ticket.trace_id,
                 )
                 return ticket
 
@@ -416,9 +452,20 @@ class SpectrumBroker:
             ticket.signal = entry.done
             self.coalescer.attach(entry, ticket)
             if traced:
+                # The leader (first subscriber) owns the executed work;
+                # the follower's span parents under it so the trace shows
+                # exactly which request's compute it rode.
+                leader = entry.subscribers[0] if entry.subscribers else None
+                ticket.leader_trace_id = leader.trace_id if leader else 0
                 self.tracer.async_begin(
                     self._lane_tracks[lane], "request", ticket.trace_id,
-                    cat="request", args={"key": key[:8], "outcome": "coalesced"},
+                    cat="request",
+                    args={
+                        "key": key[:8],
+                        "outcome": "coalesced",
+                        "leader": ticket.leader_trace_id,
+                    },
+                    parent=ticket.leader_trace_id or None,
                 )
             return ticket
 
@@ -547,6 +594,9 @@ class SpectrumBroker:
         worker_track = (
             self.tracer.track(f"svc{wid}", "dispatch") if traced else 0
         )
+        groups_track = (
+            self.tracer.track(f"svc{wid}", "groups") if traced else 0
+        )
         window = self.config.batch_window_s
         batching = window is not None
         while True:
@@ -582,13 +632,37 @@ class SpectrumBroker:
             # the whole group on one.  ``group_slots[gi]`` remembers the
             # (first point, task count) slice for the fan-back fold.
             group_slots: list[tuple[int, int]] = []
+            # Per-group trace context: one span id per dispatched group
+            # (allocated up front so compiled tasks parent under it) plus
+            # the member roots and fair-share weights the attribution
+            # layer splits the group's measured spans by.
+            group_ids: list[int] = []
+            group_meta: list[dict] = []
             for gi, group in enumerate(groups):
+                gid = 0
+                if traced:
+                    gid = self.tracer.new_id()
+                    group_meta.append(
+                        {
+                            "members": [
+                                e.subscribers[0].trace_id if e.subscribers else 0
+                                for e in group.entries
+                            ],
+                            "weights": group_member_weights(
+                                group.requests, self.db
+                            ),
+                            "width": group.width,
+                            "method": group.entries[0].request.rule,
+                        }
+                    )
+                group_ids.append(gid)
                 if batching:
                     base = tasks[-1].point_index + 1 if tasks else 0
                     gtasks = compile_group_tasks(
                         group.requests, self.db,
                         point_index=base, task_id_base=len(tasks),
                         with_payload=payloads is None, spread=True,
+                        trace_parent=gid,
                     )
                     group_slots.append((base, len(gtasks)))
                     tasks.extend(gtasks)
@@ -598,6 +672,7 @@ class SpectrumBroker:
                             group.entries[0].request, self.db,
                             point_index=gi, task_id_base=len(tasks),
                             with_payload=payloads is None,
+                            trace_parent=gid,
                         )
                     )
             self._batch_seq += 1
@@ -615,6 +690,22 @@ class SpectrumBroker:
                     cat="dispatch",
                     args={"n_requests": len(batch), "n_tasks": len(tasks)},
                 )
+                # One span per dispatched group, parented under its
+                # leading member's request root — the middle link of the
+                # request -> group -> task -> kernel chain.  Groups of one
+                # batch share the dispatch interval, which nests cleanly.
+                for gi, meta in enumerate(group_meta):
+                    members = meta["members"]
+                    self.tracer.span(
+                        groups_track,
+                        f"{batch_name}.g{gi}",
+                        dispatched_at,
+                        now,
+                        cat="group",
+                        id=group_ids[gi],
+                        parent=(members[0] or None) if members else None,
+                        args=meta,
+                    )
             for gi, group in enumerate(groups):
                 if payloads is not None:
                     block = payloads[gi]
@@ -663,9 +754,16 @@ class SpectrumBroker:
                             ticket.latency_s,
                             cached=False,
                             coalesced=ticket.coalesced,
+                            trace_id=ticket.trace_id,
                         )
                     entry.done.fire(self.clock, spectrum)
             self.bus.on_batch(result, len(batch))
+            if self.attribution is not None:
+                # Fold the batch's new spans into the ledger and feed the
+                # completed tasks' measured costs to the online model.
+                self.attribution.ingest()
+                if self.cost_model is not None:
+                    self.cost_model.ingest(self.attribution.drain_observations())
             if self.slo is not None and self.slo.rules:
                 self.slo.sample(self.registry(), now)
 
@@ -680,6 +778,8 @@ def run_trace(
     max_retry_backoff: float = 32.0,
     tracer=None,
     slo=None,
+    flight_dir: Optional[str] = None,
+    flight_window_s: float = 10.0,
 ) -> tuple[SpectrumBroker, list[Optional[Ticket]]]:
     """Play a traffic trace through a fresh broker to completion.
 
@@ -688,6 +788,12 @@ def run_trace(
     broker's retry-after hint until admitted — so a finite trace always
     ends with zero lost requests unless the service itself stalls.
 
+    ``flight_dir`` (with an ``slo`` engine attached) arms a
+    :class:`~repro.obs.flight.FlightRecorder`: every rule entering
+    ``firing`` dumps a postmortem bundle — the trailing
+    ``flight_window_s`` of trace plus the cost ledger — into that
+    directory.  The recorder is exposed as ``broker.flight``.
+
     Returns the broker (telemetry, cache, coalescer all inspectable) and
     each arrival's final ticket, trace-ordered.
     """
@@ -695,6 +801,13 @@ def run_trace(
     if tracer is not None:
         tracer.bind(clock)
     broker = SpectrumBroker(clock, config, db=db, tracer=tracer, slo=slo)
+    broker.flight = None
+    if flight_dir is not None and slo is not None:
+        from repro.obs.flight import FlightRecorder
+
+        broker.flight = FlightRecorder(
+            broker, flight_dir, window_s=flight_window_s
+        ).arm(slo)
     broker.start()
     tickets: list[Optional[Ticket]] = [None] * len(trace)
 

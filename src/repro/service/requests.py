@@ -32,6 +32,7 @@ __all__ = [
     "compile_group_tasks",
     "compile_tasks",
     "family_spectra",
+    "group_member_weights",
     "ion_emission",
     "request_grid",
     "request_spectrum",
@@ -285,6 +286,7 @@ def compile_tasks(
     task_id_base: int = 0,
     with_payload: bool = True,
     plan_cache: PlanCache = PLAN_CACHE,
+    trace_parent: int = 0,
 ) -> list[Task]:
     """Lower one request to Ion-granularity tasks for the hybrid runner.
 
@@ -320,6 +322,7 @@ def compile_tasks(
         plan = plan_cache.get(
             db, grid, ions=ions, method=request.rule,
             pieces=pieces, k=k, tail_tol=request.tail_tol, gaunt=True,
+            trace_parent=trace_parent,
         )
         active_per_ion = plan.per_ion_active(kt_kev)
 
@@ -353,6 +356,7 @@ def compile_tasks(
                 n_levels=n_levels,
                 cpu_execute=execute,
                 label=f"req{point_index}/{ion.name}",
+                trace_parent=trace_parent,
             )
         )
         tid += 1
@@ -367,6 +371,7 @@ def compile_group_tasks(
     with_payload: bool = True,
     plan_cache: PlanCache = PLAN_CACHE,
     spread: bool = False,
+    trace_parent: int = 0,
 ) -> list[Task]:
     """Lower a same-family request group to megabatched ion tasks.
 
@@ -412,6 +417,7 @@ def compile_group_tasks(
         plan = plan_cache.get(
             db, grid, ions=ions, method=lead.rule,
             pieces=pieces, k=k, tail_tol=lead.tail_tol, gaunt=True,
+            trace_parent=trace_parent,
         )
         active_per_ion = np.zeros(len(ions), dtype=np.int64)
         for request in group:
@@ -450,7 +456,50 @@ def compile_group_tasks(
                 n_levels=n_levels,
                 cpu_execute=execute,
                 label=label,
+                trace_parent=trace_parent,
             )
         )
         tid += 1
     return tasks
+
+
+def group_member_weights(
+    requests: tuple[SpectrumRequest, ...],
+    db: AtomicDatabase,
+    plan_cache: PlanCache = PLAN_CACHE,
+) -> list[float]:
+    """Fair-share weights of one megabatch group's member requests.
+
+    The width-proportional baseline (every member rides the same fused
+    launch) corrected by each member's *marginal* work: with active-window
+    pruning on, a member's weight is its temperature's total active
+    (level, bin) pair count summed over the group's ions — exactly the
+    term its row contributes to the fused kernel's priced work — so hot
+    temperatures that keep more windows alive carry proportionally more
+    of the group's measured cost.  With pruning off every temperature
+    prices the same dense ``levels x bins`` work and the weights are
+    uniform.  Weights are plain deterministic floats (no measurement in
+    the loop), so attribution splits are bit-identical across execution
+    backends.
+    """
+    group = tuple(requests)
+    if not group:
+        return []
+    lead = group[0]
+    if lead.tail_tol <= 0.0:
+        return [1.0] * len(group)
+    grid = request_grid(lead)
+    ions = tuple(ion for ion in db.ions if ion.z <= lead.z_max)
+    pieces, k = _plan_rule_knobs(lead)
+    plan = plan_cache.get(
+        db, grid, ions=ions, method=lead.rule,
+        pieces=pieces, k=k, tail_tol=lead.tail_tol, gaunt=True,
+    )
+    weights = [
+        float(plan.per_ion_active(K_B_KEV * r.temperature_k).sum()) for r in group
+    ]
+    if all(w <= 0.0 for w in weights):
+        return [1.0] * len(group)
+    # A fully pruned member still rode the launch: floor at one pair so
+    # the split stays defined and every member pays a nonzero share.
+    return [max(w, 1.0) for w in weights]

@@ -55,6 +55,10 @@ class LaneStats:
     rejections: int = 0
     retries: int = 0
     latencies_s: list[float] = field(default_factory=list)
+    #: Most recent (latency, trace_id) pairs of traced completions —
+    #: the exemplar source linking the Prometheus latency histogram back
+    #: to concrete request spans (OpenMetrics-style exemplars).
+    latency_exemplars: list[tuple[float, int]] = field(default_factory=list)
     reservoir: Optional[int] = None
     _seen: int = field(default=0, repr=False)
     _sum: float = field(default=0.0, repr=False)
@@ -70,8 +74,12 @@ class LaneStats:
         """Requests that arrived but never completed."""
         return self.arrivals - self.completions
 
-    def record_latency(self, latency_s: float) -> None:
+    def record_latency(self, latency_s: float, trace_id: int = 0) -> None:
         """Stream one latency sample into the (bounded or exact) store."""
+        if trace_id > 0:
+            self.latency_exemplars.append((latency_s, trace_id))
+            if len(self.latency_exemplars) > 64:
+                del self.latency_exemplars[0]
         self._seen += 1
         self._sum += latency_s
         if latency_s > self._max:
@@ -199,10 +207,11 @@ class ServiceTelemetry:
         cached: bool,
         coalesced: bool,
         lattice: bool = False,
+        trace_id: int = 0,
     ) -> None:
         stats = self._lane(lane)
         stats.completions += 1
-        stats.record_latency(latency_s)
+        stats.record_latency(latency_s, trace_id=trace_id)
         if cached:
             stats.cache_hits += 1
         elif lattice:

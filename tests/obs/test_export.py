@@ -108,6 +108,90 @@ class TestValidator:
         assert validate_chrome_trace(good) == []
 
 
+def _linked():
+    """A small causal chain: request root -> group span -> child span."""
+    t = EventTracer(SimClock())
+    lane = t.track("service", "lane.interactive")
+    gpu = t.track("node", "gpu0")
+    t.async_begin(lane, "request", 7, cat="request")
+    t.span(gpu, "group", 0.0, 3.0, cat="group", id=21, parent=7)
+    t.span(gpu, "task", 0.5, 2.5, cat="task", id=33, parent=21)
+    t.async_end(lane, "request", 7, cat="request")
+    return t
+
+
+class TestFlowEvents:
+    def test_parent_links_become_flow_pairs(self):
+        rows = to_chrome(_linked())
+        steps = [r for r in rows if r["ph"] == "s"]
+        ends = [r for r in rows if r["ph"] == "f"]
+        # Two parent edges -> two arrows, each one "s" plus one "f".
+        assert len(steps) == 2
+        assert len(ends) == 2
+        assert all(r["cat"] == "flow" for r in steps + ends)
+        assert {r["id"] for r in steps} == {r["id"] for r in ends}
+
+    def test_flow_terminus_binds_enclosing(self):
+        rows = to_chrome(_linked())
+        assert all(r["bp"] == "e" for r in rows if r["ph"] == "f")
+
+    def test_arrow_geometry_matches_the_spans(self):
+        """Each "s" sits at the parent's anchor, each "f" at the child."""
+        rows = to_chrome(_linked())
+        group = next(r for r in rows if r["name"] == "group")
+        task = next(r for r in rows if r["name"] == "task")
+        by_id: dict[int, dict[str, dict]] = {}
+        for r in rows:
+            if r["ph"] in ("s", "f"):
+                by_id.setdefault(r["id"], {})[r["ph"]] = r
+        arrows = {
+            (arrow["f"]["pid"], arrow["f"]["tid"], arrow["f"]["ts"]): arrow
+            for arrow in by_id.values()
+        }
+        into_task = arrows[(task["pid"], task["tid"], task["ts"])]
+        assert into_task["s"]["ts"] == group["ts"]
+        assert into_task["s"]["tid"] == group["tid"]
+
+    def test_dangling_parent_emits_no_arrow(self):
+        t = EventTracer(SimClock())
+        gpu = t.track("node", "gpu0")
+        t.span(gpu, "task", 0.0, 1.0, cat="task", id=5, parent=999)
+        rows = to_chrome(t)
+        assert not any(r["ph"] in ("s", "f") for r in rows)
+
+    def test_validator_accepts_emitted_flows(self):
+        assert validate_chrome_trace(to_chrome(_linked())) == []
+
+    def test_validator_flags_unpaired_flow(self):
+        bad = [
+            {
+                "name": "link",
+                "cat": "flow",
+                "ph": "s",
+                "id": 1,
+                "pid": 1,
+                "tid": 1,
+                "ts": 0.0,
+            }
+        ]
+        assert any("expected one 's' and one 'f'" in p for p in validate_chrome_trace(bad))
+
+    def test_validator_flags_flow_without_id(self):
+        bad = [
+            {"name": "link", "cat": "flow", "ph": "f", "pid": 1, "tid": 1, "ts": 0.0}
+        ]
+        assert any("flow event without id" in p for p in validate_chrome_trace(bad))
+
+    def test_flow_round_trips_through_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), _linked())
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        phases = [r["ph"] for r in doc["traceEvents"]]
+        assert phases.count("s") == 2
+        assert phases.count("f") == 2
+
+
 class TestRenderers:
     def test_gantt_has_one_row_per_track(self):
         out = render_gantt(_traced())

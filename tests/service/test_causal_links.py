@@ -1,0 +1,102 @@
+"""Trace-context propagation through the broker: leaders and followers.
+
+A coalesced follower performs no work of its own — its causal story is
+"rode on the leader's compute".  The broker encodes that as a span link:
+the follower's request root carries ``parent = leader.trace_id``, and
+the ticket exposes ``leader_trace_id`` so clients can follow the edge
+without parsing the trace.
+"""
+
+import numpy as np
+
+from repro.cluster.simclock import SimClock
+from repro.obs import EventTracer
+from repro.service.broker import ServiceConfig, SpectrumBroker
+from repro.service.requests import SpectrumRequest
+
+
+def traced_broker(**over):
+    clock = SimClock()
+    tracer = EventTracer(clock)
+    broker = SpectrumBroker(clock, ServiceConfig(**over), tracer=tracer)
+    broker.start()
+    return clock, broker, tracer
+
+
+def req(t=1.0e7, **kw) -> SpectrumRequest:
+    kw.setdefault("z_max", 4)
+    kw.setdefault("n_bins", 16)
+    return SpectrumRequest(temperature_k=t, **kw)
+
+
+class TestFollowerLeaderLink:
+    def test_follower_root_parents_under_leader(self):
+        clock, broker, tracer = traced_broker()
+        leader = broker.submit(req())
+        follower = broker.submit(req())  # identical key, still in flight
+        assert follower.coalesced
+        clock.run()
+
+        assert leader.trace_id > 0
+        assert follower.trace_id > 0
+        assert follower.trace_id != leader.trace_id
+        assert follower.leader_trace_id == leader.trace_id
+        assert leader.leader_trace_id == 0
+
+        begins = {
+            ev.id: ev
+            for ev in tracer.events
+            if ev.ph == "b" and ev.cat == "request"
+        }
+        assert begins[follower.trace_id].parent == leader.trace_id
+        assert begins[follower.trace_id].args["outcome"] == "coalesced"
+        assert begins[follower.trace_id].args["leader"] == leader.trace_id
+        assert begins[leader.trace_id].parent is None
+
+    def test_follower_ledger_entry_links_leader(self):
+        clock, broker, _tracer = traced_broker()
+        leader = broker.submit(req())
+        follower = broker.submit(req())
+        clock.run()
+        result = broker.cost_report()
+        by_id = {e.trace_id: e for e in result.entries}
+        entry = by_id[follower.trace_id]
+        assert entry.outcome == "coalesced"
+        assert entry.leader == leader.trace_id
+        assert sum(entry.ticks.values()) == 0
+        assert sum(by_id[leader.trace_id].ticks.values()) > 0
+        np.testing.assert_array_equal(leader.result, follower.result)
+
+    def test_group_members_are_leader_roots(self):
+        """Megabatch group spans list the member leaders' trace roots."""
+        clock, broker, tracer = traced_broker(
+            batch_max=4, batch_width_max=4, batch_window_s=0.05
+        )
+        tickets = [broker.submit(req(t)) for t in (8.0e6, 1.0e7, 1.25e7)]
+        clock.run()
+        groups = [
+            ev for ev in tracer.events if ev.ph == "X" and ev.cat == "group"
+        ]
+        assert groups
+        members = {m for g in groups for m in g.args["members"]}
+        assert members == {t.trace_id for t in tickets}
+        for g in groups:
+            assert len(g.args["weights"]) == len(g.args["members"])
+            assert g.args["width"] >= 1
+            # The group span itself parents under its first member's root.
+            assert g.parent == g.args["members"][0]
+
+    def test_task_spans_parent_under_their_group(self):
+        clock, broker, tracer = traced_broker(
+            batch_max=4, batch_width_max=4, batch_window_s=0.05
+        )
+        for t in (8.0e6, 1.0e7):
+            broker.submit(req(t))
+        clock.run()
+        group_ids = {
+            ev.id for ev in tracer.events if ev.ph == "X" and ev.cat == "group"
+        }
+        tasks = [ev for ev in tracer.events if ev.ph == "X" and ev.cat == "task"]
+        assert tasks
+        for ev in tasks:
+            assert ev.parent in group_ids

@@ -143,6 +143,8 @@ class TestTolerance:
             "p95_latency_s",
             # A latency ratio: batched p95 over the unbatched baseline.
             "p95_vs_unbatched",
+            # A prediction-error figure: mean |rel err| of the cost model.
+            "cost_model_rel_err",
         }
         for metric, tol in DEFAULT_TOLERANCES.items():
             expected = "lower" if metric in times else "higher"
