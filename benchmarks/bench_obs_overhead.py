@@ -156,3 +156,87 @@ def test_attribution_off_overhead(results_dir):
 
     # The headline guarantee: attribution *off* costs < 2% of the run.
     assert noop_frac < 0.02
+
+
+def test_tsdb_off_overhead(results_dir):
+    """Telemetry off must be free, and the scrape cadence must price out.
+
+    With no store attached the broker holds :data:`~repro.obs.tsdb.NULL_TSDB`
+    and each batch completion pays exactly one ``tsdb.enabled`` attribute
+    read.  The absolute guard argument again: that cost times the number
+    of batch completions must stay under 2% of the unscraped wall time.
+    The second half of the table is the cadence cost curve — the same
+    trace scraped at coarser-to-finer cadences — so the marginal price
+    of higher-resolution telemetry is a recorded number, not a guess.
+    """
+    from repro.obs.tsdb import NULL_TSDB, TimeSeriesStore
+    from repro.service.broker import ServiceConfig, run_trace
+    from repro.service.loadgen import TrafficSpec, generate_trace
+
+    trace = generate_trace(TrafficSpec(n_requests=60, seed=7))
+    cfg = ServiceConfig(n_service_workers=2)
+
+    t_off = _best_of(lambda: run_trace(trace, cfg))
+    broker, _ = run_trace(trace, cfg)
+    assert broker.tsdb is NULL_TSDB
+    report = broker.report()
+
+    # Per-site cost of the disabled guard (`if tsdb.enabled: ...`).
+    n_probe = 1_000_000
+    null = NULL_TSDB
+    t0 = time.perf_counter()
+    for _ in range(n_probe):
+        if null.enabled:
+            raise AssertionError("unreachable")
+    guard_s = (time.perf_counter() - t0) / n_probe
+
+    n_sites = report["batches"]
+    noop_cost_s = guard_s * n_sites
+    noop_frac = noop_cost_s / t_off
+
+    rows = [
+        ["workload", "60-request zipf trace, 2 workers"],
+        ["wall time, telemetry off (s)", f"{t_off:.3f}"],
+        ["guarded sites crossed", n_sites],
+        ["disabled-guard cost (ns/site)", f"{guard_s * 1e9:.1f}"],
+        ["no-op cost, all sites (ms)", f"{noop_cost_s * 1e3:.3f}"],
+        ["no-op overhead vs run", f"{noop_frac:.4%}"],
+    ]
+
+    # Cadence cost curve: the same trace at coarser-to-finer scrape
+    # cadences.  Scraping is pure observation, so only the wall time
+    # moves; the virtual-time report stays bit-identical.
+    scrape_counts: list[int] = []
+    for cadence_s in (2.0, 1.0, 0.5, 0.25, 0.1):
+        last: list[TimeSeriesStore] = []
+
+        def scraped_run():
+            store = TimeSeriesStore(cadence_s=cadence_s)
+            run_trace(trace, cfg, tsdb=store)
+            last.append(store)
+
+        t_on = _best_of(scraped_run)
+        store = last[-1]
+        scrape_counts.append(store.n_scrapes)
+        rows.append(
+            [
+                f"cadence {cadence_s:g}s",
+                f"{t_on:.3f}s ({t_on / t_off - 1.0:+.1%}), "
+                f"{store.n_scrapes} scrapes, {store.n_samples} samples",
+            ]
+        )
+
+    emit(
+        results_dir,
+        "tsdb_overhead",
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title="Telemetry (TSDB) overhead — service stack",
+        ),
+    )
+
+    # The headline guarantee: telemetry *off* costs < 2% of the run.
+    assert noop_frac < 0.02
+    # Finer cadence must never scrape less.
+    assert all(a <= b for a, b in zip(scrape_counts, scrape_counts[1:]))

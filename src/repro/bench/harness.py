@@ -147,7 +147,10 @@ def _case_pruned_kernels(quick: bool, seed: int) -> dict:
 
 
 def _case_service_throughput(
-    quick: bool, seed: int, flamegraph: Optional[str] = None
+    quick: bool,
+    seed: int,
+    flamegraph: Optional[str] = None,
+    dash: Optional[str] = None,
 ) -> dict:
     """A traffic trace through the full service stack, profiled."""
     import numpy as np
@@ -164,12 +167,34 @@ def _case_service_throughput(
             n_distinct=16 if quick else 32,
         )
     )
+    tsdb = detector = None
+    if dash:
+        from repro.obs.anomaly import AnomalyDetector
+        from repro.obs.tsdb import TimeSeriesStore
+
+        tsdb = TimeSeriesStore(cadence_s=0.5)
+        detector = AnomalyDetector()
     tracer = EventTracer()
     t0 = time.perf_counter()
     broker, _tickets = run_trace(
-        trace, ServiceConfig(n_service_workers=2), tracer=tracer
+        trace,
+        ServiceConfig(n_service_workers=2),
+        tracer=tracer,
+        tsdb=tsdb,
+        anomaly=detector,
     )
     wall_s = time.perf_counter() - t0
+    if dash:
+        from repro.obs.dash import render_dashboard
+
+        with open(dash, "w") as fh:
+            fh.write(
+                render_dashboard(
+                    tsdb,
+                    title="bench service_throughput",
+                    anomalies=detector.events,
+                )
+            )
 
     report = broker.report()
     virtual_s = report["virtual_time_s"]
@@ -499,8 +524,85 @@ def _case_nei(quick: bool, seed: int) -> dict:
     }
 
 
+def _case_telemetry_pipeline(quick: bool, seed: int) -> dict:
+    """Continuous telemetry: scrape determinism + anomaly hygiene.
+
+    Two gates, both zero-tolerance.  ``scrape_determinism`` plays one
+    bursty trace through the service with a scraping
+    :class:`~repro.obs.tsdb.TimeSeriesStore` under every payload backend
+    (serial / thread / process) and requires the serialized stores —
+    delta-encoded timestamps and values included — to be byte-identical:
+    telemetry rides the virtual clock, so the host's thread scheduling
+    must never leak into a scrape.  ``anomaly_false_positives`` runs the
+    online EWMA+MAD detector over a seeded steady trace and must stay at
+    exactly zero — control bands that cry wolf on steady traffic are
+    worse than none.  The bursty trace's anomaly count is reported
+    ungated (it is allowed, not required, to fire).
+    """
+    import json
+
+    from repro.obs.anomaly import AnomalyDetector
+    from repro.obs.tsdb import TimeSeriesStore
+    from repro.service.broker import ServiceConfig, run_trace
+    from repro.service.loadgen import TrafficSpec, generate_trace
+
+    n = 48 if quick else 128
+
+    def play(trace, backend: str, detector=None) -> TimeSeriesStore:
+        store = TimeSeriesStore(cadence_s=0.25)
+        run_trace(
+            trace,
+            ServiceConfig(n_service_workers=2, backend=backend),
+            tsdb=store,
+            anomaly=detector,
+        )
+        return store
+
+    bursty = generate_trace(
+        TrafficSpec(
+            n_requests=n,
+            seed=seed,
+            mean_interarrival_s=0.02,
+            burst=8,
+            pattern="uniform",
+            n_distinct=12,
+        )
+    )
+    steady = generate_trace(
+        TrafficSpec(
+            n_requests=n,
+            seed=seed,
+            mean_interarrival_s=0.05,
+            n_distinct=4,
+        )
+    )
+
+    t0 = time.perf_counter()
+    docs = [
+        json.dumps(play(bursty, backend).to_dict(), sort_keys=True)
+        for backend in ("serial", "thread", "process")
+    ]
+    steady_detector = AnomalyDetector()
+    play(steady, "serial", detector=steady_detector)
+    bursty_detector = AnomalyDetector()
+    bursty_store = play(bursty, "serial", detector=bursty_detector)
+    wall_s = time.perf_counter() - t0
+
+    return {
+        "wall_s": wall_s,
+        "sim": {
+            "scrape_determinism": 1.0 if len(set(docs)) == 1 else 0.0,
+            "anomaly_false_positives": float(len(steady_detector.events)),
+            "n_series": float(len(bursty_store)),
+            "n_scrapes": float(bursty_store.n_scrapes),
+            "bursty_anomalies": float(len(bursty_detector.events)),
+        },
+    }
+
+
 #: The declared suite, execution-ordered.  ``service_throughput`` is the
-#: flamegraph source (it is the only case with a span trace).
+#: flamegraph and dashboard source (it is the only case with a span
+#: trace).
 CASES: dict[str, Callable] = {
     "rrc_spectrum": _case_rrc_spectrum,
     "pruned_kernels": _case_pruned_kernels,
@@ -509,6 +611,7 @@ CASES: dict[str, Callable] = {
     "continuous_batching": _case_continuous_batching,
     "approx_serving": _case_approx_serving,
     "cost_attribution": _case_cost_attribution,
+    "telemetry_pipeline": _case_telemetry_pipeline,
     "nei": _case_nei,
 }
 
@@ -518,6 +621,7 @@ def run_suite(
     seed: int = 7,
     cases: Optional[list[str]] = None,
     flamegraph: Optional[str] = None,
+    dash: Optional[str] = None,
 ) -> dict:
     """Run the declared cases; returns the ``BENCH_PERF.json`` document."""
     names = list(CASES) if cases is None else list(cases)
@@ -528,7 +632,7 @@ def run_suite(
     for name in names:
         fn = CASES[name]
         if name == "service_throughput":
-            out_cases[name] = fn(quick, seed, flamegraph=flamegraph)
+            out_cases[name] = fn(quick, seed, flamegraph=flamegraph, dash=dash)
         else:
             out_cases[name] = fn(quick, seed)
     return {
@@ -660,6 +764,8 @@ DEFAULT_TOLERANCES: dict[str, Tolerance] = {
     "conservation": Tolerance(0.0, "higher"),
     "kernel_rooted_fraction": Tolerance(0.0, "higher"),
     "cost_model_rel_err": Tolerance(0.25, "lower"),
+    "scrape_determinism": Tolerance(0.0, "higher"),
+    "anomaly_false_positives": Tolerance(0.0, "lower"),
 }
 
 

@@ -11,6 +11,8 @@
     python -m repro nei-solve --element 8 --temperature 1e6
     python -m repro fit --temperature 1.05e7
     python -m repro serve --trace zipf --requests 200 --seed 7
+    python -m repro serve --dash dash.html --tsdb-out tsdb.json --slo
+    python -m repro query 'rate(repro_requests_total[2s])' --tsdb tsdb.json
     python -m repro submit --temperature 1e7 --repeat 2
     python -m repro bench --quick
     python -m repro bench --compare BENCH_BASELINE.json BENCH_PERF.json
@@ -192,6 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "(no benchmarks run); exit nonzero on regressions")
     p.add_argument("--json", action="store_true",
                    help="print the result document instead of the table")
+    p.add_argument("--dash", metavar="PATH", default=None,
+                   help="write an HTML dashboard of the service case's "
+                        "scraped time series")
+
+    p = sub.add_parser(
+        "query", help="evaluate a PromQL-subset expression over a saved store"
+    )
+    p.add_argument("expr",
+                   help="expression, e.g. "
+                        "'rate(repro_requests_total{outcome=\"computed\"}[2s])' "
+                        "or 'histogram_quantile(0.95, "
+                        "repro_request_latency_seconds_bucket)'")
+    p.add_argument("--tsdb", metavar="PATH", required=True,
+                   help="time-series store JSON written by --tsdb-out "
+                        "(or a flight-recorder series.json)")
+    p.add_argument("--at", type=float, default=None,
+                   help="evaluation instant in store time "
+                        "(default: the last scrape)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable result (labels + values)")
 
     p = sub.add_parser("submit", help="one-shot request through broker+cache")
     p.add_argument("--temperature", type=float, default=1.0e7)
@@ -242,6 +264,94 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cost-report", action="store_true",
                    help="print the per-request attributed cost ledger "
                         "(fair-share over fused groups; enables tracing)")
+    p.add_argument("--dash", metavar="PATH", default=None,
+                   help="write a self-contained HTML dashboard of the "
+                        "scraped time series (enables telemetry scraping "
+                        "and anomaly detection)")
+    p.add_argument("--tsdb-out", metavar="PATH", default=None,
+                   help="write the scraped time-series store as delta-"
+                        "encoded JSON ('repro query' reads it back)")
+    p.add_argument("--scrape-cadence", type=float, default=0.5,
+                   help="telemetry scrape cadence in virtual seconds "
+                        "(wall-clock seconds for 'spectrum'; default 0.5)")
+
+
+def _make_tsdb(args: argparse.Namespace):
+    """Build the (store, detector) pair when ``--dash``/``--tsdb-out`` ask.
+
+    Returns ``(None, None)`` when neither flag is set, keeping the run on
+    the :data:`~repro.obs.tsdb.NULL_TSDB` zero-overhead path.
+    """
+    if not (getattr(args, "dash", None) or getattr(args, "tsdb_out", None)):
+        return None, None
+    if args.scrape_cadence <= 0.0:
+        raise SystemExit("--scrape-cadence must be positive")
+    from repro.obs import AnomalyDetector, TimeSeriesStore
+
+    return TimeSeriesStore(cadence_s=args.scrape_cadence), AnomalyDetector()
+
+
+def _emit_tsdb(
+    args: argparse.Namespace,
+    store,
+    detector=None,
+    slo=None,
+    title: str = "repro telemetry",
+) -> None:
+    """Honour ``--tsdb-out`` / ``--dash`` for one scraped store."""
+    if store is None:
+        return
+    if getattr(args, "tsdb_out", None):
+        import json
+
+        with open(args.tsdb_out, "w") as fh:
+            json.dump(store.to_dict(), fh)
+        print(
+            f"wrote {store.n_scrapes} scrape(s), {len(store)} series "
+            f"to {args.tsdb_out}",
+            file=sys.stderr,
+        )
+    if getattr(args, "dash", None):
+        from repro.obs import render_dashboard
+
+        anomalies = detector.events if detector is not None else ()
+        with open(args.dash, "w") as fh:
+            fh.write(
+                render_dashboard(store, title=title, slo=slo, anomalies=anomalies)
+            )
+        extra = f", {len(anomalies)} anomaly event(s)" if anomalies else ""
+        print(f"wrote dashboard to {args.dash}{extra}", file=sys.stderr)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import QueryEngine, QueryError, TimeSeriesStore
+    from repro.obs.query import format_result
+
+    with open(args.tsdb) as fh:
+        store = TimeSeriesStore.from_dict(json.load(fh))
+    try:
+        result = QueryEngine(store).query(args.expr, at=args.at)
+    except QueryError as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        at = args.at if args.at is not None else store.last_scrape
+        if isinstance(result, float):
+            doc = {"expr": args.expr, "at": at, "scalar": result}
+        else:
+            doc = {
+                "expr": args.expr,
+                "at": at,
+                "samples": [
+                    {"labels": s.label_dict(), "value": s.value} for s in result
+                ],
+            }
+        print(json.dumps(doc))
+        return 0
+    print(format_result(result))
+    return 0
 
 
 def _emit_cost_report(args: argparse.Namespace, broker=None, tracer=None) -> None:
@@ -404,11 +514,33 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
     grid = EnergyGrid.from_wavelength(10.0, 45.0, args.bins)
     if args.accuracy > 0.0:
         return _spectrum_via_lattice(args, db, grid)
+    tsdb, anomaly = _make_tsdb(args)
     tracer = None
-    if args.trace or args.metrics or args.profile or args.flamegraph or args.cost_report:
+    if (
+        args.trace
+        or args.metrics
+        or args.profile
+        or args.flamegraph
+        or args.cost_report
+        or tsdb is not None
+    ):
         from repro.obs import EventTracer, WallClock
 
         tracer = EventTracer(WallClock())
+    registry = None
+    if args.metrics or tsdb is not None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        wall_gauge = registry.gauge(
+            "repro_wall_seconds", "Host wall-clock compute time"
+        )
+        registry.gauge("repro_spectrum_bins", "Energy bins computed").set(
+            args.bins
+        )
+        peak_gauge = registry.gauge(
+            "repro_spectrum_peak_flux", "Peak normalized flux"
+        )
     apec = SerialAPEC(
         db,
         grid,
@@ -421,6 +553,8 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
         shards=args.shards,
     )
     t0 = tracer.now if tracer is not None else 0.0
+    if tsdb is not None:
+        tsdb.scrape(registry, t0)  # wall-clock baseline sample
     with apec:
         spec = apec.compute(
             GridPoint(temperature_k=args.temperature, ne_cm3=args.density)
@@ -443,25 +577,31 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
 
             write_chrome_trace(args.trace, tracer)
             print(f"wrote Chrome trace to {args.trace}", file=sys.stderr)
-        if args.metrics:
-            from repro.obs import MetricsRegistry
-
-            reg = MetricsRegistry()
-            reg.gauge("repro_wall_seconds", "Host wall-clock compute time").set(
-                wall_s
-            )
-            reg.gauge("repro_spectrum_bins", "Energy bins computed").set(args.bins)
-            reg.gauge("repro_spectrum_peak_flux", "Peak normalized flux").set(
-                float(spec.values.max())
-            )
+        if registry is not None:
             from repro.obs.prom import _plan_cache_metrics
 
-            _plan_cache_metrics(reg)
-            with open(args.metrics, "w") as fh:
-                fh.write(reg.render())
-            print(f"wrote Prometheus metrics to {args.metrics}", file=sys.stderr)
+            wall_gauge.set(wall_s)
+            peak_gauge.set(float(spec.values.max()))
+            _plan_cache_metrics(registry)
+            if args.metrics:
+                with open(args.metrics, "w") as fh:
+                    fh.write(registry.render())
+                print(
+                    f"wrote Prometheus metrics to {args.metrics}",
+                    file=sys.stderr,
+                )
+            if tsdb is not None:
+                tsdb.scrape(registry, tracer.now)  # closing wall-clock sample
+                if anomaly is not None:
+                    anomaly.scan(tsdb)
         _emit_profile(args, tracer)
         _emit_cost_report(args, tracer=tracer)
+        _emit_tsdb(
+            args,
+            tsdb,
+            anomaly,
+            title=f"repro spectrum — T={args.temperature:.2e} K",
+        )
     if args.json:
         import json
 
@@ -513,8 +653,34 @@ def _spectrum_via_lattice(args: argparse.Namespace, db, grid) -> int:
         n_nodes=9,
         method="cubic",
     )
+    tsdb, anomaly = _make_tsdb(args)
+    registry = None
+    if tsdb is not None:
+        from repro.obs import MetricsRegistry, WallClock
+
+        wall = WallClock()
+        registry = MetricsRegistry()
+        nodes_gauge = registry.gauge("repro_lattice_nodes", "Lattice nodes held")
+        evals_gauge = registry.gauge(
+            "repro_lattice_node_evals", "Exact node evaluations so far"
+        )
+        bound_gauge = registry.gauge(
+            "repro_lattice_error_bound",
+            "Certified relative error bound at the target",
+        )
+
+    def _scrape_lattice(lat, interval) -> None:
+        if tsdb is None:
+            return
+        nodes_gauge.set(lat.n_nodes)
+        evals_gauge.set(lat.node_evals)
+        err = lat.certified_error(interval) if interval is not None else 0.0
+        bound_gauge.set(err if err != float("inf") else 0.0)
+        tsdb.scrape(registry, wall.now)
+
     lat = SpectrumLattice(spec_, exact_fn)
     interval = lat.locate(args.temperature)
+    _scrape_lattice(lat, interval)
     refinements = 0
     while (
         interval is not None
@@ -525,6 +691,7 @@ def _spectrum_via_lattice(args: argparse.Namespace, db, grid) -> int:
         lat.refine(interval)
         interval = lat.locate(args.temperature)
         refinements += 1
+        _scrape_lattice(lat, interval)
     bound = lat.certified_error(interval) if interval is not None else float("inf")
     if bound <= args.accuracy:
         values = lat.interpolate(args.temperature)
@@ -535,6 +702,14 @@ def _spectrum_via_lattice(args: argparse.Namespace, db, grid) -> int:
         bound = 0.0
     peak = float(values.max())
     flux = values / peak if peak > 0.0 else values
+    if tsdb is not None and anomaly is not None:
+        anomaly.scan(tsdb)
+    _emit_tsdb(
+        args,
+        tsdb,
+        anomaly,
+        title=f"repro spectrum (lattice) — T={args.temperature:.2e} K",
+    )
     if args.json:
         import json
 
@@ -771,6 +946,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ),
             )
         )
+    tsdb, anomaly = _make_tsdb(args)
     broker, _tickets = run_trace(
         trace,
         config,
@@ -778,6 +954,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo=slo,
         flight_dir=args.postmortem,
         flight_window_s=args.postmortem_window,
+        tsdb=tsdb,
+        anomaly=anomaly,
     )
     if args.postmortem and broker.flight is not None and broker.flight.bundles:
         for bundle in broker.flight.bundles:
@@ -800,6 +978,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(render_summary(tracer))
     _emit_profile(args, tracer)
     _emit_cost_report(args, broker=broker)
+    _emit_tsdb(
+        args,
+        tsdb,
+        anomaly,
+        slo=slo,
+        title=(
+            f"repro serve — {args.requests} requests, {args.pattern} trace, "
+            f"seed {args.seed}"
+        ),
+    )
     if slo is not None:
         print(slo.report())
         print()
@@ -907,7 +1095,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         from repro.obs import EventTracer
 
         tracer = EventTracer(clock)
-    broker = SpectrumBroker(clock, ServiceConfig(), tracer=tracer)
+    tsdb, anomaly = _make_tsdb(args)
+    broker = SpectrumBroker(
+        clock, ServiceConfig(), tracer=tracer, tsdb=tsdb, anomaly=anomaly
+    )
     broker.start()
     outcomes = []
     for _ in range(args.repeat):
@@ -924,6 +1115,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             }
         )
     broker.bus.finalize(clock.now)
+    if tsdb is not None:
+        tsdb.scrape(broker.registry(), clock.now)  # closing boundary scrape
+        if anomaly is not None:
+            for event in anomaly.scan(tsdb):
+                broker.bus.on_anomaly(event)
     if args.trace:
         from repro.obs import write_chrome_trace
 
@@ -937,6 +1133,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"wrote Prometheus metrics to {args.metrics}", file=sys.stderr)
     _emit_profile(args, tracer)
     _emit_cost_report(args, broker=broker)
+    _emit_tsdb(
+        args,
+        tsdb,
+        anomaly,
+        title=f"repro submit — {args.repeat}x {args.lane}",
+    )
     if args.json:
         import json
 
@@ -1003,6 +1205,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         cases=args.cases,
         flamegraph=args.flamegraph,
+        dash=args.dash,
     )
     errors = validate_bench(doc)
     if errors:  # a suite bug, not a perf regression — fail loudly
@@ -1016,6 +1219,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"wrote {args.out}", file=sys.stderr)
     if args.flamegraph:
         print(f"wrote flamegraph to {args.flamegraph}", file=sys.stderr)
+    if args.dash:
+        print(f"wrote dashboard to {args.dash}", file=sys.stderr)
 
     if args.baseline is not None:
         baseline = load_bench(args.baseline)
@@ -1047,6 +1252,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "bench": _cmd_bench,
+    "query": _cmd_query,
 }
 
 

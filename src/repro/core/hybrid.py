@@ -31,6 +31,7 @@ from repro.core.calibration import CostModel
 from repro.core.metrics import MetricsLedger, RunResult, TaskEvent
 from repro.obs.bus import RunBus
 from repro.obs.tracer import NULL_TRACER
+from repro.obs.tsdb import NULL_TSDB
 from repro.core.scheduler import (
     NO_DEVICE,
     ClientServerScheduler,
@@ -104,6 +105,13 @@ class HybridRunner:
     device), queue-wait sub-spans, per-device load counters, and batch
     spans; ``scope`` names the trace process grouping the node's tracks
     (the service broker sets it to the owning worker's name).
+
+    ``tsdb`` (default: the no-op :data:`~repro.obs.tsdb.NULL_TSDB`)
+    receives continuous telemetry: each batch scrapes a live registry of
+    the ledger's state at its start and end, plus every
+    ``scrape_cadence_s`` of virtual time in between via a cadence
+    process on the batch's clock.  Scraping is pure observation — the
+    simulated schedule is bit-identical with or without it.
     """
 
     def __init__(
@@ -111,10 +119,16 @@ class HybridRunner:
         config: HybridConfig | None = None,
         tracer=None,
         scope: str = "hybrid",
+        tsdb=None,
+        scrape_cadence_s: float = 0.5,
     ) -> None:
         self.config = config or HybridConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.scope = scope
+        self.tsdb = tsdb if tsdb is not None else NULL_TSDB
+        if scrape_cadence_s <= 0.0:
+            raise ValueError("scrape_cadence_s must be positive")
+        self.scrape_cadence_s = scrape_cadence_s
 
     # ------------------------------------------------------------------
     # Observability handles
@@ -289,10 +303,32 @@ class HybridRunner:
                 )
             handles.append(clock.spawn(gen, name=f"rank{rank}"))
 
+        # Continuous telemetry: scrape the ledger's live state at the
+        # batch boundaries and on a cadence process in between.  Pure
+        # observation — the workers' schedule is untouched.
+        batch_done = [False]
+        if self.tsdb.enabled:
+            self.tsdb.scrape(self._live_registry(metrics, cfg.n_gpus), clock.now)
+
+            def scraper() -> Generator:
+                while True:
+                    yield self.scrape_cadence_s
+                    if batch_done[0]:
+                        return
+                    self.tsdb.scrape(
+                        self._live_registry(metrics, cfg.n_gpus), clock.now
+                    )
+
+            clock.spawn(scraper(), name=f"{name}.scraper")
+
         for handle in handles:
             yield handle
+        batch_done[0] = True
         makespan = clock.now - start
         metrics.finalize(clock.now)
+        if self.tsdb.enabled:
+            # Boundary scrape on the finalized ledger.
+            self.tsdb.scrape(self._live_registry(metrics, cfg.n_gpus), clock.now)
         sched.validate()
         if sched.segment.total_load() != 0:
             raise RuntimeError("scheduler leaked queue slots at end of run")
@@ -517,6 +553,40 @@ class HybridRunner:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _live_registry(metrics: MetricsLedger, n_gpus: int):
+        """A registry snapshot of the ledger's *live* mid-run state.
+
+        Unlike :func:`repro.obs.prom.run_registry` (which needs a
+        finished :class:`RunResult`), this reads the incremental fields
+        a running batch maintains — task placements, instantaneous
+        device loads, evals saved — so the cadence scraper can observe
+        a batch while it executes.
+        """
+        from repro.obs.prom import MetricsRegistry
+
+        reg = MetricsRegistry()
+        tasks = reg.counter(
+            "repro_node_tasks_total",
+            "Tasks completed so far by placement.",
+            ("placement",),
+        )
+        tasks.inc(float(metrics.gpu_tasks.sum()), placement="gpu")
+        tasks.inc(float(metrics.cpu_tasks), placement="cpu")
+        load = reg.gauge(
+            "repro_node_device_load",
+            "Instantaneous admitted queue length per device.",
+            ("device",),
+        )
+        for d in range(n_gpus):
+            load.set(float(metrics._current_load[d]), device=str(d))
+        saved = reg.counter(
+            "repro_node_evals_saved_total",
+            "Kernel evaluations elided by active-window pruning.",
+        )
+        saved.inc(float(metrics.evals_saved))
+        return reg
+
     def _partition(self, tasks: list[Task]) -> list[list[Task]]:
         """Equal sub-spaces: rank r owns the points with index % n == r."""
         n = self.config.n_workers

@@ -19,9 +19,21 @@ shared virtual clock:
 - :mod:`repro.obs.attribution` — request-scoped causal cost attribution
   (fair-share split of fused-group spans back to member requests, exact
   conservation) and the online EWMA :class:`CostModel`;
-- :mod:`repro.obs.flight` — the SLO-triggered flight recorder dumping
-  postmortem bundles (trailing trace window + cost ledger).
+- :mod:`repro.obs.flight` — the SLO/anomaly-triggered flight recorder
+  dumping postmortem bundles (trailing trace window + scraped series +
+  cost ledger);
+- :mod:`repro.obs.tsdb` — the in-process ring-buffer time-series store
+  scraping registries on the sim clock (:data:`NULL_TSDB` when off);
+- :mod:`repro.obs.query` — the PromQL-subset query engine over the
+  store (``rate``, ``increase``, ``histogram_quantile``, matchers,
+  binary ops);
+- :mod:`repro.obs.anomaly` — online EWMA+MAD control bands per series
+  emitting :class:`AnomalyEvent` onto the bus;
+- :mod:`repro.obs.dash` — deterministic self-contained HTML dashboards
+  (inline SVG) with SLO/anomaly annotations and store federation.
 """
+
+from repro.obs.anomaly import AnomalyDetector, AnomalyEvent
 
 from repro.obs.attribution import (
     Attribution,
@@ -32,6 +44,7 @@ from repro.obs.attribution import (
     render_cost_report,
 )
 from repro.obs.bus import RunBus, ServiceBus
+from repro.obs.dash import Panel, SERVICE_PANELS, federate, render_dashboard
 from repro.obs.flight import FlightRecorder
 from repro.obs.export import (
     render_gantt,
@@ -55,10 +68,19 @@ from repro.obs.prom import (
     run_registry,
     service_registry,
 )
+from repro.obs.query import QueryEngine, QueryError, Sample, parse_query
 from repro.obs.slo import Rule, RuleState, SLOEngine, Transition
 from repro.obs.tracer import NULL_TRACER, EventTracer, NullTracer, WallClock
+from repro.obs.tsdb import (
+    NULL_TSDB,
+    NullTimeSeriesStore,
+    Series,
+    TimeSeriesStore,
+)
 
 __all__ = [
+    "AnomalyDetector",
+    "AnomalyEvent",
     "Attribution",
     "AttributionResult",
     "CostEntry",
@@ -70,16 +92,28 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
+    "NULL_TSDB",
+    "NullTimeSeriesStore",
     "NullTracer",
+    "Panel",
     "Profile",
+    "QueryEngine",
+    "QueryError",
     "Rule",
     "RuleState",
     "RunBus",
+    "SERVICE_PANELS",
     "SLOEngine",
+    "Sample",
+    "Series",
     "ServiceBus",
+    "TimeSeriesStore",
     "Transition",
     "WallClock",
+    "federate",
     "kernel_root_map",
+    "parse_query",
+    "render_dashboard",
     "parse_exposition",
     "render_cost_report",
     "render_gantt",

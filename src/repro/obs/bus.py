@@ -146,5 +146,17 @@ class ServiceBus:
     def on_batch(self, result, n_requests: int) -> None:
         self.telemetry.on_batch(result, n_requests)
 
+    def on_anomaly(self, event) -> None:
+        """An :class:`~repro.obs.anomaly.AnomalyEvent` from the detector."""
+        self.telemetry.on_anomaly(event)
+        t = self.tracer
+        if t.enabled:
+            t.instant(
+                self.queue_track,
+                "anomaly",
+                cat="anomaly",
+                args=event.as_dict(),
+            )
+
     def finalize(self, now: float) -> None:
         self.telemetry.finalize(now)

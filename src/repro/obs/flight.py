@@ -13,8 +13,16 @@ directory the moment a rule fires:
 - ``cost_ledger.json`` — the :class:`~repro.obs.attribution.AttributionResult`
   snapshot (per-request fair-share costs, conservation ratio);
 - ``cost_model.json`` — the serialized online cost model;
+- ``series.json`` — the trailing window of the broker's scraped time
+  series (when a :class:`~repro.obs.tsdb.TimeSeriesStore` is attached),
+  the exact delta-encoded store format ``repro query`` reads;
 - ``slo_report.txt`` — the engine's rule table and transition log;
 - ``manifest.json`` — what fired, when, and what the bundle holds.
+
+:meth:`arm_anomalies` additionally subscribes the recorder to an
+:class:`~repro.obs.anomaly.AnomalyDetector`, so an out-of-band series
+(a latency spike, a utilization collapse) dumps a bundle even when no
+SLO rule is registered for it.
 
 Bundles are bounded (``limit``) so a flapping rule cannot fill a disk;
 :meth:`dump` can also be called directly for an on-demand snapshot.
@@ -66,9 +74,18 @@ class FlightRecorder:
         self._engine = engine
         return self
 
+    def arm_anomalies(self, detector) -> "FlightRecorder":
+        """Subscribe to a detector's anomaly events; returns self."""
+        detector.on_anomaly(self._on_anomaly)
+        return self
+
     def _on_transition(self, tr: Transition) -> None:
         if tr.to == RuleState.FIRING and len(self.bundles) < self.limit:
             self.dump(reason=tr)
+
+    def _on_anomaly(self, event) -> None:
+        if len(self.bundles) < self.limit:
+            self.dump(reason=event)
 
     # ------------------------------------------------------------------
     def _trailing_events(self, now: float) -> list:
@@ -98,12 +115,19 @@ class FlightRecorder:
             or (ev.ph == "b" and (ev.cat, ev.id) in ended_in_window)
         ]
 
-    def dump(self, reason: Optional[Transition] = None) -> str:
-        """Write one bundle now; returns its directory path."""
+    def dump(self, reason=None) -> str:
+        """Write one bundle now; returns its directory path.
+
+        ``reason`` is either an SLO :class:`~repro.obs.slo.Transition`
+        or an :class:`~repro.obs.anomaly.AnomalyEvent` (or None for an
+        on-demand snapshot).
+        """
         now = self.broker.clock.now
         name = f"postmortem-{len(self.bundles):03d}"
-        if reason is not None:
+        if isinstance(reason, Transition):
             name += f"-{reason.rule}"
+        elif reason is not None:
+            name += f"-{reason.series}"
         path = os.path.join(self.out_dir, name)
         os.makedirs(path, exist_ok=True)
         files: list[str] = []
@@ -135,27 +159,41 @@ class FlightRecorder:
                 json.dump(model.to_dict(), fh, indent=1)
             files.append("cost_model.json")
 
+        n_points = 0
+        tsdb = getattr(self.broker, "tsdb", None)
+        if tsdb is not None and tsdb.enabled and len(tsdb):
+            doc = tsdb.to_dict(since=now - self.window_s)
+            if doc["series"]:
+                with open(os.path.join(path, "series.json"), "w") as fh:
+                    json.dump(doc, fh)
+                files.append("series.json")
+                n_points = sum(len(s["t"]) for s in doc["series"])
+
         if self._engine is not None:
             with open(os.path.join(path, "slo_report.txt"), "w") as fh:
                 fh.write(self._engine.report() + "\n")
             files.append("slo_report.txt")
+
+        if reason is None:
+            reason_doc = None
+        elif isinstance(reason, Transition):
+            reason_doc = {
+                "rule": reason.rule,
+                "from": reason.frm,
+                "to": reason.to,
+                "value": reason.value,
+                "t": reason.t,
+            }
+        else:
+            reason_doc = reason.as_dict()
 
         manifest = {
             "virtual_time_s": now,
             "window_s": self.window_s,
             "files": files,
             "trace_events": n_events,
-            "reason": (
-                {
-                    "rule": reason.rule,
-                    "from": reason.frm,
-                    "to": reason.to,
-                    "value": reason.value,
-                    "t": reason.t,
-                }
-                if reason is not None
-                else None
-            ),
+            "series_points": n_points,
+            "reason": reason_doc,
         }
         with open(os.path.join(path, "manifest.json"), "w") as fh:
             json.dump(manifest, fh, indent=1)

@@ -285,6 +285,83 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
+    def metrics(self) -> list[_Metric]:
+        """Every registered metric, registration-ordered."""
+        return list(self._metrics.values())
+
+    def merge(self, other: "MetricsRegistry", extra_labels=None) -> "MetricsRegistry":
+        """Fold ``other``'s samples into this registry (federation).
+
+        Families are unified by name: a family ``other`` has that this
+        registry lacks is created; one both have must agree on kind,
+        label-name set, and (for histograms) bucket bounds, or the merge
+        raises ``ValueError`` — help text is reconciled by keeping this
+        registry's.  ``extra_labels`` (e.g. ``{"node": "0"}``) are added
+        as constant labels to every merged sample, the Prometheus
+        federation shape; a merged label set that already exists on the
+        target family is a collision and raises rather than silently
+        summing two nodes' counters.  Returns ``self`` for chaining.
+        """
+        extra = {str(k): str(v) for k, v in dict(extra_labels or {}).items()}
+        for theirs in other._metrics.values():
+            if any(k in theirs.labelnames for k in extra):
+                raise ValueError(
+                    f"{theirs.name}: extra labels {sorted(extra)} collide "
+                    f"with family labels {theirs.labelnames}"
+                )
+            merged_names = tuple(theirs.labelnames) + tuple(sorted(extra))
+            mine = self._metrics.get(theirs.name)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = Histogram(
+                        theirs.name, theirs.help, merged_names, theirs.bounds
+                    )
+                elif isinstance(theirs, Counter):
+                    mine = Counter(theirs.name, theirs.help, merged_names)
+                else:
+                    mine = Gauge(theirs.name, theirs.help, merged_names)
+                self.register(mine)
+            else:
+                if mine.kind != theirs.kind:
+                    raise ValueError(
+                        f"{theirs.name}: cannot merge {theirs.kind} into "
+                        f"{mine.kind}"
+                    )
+                if set(mine.labelnames) != set(merged_names):
+                    raise ValueError(
+                        f"{theirs.name}: label sets differ "
+                        f"({mine.labelnames} vs {merged_names})"
+                    )
+                if isinstance(mine, Histogram) and mine.bounds != theirs.bounds:
+                    raise ValueError(
+                        f"{theirs.name}: bucket bounds differ"
+                    )
+            if isinstance(theirs, Histogram):
+                for key, counts in theirs._counts.items():
+                    labels = dict(zip(theirs.labelnames, key), **extra)
+                    target = mine._key(labels)
+                    if target in mine._counts:
+                        raise ValueError(
+                            f"{theirs.name}{labels}: duplicate label set"
+                        )
+                    mine._counts[target] = list(counts)
+                    mine._sums[target] = theirs._sums[key]
+                    if key in theirs._exemplars:
+                        mine._exemplars[target] = {
+                            idx: (dict(ex[0]), ex[1])
+                            for idx, ex in theirs._exemplars[key].items()
+                        }
+            else:
+                for key, value in theirs._values.items():
+                    labels = dict(zip(theirs.labelnames, key), **extra)
+                    target = mine._key(labels)
+                    if target in mine._values:
+                        raise ValueError(
+                            f"{theirs.name}{labels}: duplicate label set"
+                        )
+                    mine._values[target] = value
+        return self
+
     def value(self, name: str, **labels) -> float:
         """Shortcut: current value of a counter or gauge sample."""
         metric = self.get(name)

@@ -21,6 +21,17 @@ engine:
   rate*: the increase per virtual second over the trailing window, the
   standard error-budget alerting shape.
 
+Since the continuous-telemetry PR the engine is wired onto the
+time-series store and query engine rather than hand-rolled deltas:
+every :meth:`SLOEngine.sample` scrapes the snapshot into an internal
+:class:`~repro.obs.tsdb.TimeSeriesStore` and evaluates each rule as a
+compiled query — ``metric{labels}``, ``histogram_quantile(q, ...)``,
+or ``rate(metric{labels}[w])`` — over real windows.  The query
+engine's rate and quantile estimators are exact matches for the
+historical semantics (see :mod:`repro.obs.query`), so transition
+sequences are reproduced bit for bit; the engine's store doubles as a
+free telemetry trail for postmortems (:attr:`SLOEngine.store`).
+
 The no-op path is free: an engine with no rules returns from
 :meth:`~SLOEngine.sample` before touching the registry, and the broker
 only builds snapshots when an engine with rules is attached — a run
@@ -33,6 +44,8 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.obs.prom import Counter, Histogram, MetricsRegistry
+from repro.obs.query import FuncCall, Matcher, Number, QueryEngine, Selector
+from repro.obs.tsdb import TimeSeriesStore
 
 __all__ = ["Rule", "RuleState", "Transition", "SLOEngine"]
 
@@ -133,18 +146,29 @@ class _State:
     breach_since: Optional[float] = None
     last_value: float = 0.0
     last_sampled: Optional[float] = None
-    #: (t, raw_value) history for burn-rate rules.
-    history: list[tuple[float, float]] = field(default_factory=list)
 
 
 class SLOEngine:
-    """Evaluates rules against registry snapshots; tracks transitions."""
+    """Evaluates rules against registry snapshots; tracks transitions.
 
-    def __init__(self, rules: tuple[Rule, ...] | list[Rule] = ()) -> None:
+    Snapshots are scraped into :attr:`store` and rules evaluate as
+    compiled queries over it, so windowed rules (``for:`` hysteresis,
+    burn rates) see real history instead of per-rule deltas.
+    """
+
+    def __init__(
+        self,
+        rules: tuple[Rule, ...] | list[Rule] = (),
+        store_capacity: int = 1024,
+    ) -> None:
         self.rules: list[Rule] = []
         self._states: dict[str, _State] = {}
         self.transitions: list[Transition] = []
         self._listeners: list = []
+        #: Every snapshot ever sampled, as queryable time series.
+        self.store = TimeSeriesStore(capacity=store_capacity)
+        self._engine = QueryEngine(self.store)
+        self._rule_asts: dict[str, object] = {}
         for rule in rules:
             self.add(rule)
 
@@ -169,45 +193,80 @@ class SLOEngine:
     # Evaluation
     # ------------------------------------------------------------------
     def sample(self, registry: MetricsRegistry, now: float) -> None:
-        """Evaluate every rule against one snapshot at virtual ``now``."""
+        """Evaluate every rule against one snapshot at virtual ``now``.
+
+        The snapshot is scraped into :attr:`store` first, then each rule
+        evaluates as a query at ``now`` — the newest point of every
+        series is exactly the value the snapshot holds, so plain and
+        quantile rules read current state while windowed rules see the
+        full scraped history.
+        """
         if not self.rules:  # the zero-overhead no-op path
             return
+        self.store.scrape(registry, now)
         for rule in self.rules:
             state = self._states[rule.name]
-            value = self._value(rule, state, registry, now)
+            value = self._value(rule, registry, now)
             state.last_value = value
             state.last_sampled = now
             self._advance(rule, state, value, now)
 
-    def _value(
-        self, rule: Rule, state: _State, registry: MetricsRegistry, now: float
-    ) -> float:
-        metric = registry.get(rule.metric)
-        labels = dict(rule.labels)
+    def _rule_ast(self, rule: Rule):
+        """Compile a rule to a query AST (built once, evaluated per sample)."""
+        ast = self._rule_asts.get(rule.name)
+        if ast is not None:
+            return ast
+        matchers = tuple(
+            Matcher(k, "=", str(v)) for k, v in sorted(rule.labels.items())
+        )
         if rule.quantile is not None:
-            if not isinstance(metric, Histogram):
-                raise TypeError(
-                    f"rule {rule.name!r}: quantile target {rule.metric!r} "
-                    "is not a histogram"
-                )
-            return metric.quantile(rule.quantile, **labels)
-        if rule.rate_window_s is not None:
-            if not isinstance(metric, Counter):
-                raise TypeError(
-                    f"rule {rule.name!r}: burn-rate target {rule.metric!r} "
-                    "is not a counter"
-                )
-            raw = metric.value(**labels)
-            history = state.history
-            history.append((now, raw))
-            horizon = now - rule.rate_window_s
-            while len(history) > 1 and history[1][0] <= horizon:
-                history.pop(0)
-            t0, v0 = history[0]
-            if now <= t0:
-                return 0.0
-            return (raw - v0) / (now - t0)
-        return metric.value(**labels)
+            ast = FuncCall(
+                "histogram_quantile",
+                (
+                    Number(rule.quantile),
+                    Selector(rule.metric + "_bucket", matchers),
+                ),
+            )
+        elif rule.rate_window_s is not None:
+            ast = FuncCall(
+                "rate",
+                (Selector(rule.metric, matchers, rule.rate_window_s),),
+            )
+        else:
+            ast = Selector(rule.metric, matchers)
+        self._rule_asts[rule.name] = ast
+        return ast
+
+    def _value(self, rule: Rule, registry: MetricsRegistry, now: float) -> float:
+        # Validate against the live registry first so missing metrics,
+        # wrong metric kinds, and incomplete label selectors raise the
+        # same KeyError/TypeError/ValueError they always did, regardless
+        # of what past scrapes happen to hold.
+        metric = registry.get(rule.metric)
+        if rule.quantile is not None and not isinstance(metric, Histogram):
+            raise TypeError(
+                f"rule {rule.name!r}: quantile target {rule.metric!r} "
+                "is not a histogram"
+            )
+        if rule.rate_window_s is not None and not isinstance(metric, Counter):
+            raise TypeError(
+                f"rule {rule.name!r}: burn-rate target {rule.metric!r} "
+                "is not a counter"
+            )
+        metric._key(dict(rule.labels))  # full-label-set check
+        result = self._engine.query_ast(self._rule_ast(rule), at=now)
+        if isinstance(result, float):
+            return result
+        if not result:
+            # No scraped series for this label set yet: the registry
+            # accessors' defaults (unset counter/gauge -> 0, empty
+            # histogram quantile -> 0).
+            return 0.0
+        if len(result) > 1:
+            raise ValueError(
+                f"rule {rule.name!r}: selector matched {len(result)} series"
+            )
+        return result[0].value
 
     def _advance(self, rule: Rule, state: _State, value: float, now: float) -> None:
         breached = rule.breaches(value)

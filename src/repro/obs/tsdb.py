@@ -1,0 +1,449 @@
+"""An in-process time-series store: continuous telemetry over sim time.
+
+The metrics registry (:mod:`repro.obs.prom`) is a *snapshot*: it can say
+what a counter is, not how it got there.  This module closes that gap
+with a dependency-free, bounded store that *scrapes* a registry on the
+shared sim clock at a configurable cadence:
+
+- each sample a registry renders becomes one point in a per-series ring
+  buffer keyed by ``(sample name, label set)``, so history is bounded
+  per series no matter how long a run is;
+- scrape times ride whatever clock the caller owns — the service broker
+  scrapes at batch completions, the hybrid runner at batch boundaries
+  (plus a cadence process), CLI one-shots fall back to wall clock;
+- the disabled path is free: :data:`NULL_TSDB` mirrors the
+  :data:`~repro.obs.tracer.NULL_TRACER` pattern — one ``enabled``
+  attribute read per guard site, nothing else;
+- the JSON round trip is *exact*: timestamps and values are
+  delta-encoded as XOR deltas of their IEEE-754 bit patterns (the
+  Gorilla trick), so repeated or slowly-moving values compress to
+  streams of zeros while ``from_dict(to_dict(s))`` reproduces every
+  float bit for bit.
+
+The query engine (:mod:`repro.obs.query`), anomaly detector
+(:mod:`repro.obs.anomaly`), and dashboard renderer
+(:mod:`repro.obs.dash`) are all consumers of this store.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterable, Mapping, Optional
+
+__all__ = [
+    "NULL_TSDB",
+    "NullTimeSeriesStore",
+    "Series",
+    "TimeSeriesStore",
+    "federate_stores",
+]
+
+TSDB_SCHEMA = "repro.tsdb/v1"
+
+
+# ----------------------------------------------------------------------
+# Exact delta encoding (IEEE-754 bit-pattern XOR)
+# ----------------------------------------------------------------------
+def _bits(value: float) -> int:
+    return struct.unpack(">Q", struct.pack(">d", float(value)))[0]
+
+
+def _unbits(bits: int) -> float:
+    return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+
+def encode_floats(values: Iterable[float]) -> list[int]:
+    """XOR-delta encode a float sequence losslessly.
+
+    The first element is the raw 64-bit pattern; each subsequent element
+    is the XOR against its predecessor's pattern — 0 for repeats, small
+    for slow drifts — so the JSON stays compact without ever rounding.
+    """
+    out: list[int] = []
+    prev = 0
+    for value in values:
+        bits = _bits(value)
+        out.append(bits if not out else bits ^ prev)
+        prev = bits
+    return out
+
+
+def decode_floats(encoded: Iterable[int]) -> list[float]:
+    """Invert :func:`encode_floats` exactly."""
+    out: list[float] = []
+    prev = 0
+    for delta in encoded:
+        bits = delta if not out else delta ^ prev
+        out.append(_unbits(bits))
+        prev = bits
+    return out
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Series:
+    """One bounded series: ``(name, labels)`` plus a ring of points.
+
+    ``kind`` records the originating metric family's type (``counter`` /
+    ``gauge`` / ``histogram``) so consumers know whether to difference
+    (counters) or read raw (gauges).  ``evicted`` counts points dropped
+    by the ring so cursor-based consumers (the anomaly detector) can
+    skip exactly the points they already saw.
+    """
+
+    __slots__ = ("name", "labels", "kind", "capacity", "_ts", "_vs", "evicted")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        kind: str = "gauge",
+        capacity: int = 512,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError("series capacity must be >= 2")
+        self.name = name
+        self.labels = {str(k): str(v) for k, v in labels.items()}
+        self.kind = kind
+        self.capacity = capacity
+        self._ts: list[float] = []
+        self._vs: list[float] = []
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    @property
+    def key(self) -> tuple:
+        return (self.name, _label_key(self.labels))
+
+    def append(self, t: float, value: float) -> None:
+        """Add one point; same-timestamp appends overwrite in place.
+
+        Overwriting keeps "the value at t" well-defined when two events
+        land on the same virtual instant (two batches completing
+        simultaneously): the later write is the registry's newer state.
+        """
+        if self._ts and self._ts[-1] == t:
+            self._vs[-1] = float(value)
+            return
+        if self._ts and t < self._ts[-1]:
+            raise ValueError(
+                f"series {self.name}: non-monotonic append "
+                f"({t} after {self._ts[-1]})"
+            )
+        self._ts.append(float(t))
+        self._vs.append(float(value))
+        if len(self._ts) > self.capacity:
+            drop = len(self._ts) - self.capacity
+            del self._ts[:drop]
+            del self._vs[:drop]
+            self.evicted += drop
+
+    def points(self) -> list[tuple[float, float]]:
+        """Every retained point, oldest first."""
+        return list(zip(self._ts, self._vs))
+
+    def times(self) -> list[float]:
+        return list(self._ts)
+
+    def values(self) -> list[float]:
+        return list(self._vs)
+
+    def latest_at(self, t: float) -> Optional[tuple[float, float]]:
+        """The newest point with timestamp <= ``t`` (None if none)."""
+        idx = self._index_at(t)
+        if idx < 0:
+            return None
+        return self._ts[idx], self._vs[idx]
+
+    def base_at(self, t: float, window_s: float) -> Optional[tuple[float, float]]:
+        """The reference point a trailing-window rate measures against.
+
+        The newest point with timestamp <= ``t - window_s``; when the
+        window reaches past the retained history, the oldest point not
+        after ``t`` — exactly the head the SLO engine's legacy burn-rate
+        history kept after pruning.
+        """
+        last = self._index_at(t)
+        if last < 0:
+            return None
+        horizon = t - window_s
+        base = self._index_at(horizon)
+        if base < 0:
+            base = 0  # oldest retained point
+        base = min(base, last)
+        return self._ts[base], self._vs[base]
+
+    def window(self, start: float, end: float) -> list[tuple[float, float]]:
+        """Points with ``start < t <= end`` (the PromQL range shape)."""
+        import bisect
+
+        lo = bisect.bisect_right(self._ts, start)
+        hi = bisect.bisect_right(self._ts, end)
+        return list(zip(self._ts[lo:hi], self._vs[lo:hi]))
+
+    def _index_at(self, t: float) -> int:
+        import bisect
+
+        return bisect.bisect_right(self._ts, t) - 1
+
+    def to_dict(self, since: Optional[float] = None) -> dict:
+        ts, vs = self._ts, self._vs
+        if since is not None:
+            import bisect
+
+            lo = bisect.bisect_left(ts, since)
+            ts, vs = ts[lo:], vs[lo:]
+        return {
+            "name": self.name,
+            "labels": dict(sorted(self.labels.items())),
+            "kind": self.kind,
+            "t": encode_floats(ts),
+            "v": encode_floats(vs),
+            "evicted": self.evicted,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict, capacity: int = 512) -> "Series":
+        s = cls(doc["name"], doc.get("labels", {}), doc.get("kind", "gauge"),
+                capacity=max(capacity, len(doc["t"]), 2))
+        s._ts = decode_floats(doc["t"])
+        s._vs = decode_floats(doc["v"])
+        s.evicted = int(doc.get("evicted", 0))
+        return s
+
+
+class TimeSeriesStore:
+    """Bounded ring-buffer store scraping registries into series.
+
+    One store owns many :class:`Series`; :meth:`scrape` walks every
+    sample a registry renders and appends one point per series at the
+    scrape time.  ``cadence_s`` throttles :meth:`due`/:meth:`maybe_scrape`
+    so hot paths (the broker's per-batch hook) only build registry
+    snapshots when a scrape is actually owed; ``cadence_s=0`` scrapes on
+    every opportunity.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 512, cadence_s: float = 0.0) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2")
+        if cadence_s < 0.0:
+            raise ValueError("cadence_s must be non-negative")
+        self.capacity = capacity
+        self.cadence_s = cadence_s
+        self._series: dict[tuple, Series] = {}
+        self.families: dict[str, str] = {}  # family name -> metric kind
+        self.scrape_times: list[float] = []
+        self.last_scrape: Optional[float] = None
+        self.n_scrapes = 0
+        self.n_samples = 0
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # ------------------------------------------------------------------
+    # Scraping
+    # ------------------------------------------------------------------
+    def due(self, now: float) -> bool:
+        """Whether a scrape is owed at ``now`` under the cadence."""
+        if self.last_scrape is None:
+            return True
+        if now == self.last_scrape:
+            return False
+        return now - self.last_scrape >= self.cadence_s
+
+    def scrape(self, registry, now: float) -> int:
+        """Scrape every sample of ``registry`` at time ``now``.
+
+        Returns the number of samples appended.  Re-scraping the same
+        timestamp overwrites in place (see :meth:`Series.append`), so
+        the store never holds two points at one instant.
+        """
+        appended = 0
+        for metric in registry.metrics():
+            kind = metric.kind
+            for name, labels, value in metric.samples():
+                self.families.setdefault(name, kind)
+                key = (name, _label_key(labels))
+                series = self._series.get(key)
+                if series is None:
+                    series = Series(name, labels, kind, capacity=self.capacity)
+                    self._series[key] = series
+                series.append(now, value)
+                appended += 1
+        if not self.scrape_times or self.scrape_times[-1] != now:
+            self.scrape_times.append(now)
+            if len(self.scrape_times) > self.capacity:
+                del self.scrape_times[: len(self.scrape_times) - self.capacity]
+        self.last_scrape = now
+        self.n_scrapes += 1
+        self.n_samples += appended
+        return appended
+
+    def maybe_scrape(self, registry_fn: Callable[[], object], now: float) -> bool:
+        """Scrape only when due; ``registry_fn`` is called lazily.
+
+        The laziness is the point: building a registry snapshot is the
+        expensive part, and off-cadence calls must not pay for it.
+        """
+        if not self.due(now):
+            return False
+        self.scrape(registry_fn(), now)
+        return True
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def series(self, name: Optional[str] = None) -> list[Series]:
+        """Every series (optionally restricted to one sample name)."""
+        out = [
+            s
+            for s in self._series.values()
+            if name is None or s.name == name
+        ]
+        out.sort(key=lambda s: s.key)
+        return out
+
+    def get(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Series:
+        key = (name, _label_key(labels or {}))
+        try:
+            return self._series[key]
+        except KeyError:
+            raise KeyError(
+                f"no series {name}{dict(labels or {})}; "
+                f"{len(self._series)} series stored"
+            ) from None
+
+    def add_series(self, series: Series) -> Series:
+        """Adopt a pre-built series (federation; duplicate keys collide)."""
+        if series.key in self._series:
+            raise ValueError(
+                f"series {series.name}{series.labels} already stored"
+            )
+        self._series[series.key] = series
+        self.families.setdefault(series.name, series.kind)
+        return series
+
+    # ------------------------------------------------------------------
+    # Exact JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self, since: Optional[float] = None) -> dict:
+        """JSON-serializable snapshot (optionally only points >= since)."""
+        series = [
+            s.to_dict(since=since)
+            for s in self.series()
+        ]
+        if since is not None:
+            series = [doc for doc in series if doc["t"]]
+        times = self.scrape_times
+        if since is not None:
+            times = [t for t in times if t >= since]
+        return {
+            "schema": TSDB_SCHEMA,
+            "capacity": self.capacity,
+            "cadence_s": self.cadence_s,
+            "scrape_times": encode_floats(times),
+            "families": dict(sorted(self.families.items())),
+            "series": series,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TimeSeriesStore":
+        if doc.get("schema") != TSDB_SCHEMA:
+            raise ValueError(
+                f"expected schema {TSDB_SCHEMA!r}, got {doc.get('schema')!r}"
+            )
+        store = cls(
+            capacity=int(doc.get("capacity", 512)),
+            cadence_s=float(doc.get("cadence_s", 0.0)),
+        )
+        store.families = dict(doc.get("families", {}))
+        store.scrape_times = decode_floats(doc.get("scrape_times", []))
+        if store.scrape_times:
+            store.last_scrape = store.scrape_times[-1]
+            store.n_scrapes = len(store.scrape_times)
+        for sdoc in doc.get("series", []):
+            series = Series.from_dict(sdoc, capacity=store.capacity)
+            store._series[series.key] = series
+            store.n_samples += len(series)
+        return store
+
+
+class NullTimeSeriesStore:
+    """The zero-overhead disabled store (mirror of ``NULL_TRACER``).
+
+    Every hot-path guard reduces to one ``enabled`` attribute read; the
+    methods exist so accidental unguarded calls stay harmless no-ops.
+    """
+
+    enabled = False
+    cadence_s = 0.0
+    scrape_times: list[float] = []
+    families: dict[str, str] = {}
+
+    def due(self, now: float) -> bool:
+        return False
+
+    def scrape(self, registry, now: float) -> int:
+        return 0
+
+    def maybe_scrape(self, registry_fn, now: float) -> bool:
+        return False
+
+    def series(self, name=None) -> list:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TSDB = NullTimeSeriesStore()
+
+
+def federate_stores(
+    stores: Mapping[str, TimeSeriesStore], label: str = "node"
+) -> TimeSeriesStore:
+    """Merge per-node stores under a constant ``label`` (federation).
+
+    Every series of every member store reappears in the merged store
+    with ``label=<member name>`` added — the Prometheus federation
+    shape, so one dashboard renders a whole simulated cluster.  Member
+    stores are not modified; scrape times become the sorted union.
+    """
+    if not stores:
+        raise ValueError("need at least one store to federate")
+    merged = TimeSeriesStore(
+        capacity=max(s.capacity for s in stores.values()),
+        cadence_s=min(s.cadence_s for s in stores.values()),
+    )
+    times: set[float] = set()
+    for name in sorted(stores, key=str):
+        store = stores[name]
+        times.update(store.scrape_times)
+        for series in store.series():
+            if label in series.labels:
+                raise ValueError(
+                    f"series {series.name}{series.labels} already carries "
+                    f"the federation label {label!r}"
+                )
+            clone = Series(
+                series.name,
+                {**series.labels, label: str(name)},
+                series.kind,
+                capacity=merged.capacity,
+            )
+            clone._ts = series.times()
+            clone._vs = series.values()
+            clone.evicted = series.evicted
+            merged.add_series(clone)
+    merged.scrape_times = sorted(times)
+    if merged.scrape_times:
+        merged.last_scrape = merged.scrape_times[-1]
+        merged.n_scrapes = len(merged.scrape_times)
+    merged.n_samples = sum(len(s) for s in merged.series())
+    return merged

@@ -43,6 +43,7 @@ from repro.obs.attribution import Attribution, AttributionResult
 from repro.obs.attribution import CostModel as SpanCostModel
 from repro.obs.bus import ServiceBus
 from repro.obs.tracer import NULL_TRACER
+from repro.obs.tsdb import NULL_TSDB
 from repro.parallel.executor import BACKENDS, ExecutionBackend, get_backend
 from repro.physics.plan import PLAN_CACHE
 from repro.service.batching import BatchAssembler, MegabatchGroup
@@ -235,6 +236,8 @@ class SpectrumBroker:
         db: AtomicDatabase | None = None,
         tracer=None,
         slo=None,
+        tsdb=None,
+        anomaly=None,
     ) -> None:
         self.clock = clock
         #: Optional :class:`repro.obs.slo.SLOEngine`; sampled at each
@@ -242,6 +245,14 @@ class SpectrumBroker:
         #: keeps the run bit-identical to an unmonitored one — no
         #: registry snapshot is ever built.
         self.slo = slo
+        #: Continuous telemetry: a :class:`~repro.obs.tsdb.TimeSeriesStore`
+        #: scraped at batch completions on this clock.  The default
+        #: :data:`~repro.obs.tsdb.NULL_TSDB` reduces the hot path to one
+        #: ``enabled`` attribute read.
+        self.tsdb = tsdb if tsdb is not None else NULL_TSDB
+        #: Optional :class:`~repro.obs.anomaly.AnomalyDetector`, scanned
+        #: after each scrape; events flow onto the service bus.
+        self.anomaly = anomaly
         self.config = config or ServiceConfig()
         self.db = db or AtomicDatabase(
             AtomicConfig(n_max=self.config.db_n_max, z_max=self.config.db_z_max)
@@ -764,8 +775,17 @@ class SpectrumBroker:
                 self.attribution.ingest()
                 if self.cost_model is not None:
                     self.cost_model.ingest(self.attribution.drain_observations())
+            registry = None
+            if self.tsdb.enabled and self.tsdb.due(now):
+                registry = self.registry()
+                self.tsdb.scrape(registry, now)
+                if self.anomaly is not None:
+                    for event in self.anomaly.scan(self.tsdb):
+                        self.bus.on_anomaly(event)
             if self.slo is not None and self.slo.rules:
-                self.slo.sample(self.registry(), now)
+                self.slo.sample(
+                    registry if registry is not None else self.registry(), now
+                )
 
 
 # ----------------------------------------------------------------------
@@ -780,6 +800,8 @@ def run_trace(
     slo=None,
     flight_dir: Optional[str] = None,
     flight_window_s: float = 10.0,
+    tsdb=None,
+    anomaly=None,
 ) -> tuple[SpectrumBroker, list[Optional[Ticket]]]:
     """Play a traffic trace through a fresh broker to completion.
 
@@ -788,11 +810,16 @@ def run_trace(
     broker's retry-after hint until admitted — so a finite trace always
     ends with zero lost requests unless the service itself stalls.
 
-    ``flight_dir`` (with an ``slo`` engine attached) arms a
-    :class:`~repro.obs.flight.FlightRecorder`: every rule entering
-    ``firing`` dumps a postmortem bundle — the trailing
-    ``flight_window_s`` of trace plus the cost ledger — into that
-    directory.  The recorder is exposed as ``broker.flight``.
+    ``flight_dir`` (with an ``slo`` engine or ``anomaly`` detector
+    attached) arms a :class:`~repro.obs.flight.FlightRecorder`: every
+    rule entering ``firing`` — and every anomaly event — dumps a
+    postmortem bundle — the trailing ``flight_window_s`` of trace and
+    scraped series plus the cost ledger — into that directory.  The
+    recorder is exposed as ``broker.flight``.
+
+    ``tsdb`` (a :class:`~repro.obs.tsdb.TimeSeriesStore`) is scraped at
+    batch completions under its cadence plus once after the trace
+    drains; ``anomaly`` scans it after every scrape.
 
     Returns the broker (telemetry, cache, coalescer all inspectable) and
     each arrival's final ticket, trace-ordered.
@@ -800,14 +827,18 @@ def run_trace(
     clock = SimClock()
     if tracer is not None:
         tracer.bind(clock)
-    broker = SpectrumBroker(clock, config, db=db, tracer=tracer, slo=slo)
+    broker = SpectrumBroker(
+        clock, config, db=db, tracer=tracer, slo=slo, tsdb=tsdb, anomaly=anomaly
+    )
     broker.flight = None
-    if flight_dir is not None and slo is not None:
+    if flight_dir is not None and (slo is not None or anomaly is not None):
         from repro.obs.flight import FlightRecorder
 
-        broker.flight = FlightRecorder(
-            broker, flight_dir, window_s=flight_window_s
-        ).arm(slo)
+        broker.flight = FlightRecorder(broker, flight_dir, window_s=flight_window_s)
+        if slo is not None:
+            broker.flight.arm(slo)
+        if anomaly is not None:
+            broker.flight.arm_anomalies(anomaly)
     broker.start()
     tickets: list[Optional[Ticket]] = [None] * len(trace)
 
@@ -839,4 +870,11 @@ def run_trace(
     finally:
         broker.close()
     broker.bus.finalize(clock.now)
+    if broker.tsdb.enabled:
+        # One closing scrape so the stored series end on the finalized
+        # registry state (residency folded, end_time stamped).
+        broker.tsdb.scrape(broker.registry(), clock.now)
+        if broker.anomaly is not None:
+            for event in broker.anomaly.scan(broker.tsdb):
+                broker.bus.on_anomaly(event)
     return broker, tickets

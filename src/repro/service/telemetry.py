@@ -174,6 +174,8 @@ class ServiceTelemetry:
         self.batched_temperatures = 0
         self.batch_coalesced_requests = 0
         self.batch_window_waits = 0
+        # Anomaly events emitted by an attached detector (via the bus).
+        self.anomalies = 0
         #: Summed device load residency across batches (device x load
         #: virtual seconds), grown to the widest batch shape seen.
         self.load_residency: Optional[np.ndarray] = None
@@ -248,6 +250,10 @@ class ServiceTelemetry:
     def on_window_wait(self) -> None:
         """One admission-window wait taken by a service worker."""
         self.batch_window_waits += 1
+
+    def on_anomaly(self, event) -> None:
+        """One anomaly event emitted by an attached detector."""
+        self.anomalies += 1
 
     def on_batch(self, result: RunResult, n_requests: int) -> None:
         """Fold one dispatched batch's hybrid ledger into the totals."""
@@ -337,6 +343,7 @@ class ServiceTelemetry:
             "batched_temperatures": self.batched_temperatures,
             "batch_coalesced_requests": self.batch_coalesced_requests,
             "batch_window_waits": self.batch_window_waits,
+            "anomalies": self.anomalies,
             "virtual_time_s": self.end_time,
             "lanes": {lane: s.as_dict() for lane, s in self.lanes.items()},
         }

@@ -268,3 +268,85 @@ class TestDerivations:
             v for _lbl, v in fams["repro_batch_width_count"]
         )
         assert width_count == groups
+
+
+class TestMerge:
+    """Registry federation: family unification and collision safety."""
+
+    def _node(self, total: float, node_free=False) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", "requests", ("lane",)).inc(total, lane="a")
+        reg.gauge("depth", "queue depth").set(total / 2.0)
+        h = reg.histogram("lat", "latency", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        return reg
+
+    def test_merge_unifies_families_with_extra_labels(self):
+        fed = MetricsRegistry()
+        fed.merge(self._node(3.0), extra_labels={"node": "0"})
+        fed.merge(self._node(7.0), extra_labels={"node": "1"})
+        assert fed.value("reqs_total", lane="a", node="0") == 3.0
+        assert fed.value("reqs_total", lane="a", node="1") == 7.0
+        assert fed.value("depth", node="1") == 3.5
+        assert fed.get("lat").quantile(0.5, node="0") == fed.get(
+            "lat"
+        ).quantile(0.5, node="1")
+
+    def test_merge_returns_self_for_chaining(self):
+        fed = MetricsRegistry()
+        out = fed.merge(self._node(1.0), extra_labels={"node": "0"}).merge(
+            self._node(2.0), extra_labels={"node": "1"}
+        )
+        assert out is fed
+
+    def test_merge_without_extra_labels_copies_samples(self):
+        fed = MetricsRegistry()
+        fed.merge(self._node(5.0))
+        assert fed.value("reqs_total", lane="a") == 5.0
+
+    def test_duplicate_label_set_rejected(self):
+        fed = MetricsRegistry()
+        fed.merge(self._node(1.0), extra_labels={"node": "0"})
+        with pytest.raises(ValueError, match="duplicate label set"):
+            fed.merge(self._node(2.0), extra_labels={"node": "0"})
+
+    def test_kind_mismatch_rejected(self):
+        fed = MetricsRegistry()
+        fed.gauge("reqs_total", "oops")
+        with pytest.raises(ValueError, match="cannot merge"):
+            fed.merge(self._node(1.0))
+
+    def test_label_set_mismatch_rejected(self):
+        fed = MetricsRegistry()
+        fed.counter("reqs_total", "requests", ("region",))
+        with pytest.raises(ValueError, match="label sets differ"):
+            fed.merge(self._node(1.0))
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        fed = MetricsRegistry()
+        fed.histogram("lat", "latency", buckets=(0.5, 1.0))
+        other = MetricsRegistry()
+        other.histogram("lat", "latency", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            fed.merge(other)
+
+    def test_extra_label_colliding_with_family_label_rejected(self):
+        fed = MetricsRegistry()
+        with pytest.raises(ValueError, match="collide"):
+            fed.merge(self._node(1.0), extra_labels={"lane": "x"})
+
+    def test_merged_registry_renders_and_reparses(self):
+        fed = MetricsRegistry()
+        fed.merge(self._node(3.0), extra_labels={"node": "0"})
+        fed.merge(self._node(7.0), extra_labels={"node": "1"})
+        fams = parse_exposition(fed.render())
+        assert sum(v for _lbl, v in fams["reqs_total"]) == 10.0
+        labels = {dict(lbl)["node"] for lbl, _v in fams["depth"]}
+        assert labels == {"0", "1"}
+
+    def test_source_registry_untouched(self):
+        src = self._node(3.0)
+        before = src.render()
+        MetricsRegistry().merge(src, extra_labels={"node": "0"})
+        assert src.render() == before

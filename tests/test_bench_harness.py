@@ -145,6 +145,8 @@ class TestTolerance:
             "p95_vs_unbatched",
             # A prediction-error figure: mean |rel err| of the cost model.
             "cost_model_rel_err",
+            # False alarms on a seeded steady trace: any increase regresses.
+            "anomaly_false_positives",
         }
         for metric, tol in DEFAULT_TOLERANCES.items():
             expected = "lower" if metric in times else "higher"

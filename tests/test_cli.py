@@ -44,6 +44,13 @@ class TestParser:
             ["bench", "--quick", "--seed", "3"],
             ["bench", "--compare", "old.json", "new.json"],
             ["bench", "--cases", "nei", "--flamegraph", "fg.txt"],
+            ["serve", "--dash", "dash.html", "--tsdb-out", "tsdb.json"],
+            ["serve", "--dash", "d.html", "--scrape-cadence", "0.25"],
+            ["spectrum", "--dash", "dash.html"],
+            ["submit", "--tsdb-out", "tsdb.json"],
+            ["bench", "--quick", "--dash", "dash.html"],
+            ["query", "rate(repro_requests_total[2s])", "--tsdb", "t.json"],
+            ["query", "depth", "--tsdb", "t.json", "--at", "3.5", "--json"],
         ],
     )
     def test_all_subcommands_parse(self, argv):
@@ -189,6 +196,83 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "queue-depth" in out
         assert "interactive-p95" in out
+
+    def test_serve_dash_and_tsdb_out(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import TimeSeriesStore
+
+        dash = tmp_path / "dash.html"
+        tsdb = tmp_path / "tsdb.json"
+        assert main([
+            "serve", "--requests", "40", "--seed", "7", "--burst", "4",
+            "--slo", "--dash", str(dash), "--tsdb-out", str(tsdb),
+        ]) == 0
+        html = dash.read_text()
+        assert html.startswith("<!DOCTYPE html>") and "<svg" in html
+        store = TimeSeriesStore.from_dict(json.loads(tsdb.read_text()))
+        assert store.n_scrapes > 1
+        assert any(s.key[0] == "repro_requests_total" for s in store.series())
+
+    def test_serve_dash_is_deterministic(self, tmp_path):
+        argv = ["serve", "--requests", "30", "--seed", "7"]
+        a, b = tmp_path / "a.html", tmp_path / "b.html"
+        assert main(argv + ["--dash", str(a)]) == 0
+        assert main(argv + ["--dash", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+
+    def test_serve_rejects_bad_cadence(self, tmp_path):
+        with pytest.raises(SystemExit, match="scrape-cadence"):
+            main([
+                "serve", "--requests", "10",
+                "--dash", str(tmp_path / "d.html"), "--scrape-cadence", "0",
+            ])
+
+    def test_query_roundtrip(self, tmp_path, capsys):
+        import json
+
+        tsdb = tmp_path / "tsdb.json"
+        assert main([
+            "serve", "--requests", "40", "--seed", "7",
+            "--tsdb-out", str(tsdb),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "query", "rate(repro_requests_total[2s])", "--tsdb", str(tsdb),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lane=" in out
+        assert main([
+            "query", "histogram_quantile(0.95, repro_request_latency_seconds_bucket)",
+            "--tsdb", str(tsdb), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples"]
+        assert all(s["value"] >= 0.0 for s in payload["samples"])
+
+    def test_query_bad_expression_fails(self, tmp_path, capsys):
+        import json
+
+        tsdb = tmp_path / "tsdb.json"
+        assert main([
+            "serve", "--requests", "10", "--seed", "7",
+            "--tsdb-out", str(tsdb),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["query", "rate(nope", "--tsdb", str(tsdb)]) == 2
+        assert "query error" in capsys.readouterr().err
+
+    def test_spectrum_dash_smoke(self, tmp_path, capsys):
+        dash = tmp_path / "spec.html"
+        assert main(["spectrum", "--bins", "20", "--dash", str(dash)]) == 0
+        assert "<svg" in dash.read_text()
+
+    def test_submit_dash_smoke(self, tmp_path, capsys):
+        dash = tmp_path / "submit.html"
+        assert main([
+            "submit", "--temperature", "1.3e7", "--dash", str(dash),
+        ]) == 0
+        assert "<svg" in dash.read_text()
 
     def test_bench_quick_writes_valid_doc(self, tmp_path, capsys):
         import json
