@@ -600,6 +600,118 @@ def _case_telemetry_pipeline(quick: bool, seed: int) -> dict:
     }
 
 
+def _case_predictive_scheduling(quick: bool, seed: int) -> dict:
+    """Measured-cost placement + work stealing vs the depth baseline.
+
+    A skewed heavy-tail task list — each grid point carries one
+    Pareto-sized expensive low-efficiency ion among cheap ones, the mix
+    Algorithm 1's "tasks of equal size" assumption breaks on — runs
+    through the depth scheduler and the predictive scheduler.  The
+    predictive run uses a warmed cost model (one prior run's measured
+    spans, the persisted-model serving setup): queue *depth* balances
+    task counts and so splits the Pareto weights badly; predicted
+    *seconds* balance the actual load, and stealing migrates stranded
+    queue tails.  Gates: ``makespan_vs_depth`` holds the predictive win
+    (lower is better), ``steals`` stays positive (the stealing path is
+    exercised, not vestigial), and ``bit_identical`` is exact at zero
+    tolerance — the scheduler prices placement but must never change an
+    answer.  ``makespan_vs_oracle`` (predictive makespan over the
+    perfect-balance lower bound, summed measured device seconds over
+    ``n_gpus``) is reported ungated.
+    """
+    import numpy as np
+
+    from repro.core.calibration import CostModel
+    from repro.core.hybrid import HybridConfig, HybridRunner
+    from repro.core.task import Task, TaskKind
+    from repro.gpusim.device import TESLA_C2075
+    from repro.gpusim.kernel import KernelSpec
+    from repro.obs.attribution import CostModel as SpanCostModel
+
+    n_points = 24
+    tasks_per_point = 4
+    n_bins = 300 if quick else 600
+    rng = np.random.default_rng(seed)
+    heavy_levels = np.minimum(
+        400, (20.0 * (1.0 + rng.pareto(1.0, size=n_points))).astype(int)
+    )
+    tasks = []
+    tid = 0
+    for p in range(n_points):
+        for i in range(tasks_per_point):
+            heavy = i == tasks_per_point - 1
+            n_levels = int(heavy_levels[p]) if heavy else 4
+            label = f"pt{p}/Heavy{n_levels}" if heavy else f"pt{p}/Light+{i % 2}"
+            arr = np.full(16, float(tid % 11) + 0.25)
+            kern = KernelSpec.for_ion_task(
+                n_levels=n_levels,
+                n_bins=n_bins,
+                evals_per_integral=129,
+                label=label,
+                efficiency=0.08 if heavy else 1.0,
+                execute=(lambda a=arr: a),
+            )
+            tasks.append(
+                Task(
+                    task_id=tid,
+                    kind=TaskKind.ION,
+                    kernel=kern,
+                    point_index=p,
+                    n_levels=n_levels,
+                    cpu_execute=(lambda a=arr: a),
+                    label=label,
+                    method="simpson",
+                )
+            )
+            tid += 1
+
+    # The host-cost model is zeroed down to make the run device-bound:
+    # the default per-point overhead swamps device time and would hide
+    # any placement difference.
+    host = CostModel(
+        point_overhead_s=0.0,
+        prep_fixed_s=1.0e-4,
+        prep_per_level_s=1.0e-6,
+        submit_overhead_s=1.0e-4,
+    )
+    base = dict(
+        n_workers=12,
+        n_gpus=3,
+        max_queue_length=8,
+        cost=host,
+        stagger_s=0.001,
+    )
+    t0 = time.perf_counter()
+    depth = HybridRunner(HybridConfig(scheduler_kind="shared", **base)).run(tasks)
+    model = SpanCostModel.seeded_from_counters(TESLA_C2075)
+    HybridRunner(
+        HybridConfig(scheduler_kind="predictive", **base), span_cost_model=model
+    ).run(tasks)
+    pred = HybridRunner(
+        HybridConfig(scheduler_kind="predictive", **base), span_cost_model=model
+    ).run(tasks)
+    wall_s = time.perf_counter() - t0
+
+    identical = set(depth.spectra) == set(pred.spectra) and all(
+        np.array_equal(depth.spectra[p], pred.spectra[p]) for p in depth.spectra
+    )
+    device_time_s = sum(m for _, m in pred.metrics.predictions)
+    oracle_s = device_time_s / base["n_gpus"]
+    errors = pred.metrics.prediction_errors()
+    return {
+        "wall_s": wall_s,
+        "sim": {
+            "makespan_s": pred.makespan_s,
+            "makespan_vs_depth": pred.makespan_s / depth.makespan_s,
+            "makespan_vs_oracle": pred.makespan_s / oracle_s,
+            "steals": float(pred.metrics.total_steals),
+            "bit_identical": 1.0 if identical else 0.0,
+            "cost_model_rel_err": float(np.mean(errors)) if errors else 0.0,
+            "load_imbalance": pred.metrics.load_imbalance(),
+        },
+    }
+
+
 #: The declared suite, execution-ordered.  ``service_throughput`` is the
 #: flamegraph and dashboard source (it is the only case with a span
 #: trace).
@@ -612,6 +724,7 @@ CASES: dict[str, Callable] = {
     "approx_serving": _case_approx_serving,
     "cost_attribution": _case_cost_attribution,
     "telemetry_pipeline": _case_telemetry_pipeline,
+    "predictive_scheduling": _case_predictive_scheduling,
     "nei": _case_nei,
 }
 
@@ -766,6 +879,8 @@ DEFAULT_TOLERANCES: dict[str, Tolerance] = {
     "cost_model_rel_err": Tolerance(0.25, "lower"),
     "scrape_determinism": Tolerance(0.0, "higher"),
     "anomaly_false_positives": Tolerance(0.0, "lower"),
+    "makespan_vs_depth": Tolerance(0.02, "lower"),
+    "steals": Tolerance(0.0, "higher"),
 }
 
 

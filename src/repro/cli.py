@@ -140,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="arrivals per cluster: >1 lands requests in "
                         "simultaneous bursts at the same long-run rate")
     p.add_argument("--gpus", type=int, default=1, help="GPUs per worker node")
+    p.add_argument("--tail", type=float, default=0.0,
+                   help="heavy-tail work mix: fraction of requests whose "
+                        "z_max is inflated by a Pareto factor (0 = off; "
+                        "legacy traces replay bit for bit)")
+    _add_sched_flags(p)
     p.add_argument("--cache-entries", type=int, default=256)
     p.add_argument("--cache-mb", type=float, default=32.0)
     p.add_argument("--ttl", type=float, default=3600.0,
@@ -234,10 +239,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=2,
                    help="submissions of the identical request; the second "
                         "and later ones demonstrate the cache")
+    _add_sched_flags(p)
     p.add_argument("--json", action="store_true")
     _add_obs_flags(p)
 
     return parser
+
+
+def _add_sched_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scheduler", choices=["depth", "predictive"],
+                   default="depth",
+                   help="hybrid placement policy: 'depth' = Algorithm 1 "
+                        "queue-depth scan; 'predictive' = measured-cost "
+                        "placement with work stealing")
+    p.add_argument("--cost-model", metavar="PATH", default=None,
+                   help="JSON cost-model state: loaded before the run "
+                        "when the file exists, saved (updated) after it — "
+                        "predictions warm-start across runs")
 
 
 def _add_backend_flags(p: argparse.ArgumentParser) -> None:
@@ -274,6 +292,43 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scrape-cadence", type=float, default=0.5,
                    help="telemetry scrape cadence in virtual seconds "
                         "(wall-clock seconds for 'spectrum'; default 0.5)")
+
+
+def _load_cost_model(args: argparse.Namespace):
+    """The (possibly persisted) cost model a run should start from.
+
+    Returns ``None`` when no ``--cost-model`` path is given (the broker
+    seeds its own when needed).  A missing file is not an error — the
+    first run creates it on save.
+    """
+    import os
+
+    path = getattr(args, "cost_model", None)
+    if not path or not os.path.exists(path):
+        return None
+    import json
+
+    from repro.obs.attribution import CostModel
+
+    with open(path) as fh:
+        return CostModel.from_dict(json.load(fh))
+
+
+def _save_cost_model(args: argparse.Namespace, model) -> None:
+    """Persist the run's updated cost model back to ``--cost-model``."""
+    path = getattr(args, "cost_model", None)
+    if not path or model is None:
+        return
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(model.to_dict(), fh)
+    print(f"wrote cost model to {path}", file=sys.stderr)
+
+
+def _sched_kind(args: argparse.Namespace) -> str:
+    """The HybridConfig scheduler_kind for a --scheduler flag value."""
+    return "predictive" if getattr(args, "scheduler", "depth") == "predictive" else "shared"
 
 
 def _make_tsdb(args: argparse.Namespace):
@@ -890,6 +945,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             n_distinct=args.distinct,
             tail_tol=args.tail_tol,
             accuracy=args.accuracy,
+            tail=args.tail,
+            # Inflated requests must stay servable by the broker's DB.
+            tail_z_max=ServiceConfig().db_z_max,
         )
     )
     config = ServiceConfig(
@@ -901,7 +959,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_max_entries=args.cache_entries,
         cache_max_bytes=int(args.cache_mb * (1 << 20)),
         cache_ttl_s=args.ttl,
-        hybrid=replace(_default_hybrid(), n_gpus=args.gpus),
+        hybrid=replace(
+            _default_hybrid(),
+            n_gpus=args.gpus,
+            scheduler_kind=_sched_kind(args),
+        ),
         latency_reservoir=args.latency_reservoir,
         backend=args.backend,
         jobs=args.jobs,
@@ -956,7 +1018,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flight_window_s=args.postmortem_window,
         tsdb=tsdb,
         anomaly=anomaly,
+        cost_model=_load_cost_model(args),
     )
+    _save_cost_model(args, broker.cost_model)
     if args.postmortem and broker.flight is not None and broker.flight.bundles:
         for bundle in broker.flight.bundles:
             print(f"wrote postmortem bundle {bundle}", file=sys.stderr)
@@ -1066,6 +1130,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ["hybrid batches (mean size)",
                  f"{report['batches']} ({report['batch_size_mean']:.1f})"],
                 ["tasks on GPU", f"{report['gpu_task_ratio']:.1%}"],
+                ["work steals (predictive)", report["sched_steals"]],
+                ["cost prediction error (mean)",
+                 f"{report['sched_prediction_error_mean']:.1%}"],
             ],
             title="Cache, queue, and dispatch",
         )
@@ -1096,8 +1163,19 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
         tracer = EventTracer(clock)
     tsdb, anomaly = _make_tsdb(args)
+    from dataclasses import replace
+
+    from repro.service.broker import _default_hybrid
+
     broker = SpectrumBroker(
-        clock, ServiceConfig(), tracer=tracer, tsdb=tsdb, anomaly=anomaly
+        clock,
+        ServiceConfig(
+            hybrid=replace(_default_hybrid(), scheduler_kind=_sched_kind(args))
+        ),
+        tracer=tracer,
+        tsdb=tsdb,
+        anomaly=anomaly,
+        cost_model=_load_cost_model(args),
     )
     broker.start()
     outcomes = []
@@ -1115,6 +1193,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             }
         )
     broker.bus.finalize(clock.now)
+    _save_cost_model(args, broker.cost_model)
     if tsdb is not None:
         tsdb.scrape(broker.registry(), clock.now)  # closing boundary scrape
         if anomaly is not None:

@@ -65,6 +65,18 @@ class SharedSegment:
     Mirrors the paper's layout: "The shared memory contains two types of
     arrays, one is the load count of task queue on each device, and the
     other is the history task count of each device."
+
+    The predictive tier adds three more arrays to the same segment:
+
+    - ``backlog`` — per-device predicted backlog, in integer picosecond
+      ticks (the sum of predicted costs of every admitted-but-unfreed
+      task).  Integer ticks make occupy/steal/release exactly
+      conserving: the same amount added at admission is moved by a steal
+      and removed at release, so a drained device reads exactly zero.
+    - ``steals`` — tasks this device pulled from another queue (thief
+      counter); ``donations`` — tasks pulled *from* this device.
+
+    Depth-only schedulers never touch them; they stay all-zero.
     """
 
     def __init__(self, n_devices: int) -> None:
@@ -73,6 +85,9 @@ class SharedSegment:
         self.n_devices = n_devices
         self.load = SharedArray(max(1, n_devices), name="load")
         self.history = SharedArray(max(1, n_devices), name="history")
+        self.backlog = SharedArray(max(1, n_devices), name="backlog")
+        self.steals = SharedArray(max(1, n_devices), name="steals")
+        self.donations = SharedArray(max(1, n_devices), name="donations")
 
     def attach(self) -> tuple[SharedArray, SharedArray]:
         """The ``shmat()`` of Algorithm 1: hand out the mapped arrays."""
@@ -80,6 +95,13 @@ class SharedSegment:
 
     def total_load(self) -> int:
         return sum(self.load) if self.n_devices else 0
+
+    def total_backlog(self) -> int:
+        """Summed predicted backlog ticks across devices (0 when drained)."""
+        return sum(self.backlog) if self.n_devices else 0
+
+    def total_steals(self) -> int:
+        return sum(self.steals) if self.n_devices else 0
 
     def validate(self, max_queue_length: int) -> None:
         """Invariant check: loads within [0, max], histories monotone >= 0."""
@@ -91,3 +113,12 @@ class SharedSegment:
                 )
             if self.history[d] < 0:
                 raise ValueError(f"device {d}: negative history count")
+            if self.backlog[d] < 0:
+                raise ValueError(f"device {d}: negative predicted backlog")
+            if self.steals[d] < 0 or self.donations[d] < 0:
+                raise ValueError(f"device {d}: negative steal counter")
+        # Steal conservation: every steal has exactly one donation.
+        if self.total_steals() != (
+            sum(self.donations) if self.n_devices else 0
+        ):
+            raise ValueError("steal/donation counters out of balance")

@@ -29,12 +29,14 @@ import numpy as np
 from repro.cluster.simclock import SimClock
 from repro.core.calibration import CostModel
 from repro.core.metrics import MetricsLedger, RunResult, TaskEvent
+from repro.obs.attribution import ion_from_label
 from repro.obs.bus import RunBus
 from repro.obs.tracer import NULL_TRACER
 from repro.obs.tsdb import NULL_TSDB
 from repro.core.scheduler import (
     NO_DEVICE,
     ClientServerScheduler,
+    PredictiveScheduler,
     RandomScheduler,
     SharedMemoryScheduler,
     WeightedScheduler,
@@ -60,9 +62,20 @@ class HybridConfig:
     cost: CostModel = field(default_factory=CostModel)
     #: "shared" (Algorithm 1), "client-server" (MPS-like ablation),
     #: "random" (policy baseline), "weighted" (the future-work speed-aware
-    #: rule; uses each device's mean service time for a reference task).
+    #: rule; uses each device's mean service time for a reference task),
+    #: "predictive" (measured-cost placement via the online EWMA cost
+    #: model, with work stealing in the dispatch loop).
     scheduler_kind: str = "shared"
     rpc_latency_s: float = 5.0e-4
+    #: Work stealing on the predictive dispatch path: an idle device
+    #: pulls from the tail of the most-loaded pending queue.  Results
+    #: are bit-identical either way (placement prices, never answers);
+    #: off is the ablation that isolates placement from stealing.
+    steal: bool = True
+    #: Predictive CPU-fallback threshold, in predicted *seconds*: a task
+    #: whose best predicted finish time exceeds this runs on the rank's
+    #: CPU instead.  ``None`` keeps only the slot-count bound.
+    cpu_threshold_s: Optional[float] = None
     #: 0 = synchronous (the paper's implementation); n > 0 allows each
     #: rank n outstanding GPU tasks (the "future work" asynchronous mode).
     async_depth: int = 0
@@ -85,11 +98,18 @@ class HybridConfig:
         if self.max_queue_length < 1:
             raise ValueError("maximum queue length must be >= 1")
         if self.scheduler_kind not in (
-            "shared", "client-server", "random", "weighted"
+            "shared", "client-server", "random", "weighted", "predictive"
         ):
             raise ValueError(f"unknown scheduler kind {self.scheduler_kind!r}")
         if self.async_depth < 0:
             raise ValueError("async_depth must be non-negative")
+        if self.scheduler_kind == "predictive" and self.async_depth > 0:
+            raise ValueError(
+                "predictive scheduling dispatches through per-device "
+                "workers; async_depth applies only to direct-submit modes"
+            )
+        if self.cpu_threshold_s is not None and self.cpu_threshold_s <= 0.0:
+            raise ValueError("cpu_threshold_s must be positive or None")
         if self.devices is not None and len(self.devices) != self.n_gpus:
             raise ValueError(
                 f"devices tuple has {len(self.devices)} entries for "
@@ -121,6 +141,7 @@ class HybridRunner:
         scope: str = "hybrid",
         tsdb=None,
         scrape_cadence_s: float = 0.5,
+        span_cost_model=None,
     ) -> None:
         self.config = config or HybridConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -129,6 +150,12 @@ class HybridRunner:
         if scrape_cadence_s <= 0.0:
             raise ValueError("scrape_cadence_s must be positive")
         self.scrape_cadence_s = scrape_cadence_s
+        #: Online EWMA :class:`~repro.obs.attribution.CostModel` backing
+        #: predictive placement.  ``None`` lazily seeds one from the
+        #: config's device spec + the kernel-savings ledger on the first
+        #: predictive batch; the broker passes its shared (possibly
+        #: persisted) model so every batch prices from the same history.
+        self.span_cost_model = span_cost_model
 
     # ------------------------------------------------------------------
     # Observability handles
@@ -266,6 +293,14 @@ class HybridRunner:
             sched = WeightedScheduler(
                 cfg.n_gpus, cfg.max_queue_length, service, bus
             )
+        elif cfg.scheduler_kind == "predictive":
+            sched = PredictiveScheduler(
+                cfg.n_gpus,
+                cfg.max_queue_length,
+                bus,
+                cpu_threshold_s=cfg.cpu_threshold_s,
+                tie_break=cfg.tie_break,
+            )
         else:
             sched = SharedMemoryScheduler(
                 cfg.n_gpus, cfg.max_queue_length, bus, tie_break=cfg.tie_break
@@ -284,6 +319,25 @@ class HybridRunner:
             gpus = [SimulatedGPU(clock, specs[d], index=d) for d in range(cfg.n_gpus)]
         spectra: dict[int, np.ndarray] = {}
 
+        dispatch = None
+        if cfg.scheduler_kind == "predictive":
+            if self.span_cost_model is None:
+                from repro.obs.attribution import CostModel as SpanCostModel
+
+                self.span_cost_model = SpanCostModel.seeded_from_counters(
+                    cfg.device
+                )
+            dispatch = _PredictiveDispatch(
+                clock, sched, gpus, bus, self.span_cost_model,
+                steal=cfg.steal,
+            )
+            for d in range(cfg.n_gpus):
+                for slot in range(specs[d].max_concurrent_kernels):
+                    clock.spawn(
+                        dispatch.device_worker(d),
+                        name=f"{name}.gpu{d}.disp{slot}",
+                    )
+
         per_worker = self._partition(tasks)
         stagger = self._stagger()
         handles = []
@@ -291,7 +345,12 @@ class HybridRunner:
             rank_track = (
                 tracer.track(self.scope, f"rank{rank}") if tracer.enabled else 0
             )
-            if cfg.async_depth > 0:
+            if dispatch is not None:
+                gen = self._worker_predictive(
+                    rank, my_tasks, clock, sched, dispatch, bus, spectra,
+                    stagger, rank_track,
+                )
+            elif cfg.async_depth > 0:
                 gen = self._worker_async(
                     rank, my_tasks, clock, sched, gpus, bus, spectra, stagger,
                     rank_track,
@@ -324,6 +383,8 @@ class HybridRunner:
         for handle in handles:
             yield handle
         batch_done[0] = True
+        if dispatch is not None:
+            dispatch.close()
         makespan = clock.now - start
         metrics.finalize(clock.now)
         if self.tsdb.enabled:
@@ -332,6 +393,10 @@ class HybridRunner:
         sched.validate()
         if sched.segment.total_load() != 0:
             raise RuntimeError("scheduler leaked queue slots at end of run")
+        if sched.segment.total_backlog() != 0:
+            raise RuntimeError(
+                "scheduler leaked predicted backlog at end of run"
+            )
         if tracer.enabled:
             tracer.complete(
                 batch_track,
@@ -550,6 +615,114 @@ class HybridRunner:
         for sig in in_flight:
             yield sig
 
+    def _worker_predictive(
+        self, rank, my_tasks, clock, sched, dispatch, bus, spectra, stagger,
+        rank_track=0,
+    ) -> Generator:
+        """Rank loop for the predictive dispatch path.
+
+        Mirrors :meth:`_worker_sync`, but admitted tasks are priced by
+        the online cost model, placed by predicted finish time, and
+        handed to the per-device dispatch queues (where work stealing
+        may relocate them).  The rank still blocks on each task's
+        completion signal, so accumulation order — and with it every
+        spectrum bit — is the rank's own task order regardless of which
+        device ends up executing each task.
+        """
+        cfg = self.config
+        cost = cfg.cost
+        tracer = self.tracer
+        model = dispatch.model
+        yield rank * stagger
+        point_share = self._point_share(my_tasks)
+        for task in my_tasks:
+            task_started = clock.now
+            span_id = tracer.new_id() if tracer.enabled else 0
+            yield cost.prep_s(task.n_levels) + point_share[task.point_index]
+            ion, method, evals = _task_cost_key(task)
+            predicted = model.predict(ion, method, evals)
+            if tracer.enabled:
+                loads = sched.loads()
+                histories = sched.histories()
+                backlogs = sched.backlogs_s()
+            device = sched.sche_alloc(clock.now, cost_s=predicted)
+            if tracer.enabled:
+                tracer.instant(
+                    rank_track,
+                    "sche_alloc",
+                    cat="sched",
+                    args={
+                        "chosen": device,
+                        "loads": loads,
+                        "histories": histories,
+                        "backlogs_s": backlogs,
+                        "predicted_s": predicted,
+                        "task_id": task.task_id,
+                    },
+                )
+            if device != NO_DEVICE:
+                yield cost.submit_overhead_s
+                entry = dispatch.enqueue(device, task, predicted, span_id)
+                payload = yield entry.done
+                if entry.failed:
+                    bus.on_admission_revoked(entry.executed_device)
+                    device = NO_DEVICE
+                else:
+                    self._accumulate(spectra, task, payload)
+                    wait_s = entry.exec_started - entry.enqueued_at
+                    if tracer.enabled:
+                        if wait_s > 0.0:
+                            tracer.span(
+                                rank_track, "queue-wait", entry.enqueued_at,
+                                entry.exec_started, cat="wait",
+                                args={"device": entry.executed_device},
+                                parent=span_id,
+                            )
+                        tracer.complete(
+                            rank_track,
+                            task.label or f"task{task.task_id}",
+                            task_started,
+                            cat="task",
+                            args={
+                                "placement": "gpu",
+                                "device": entry.executed_device,
+                                "stolen": entry.executed_device != device,
+                                "predicted_s": predicted,
+                                "wait_s": wait_s,
+                                "service_s": entry.service_s,
+                            },
+                            id=span_id,
+                            parent=task.trace_parent or None,
+                        )
+                    if cfg.record_trace:
+                        bus.on_task_event(TaskEvent(
+                            rank=rank, task_id=task.task_id, placement="gpu",
+                            device=entry.executed_device,
+                            start=entry.exec_started, end=clock.now,
+                            enqueue=entry.enqueued_at,
+                        ))
+            if device == NO_DEVICE:
+                bus.on_cpu_task()
+                cpu_started = clock.now
+                yield cost.cpu_task_fallback_s(task.n_integrals, task.cpu_evals_per_integral)
+                self._accumulate(spectra, task, task.run_cpu())
+                if tracer.enabled:
+                    tracer.complete(
+                        rank_track,
+                        task.label or f"task{task.task_id}",
+                        task_started,
+                        cat="task",
+                        args={"placement": "cpu", "device": -1, "wait_s": 0.0},
+                        id=span_id,
+                        parent=task.trace_parent or None,
+                    )
+                if cfg.record_trace:
+                    bus.on_task_event(TaskEvent(
+                        rank=rank, task_id=task.task_id, placement="cpu",
+                        device=-1, start=cpu_started, end=clock.now,
+                        enqueue=cpu_started,
+                    ))
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
@@ -619,3 +792,163 @@ class HybridRunner:
             spectra[task.point_index] = arr.copy()
         else:
             existing += arr
+
+
+# ----------------------------------------------------------------------
+# Predictive dispatch (measured-cost placement + work stealing)
+# ----------------------------------------------------------------------
+def _task_cost_key(task: Task) -> tuple[str, str, int]:
+    """(ion, method, evals) — one task's cost-model axes."""
+    label = task.kernel.label or task.label
+    return ion_from_label(label), task.cost_key_method, task.kernel.total_evals
+
+
+class _PendingTask:
+    """One admitted task parked in a device's dispatch queue."""
+
+    __slots__ = (
+        "task", "ion", "method", "evals", "cost_s", "span_id",
+        "enqueued_at", "done", "executed_device", "exec_started",
+        "service_s", "failed",
+    )
+
+    def __init__(self, task, ion, method, evals, cost_s, span_id, now, done):
+        self.task = task
+        self.ion = ion
+        self.method = method
+        self.evals = evals
+        #: Predicted cost at admission time — the exact value added to
+        #: the segment backlog, carried so free/steal remove it exactly.
+        self.cost_s = cost_s
+        self.span_id = span_id
+        self.enqueued_at = now
+        self.done = done
+        # Set by the executing dispatch worker:
+        self.executed_device = -1
+        self.exec_started = 0.0
+        self.service_s = 0.0
+        self.failed = False
+
+
+class _PredictiveDispatch:
+    """Per-device dispatch queues with work stealing.
+
+    Rank workers enqueue admitted tasks here instead of submitting to
+    the device directly; one dispatch worker per device kernel slot
+    drains its own queue head-first (FIFO — admission order, matching
+    the direct-submit modes), and, when stealing is on, an idle device
+    pulls from the *tail* of the pending queue with the largest summed
+    predicted backlog (ties to the lowest index).  The steal rebalances
+    slot + predicted ticks on the shared segment through
+    :meth:`PredictiveScheduler.on_steal`, so conservation is validated
+    at end of run exactly as for unstolen tasks.
+
+    Relocating a task never changes its result — placement prices
+    answers, it does not compute them — and each rank still blocks per
+    task, so spectra are bit-identical with stealing on or off.
+    """
+
+    def __init__(self, clock, sched, gpus, bus, model, steal=True):
+        self.clock = clock
+        self.sched = sched
+        self.gpus = gpus
+        self.bus = bus
+        self.model = model
+        self.steal = steal
+        self.pending: list[deque] = [deque() for _ in gpus]
+        self._idle: list = []
+        self.closed = False
+
+    def enqueue(self, device, task, cost_s, span_id) -> _PendingTask:
+        """Park one admitted task on ``device``'s queue; wake idle workers."""
+        ion, method, evals = _task_cost_key(task)
+        entry = _PendingTask(
+            task, ion, method, evals, cost_s, span_id,
+            self.clock.now, self.clock.signal(f"task{task.task_id}.done"),
+        )
+        self.pending[device].append(entry)
+        self._wake_all(prefer=device)
+        return entry
+
+    def close(self) -> None:
+        """All ranks joined: let idle dispatch workers exit."""
+        self.closed = True
+        self._wake_all()
+
+    def _wake_all(self, prefer: int = -1) -> None:
+        """Wake every idle worker; ``prefer``'s own workers step first.
+
+        Waking is a same-instant schedule, so ordering decides who claims
+        a fresh entry: the owning device gets first refusal, and another
+        device steals it only when the owner's slots are all busy.
+        """
+        waiters, self._idle = self._idle, []
+        waiters.sort(key=lambda pair: pair[0] != prefer)
+        for _d, sig in waiters:
+            sig.fire(self.clock)
+
+    def _steal_from(self, thief: int) -> Optional[_PendingTask]:
+        """Pull the tail task of the most-backlogged pending queue."""
+        best = -1
+        best_ticks = 0
+        for d, queue in enumerate(self.pending):
+            if d == thief or not queue:
+                continue
+            ticks = sum(
+                PredictiveScheduler.cost_ticks(e.cost_s) for e in queue
+            )
+            if best < 0 or ticks > best_ticks:
+                best, best_ticks = d, ticks
+        if best < 0:
+            return None
+        entry = self.pending[best].pop()
+        self.sched.on_steal(best, thief, self.clock.now, cost_s=entry.cost_s)
+        return entry
+
+    def device_worker(self, device: int) -> Generator:
+        """One kernel slot's drain loop: own head, else steal, else idle."""
+        clock = self.clock
+        sched = self.sched
+        gpu = self.gpus[device]
+        while True:
+            entry = None
+            if self.pending[device]:
+                entry = self.pending[device].popleft()
+            elif (
+                self.steal
+                and not gpu.failed
+                and sched.queues[device].load < sched.max_queue_length
+            ):
+                entry = self._steal_from(device)
+            if entry is None:
+                if self.closed and not any(self.pending):
+                    return
+                sig = clock.signal(f"gpu{device}.disp.idle")
+                self._idle.append((device, sig))
+                yield sig
+                continue
+            try:
+                gpu_done = gpu.submit(entry.task.kernel, parent=entry.span_id)
+            except RuntimeError:
+                # Device died after admission: release the slot, flag the
+                # entry; the owning rank revokes the placement count and
+                # degrades to the CPU path.  Keep looping so later
+                # entries (enqueued or stolen here) fail fast too.
+                sched.sche_free(device, clock.now, cost_s=entry.cost_s)
+                entry.executed_device = device
+                entry.failed = True
+                entry.done.fire(clock, None)
+                continue
+            entry.exec_started = clock.now
+            payload = yield gpu_done
+            measured = clock.now - entry.exec_started
+            entry.executed_device = device
+            entry.service_s = measured
+            self.model.observe(entry.ion, entry.method, entry.evals, measured)
+            self.bus.on_prediction(entry.cost_s, measured)
+            self.bus.on_task_timing(
+                wait_s=entry.exec_started - entry.enqueued_at,
+                service_s=measured,
+            )
+            sched.sche_free(device, clock.now, cost_s=entry.cost_s)
+            entry.done.fire(clock, payload)

@@ -77,6 +77,14 @@ class MetricsLedger:
         self._current_load = np.zeros(max(1, n_devices), dtype=np.int64)
         self.task_waits: list[float] = []
         self.task_services: list[float] = []
+        #: Work stealing (predictive dispatch): tasks each device pulled
+        #: from another queue / had pulled away.  All-zero on depth runs.
+        self.steals = np.zeros(max(1, n_devices), dtype=np.int64)
+        self.donations = np.zeros(max(1, n_devices), dtype=np.int64)
+        #: Predicted-vs-measured service pairs from the cost model
+        #: (predictive dispatch only): one (predicted_s, measured_s) per
+        #: GPU-executed task, for the prediction-error histogram.
+        self.predictions: list[tuple[float, float]] = []
         #: Integrand evaluations pruned by active windows across the
         #: batch's tasks (set once by the runner, folded by telemetry).
         self.evals_saved: int = 0
@@ -108,6 +116,23 @@ class MetricsLedger:
     def on_task_timing(self, wait_s: float, service_s: float) -> None:
         self.task_waits.append(wait_s)
         self.task_services.append(service_s)
+
+    def on_steal(self, victim: int, thief: int) -> None:
+        """One task moved from ``victim``'s queue to ``thief``'s.
+
+        The thief's ``on_load_change`` rise already counted the task as
+        a thief placement, so the victim hands its admission-time count
+        back — total GPU task counts are conserved across steals.
+        """
+        if self.gpu_tasks[victim] <= 0:
+            raise ValueError(f"device {victim} has no admissions to donate")
+        self.gpu_tasks[victim] -= 1
+        self.steals[thief] += 1
+        self.donations[victim] += 1
+
+    def on_prediction(self, predicted_s: float, measured_s: float) -> None:
+        """One cost-model prediction resolved against measured service."""
+        self.predictions.append((predicted_s, measured_s))
 
     def on_task_event(self, event: TaskEvent) -> None:
         self.trace.append(event)
@@ -199,6 +224,35 @@ class MetricsLedger:
 
     def mean_wait_s(self) -> float:
         return float(np.mean(self.task_waits)) if self.task_waits else 0.0
+
+    @property
+    def total_steals(self) -> int:
+        return int(self.steals.sum())
+
+    def prediction_errors(self) -> list[float]:
+        """Relative |predicted - measured| / measured per resolved task."""
+        return [
+            abs(p - m) / m for p, m in self.predictions if m > 0.0
+        ]
+
+    def mean_device_load(self, device: int) -> float:
+        """Time-weighted mean queue load of one device over the run."""
+        row = self.load_residency[device]
+        total = row.sum()
+        if total == 0.0:
+            return 0.0
+        return float((row * np.arange(row.size)).sum() / total)
+
+    def load_imbalance(self) -> float:
+        """Spread of time-weighted mean loads across devices (max - min).
+
+        0 = perfectly even residency; the gauge the predictive scheduler
+        and work stealing exist to push down on skewed workloads.
+        """
+        if self.n_devices < 2:
+            return 0.0
+        means = [self.mean_device_load(d) for d in range(self.n_devices)]
+        return max(means) - min(means)
 
 
 @dataclass

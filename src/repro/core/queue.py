@@ -51,13 +51,22 @@ class TaskQueue:
     def is_full(self) -> bool:
         return self.load >= self.max_length
 
-    def occupy(self) -> None:
+    @property
+    def backlog_ticks(self) -> int:
+        """Predicted backlog of admitted tasks, integer picosecond ticks."""
+        return self.segment.backlog[self.device_index]
+
+    def occupy(self, cost_ticks: int = 0) -> None:
         """Admit one task: load++ and history++ in one atomic step.
 
         Mirrors the paper: "the scheduler will increase the current load
         value of the GPU by one in an atomic operation" together with the
-        history count.
+        history count.  ``cost_ticks`` (the predictive tier) adds the
+        task's predicted cost to the device's backlog in the same step;
+        the caller must release (or transfer) the identical amount.
         """
+        if cost_ticks < 0:
+            raise ValueError("cost_ticks must be non-negative")
         new_load = self.segment.load.atomic_add(self.device_index, 1)
         self.segment.history.atomic_add(self.device_index, 1)
         if new_load > self.max_length:
@@ -69,12 +78,59 @@ class TaskQueue:
                 f"device {self.device_index}: admission beyond max queue "
                 f"length {self.max_length}"
             )
+        if cost_ticks:
+            self.segment.backlog.atomic_add(self.device_index, cost_ticks)
 
-    def release(self) -> None:
+    def release(self, cost_ticks: int = 0) -> None:
         """Task finished: load-- (history is monotone, never decremented)."""
+        if cost_ticks < 0:
+            raise ValueError("cost_ticks must be non-negative")
         new_load = self.segment.load.atomic_add(self.device_index, -1)
         if new_load < 0:
             self.segment.load.atomic_add(self.device_index, 1)
             raise RuntimeError(
                 f"device {self.device_index}: release without matching occupy"
             )
+        if cost_ticks:
+            new_backlog = self.segment.backlog.atomic_add(
+                self.device_index, -cost_ticks
+            )
+            if new_backlog < 0:
+                self.segment.backlog.atomic_add(self.device_index, cost_ticks)
+                self.segment.load.atomic_add(self.device_index, 1)
+                raise RuntimeError(
+                    f"device {self.device_index}: backlog release exceeds "
+                    f"admitted cost"
+                )
+
+    def transfer_to(self, thief: "TaskQueue", cost_ticks: int = 0) -> None:
+        """Move one admitted task's slot (and backlog) to ``thief``.
+
+        The work-stealing bookkeeping: the victim's load and backlog
+        drop, the thief's rise, and the steal/donation counters advance
+        — all on the shared segment, so conservation is checkable
+        (``total_load``/``total_backlog`` are unchanged by a transfer).
+        History does not move: it records where the scheduler *admitted*
+        the task, and steals are a dispatch-level rebalance.
+        """
+        if thief.segment is not self.segment:
+            raise ValueError("steal across segments")
+        if thief.device_index == self.device_index:
+            raise ValueError("device cannot steal from itself")
+        if cost_ticks < 0:
+            raise ValueError("cost_ticks must be non-negative")
+        if self.load < 1:
+            raise RuntimeError(
+                f"device {self.device_index}: steal from an empty queue"
+            )
+        if thief.is_full:
+            raise RuntimeError(
+                f"device {thief.device_index}: steal beyond max queue length"
+            )
+        self.segment.load.atomic_add(self.device_index, -1)
+        self.segment.load.atomic_add(thief.device_index, 1)
+        if cost_ticks:
+            self.segment.backlog.atomic_add(self.device_index, -cost_ticks)
+            self.segment.backlog.atomic_add(thief.device_index, cost_ticks)
+        self.segment.donations.atomic_add(self.device_index, 1)
+        self.segment.steals.atomic_add(thief.device_index, 1)

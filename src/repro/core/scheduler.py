@@ -26,14 +26,21 @@ from repro.core.queue import TaskQueue
 
 __all__ = [
     "NO_DEVICE",
+    "TICKS_PER_S",
     "SharedMemoryScheduler",
     "ClientServerScheduler",
     "RandomScheduler",
     "WeightedScheduler",
+    "PredictiveScheduler",
 ]
 
 #: Sentinel returned by SCHE-ALLOC when every queue is at full load.
 NO_DEVICE: int = -1
+
+#: Backlog accounting resolution: picoseconds per virtual second — the
+#: same tick the attribution ledger uses, so predicted costs conserve
+#: exactly through occupy/steal/release integer arithmetic.
+TICKS_PER_S: int = 10**12
 
 
 class SharedMemoryScheduler:
@@ -235,3 +242,133 @@ class WeightedScheduler(SharedMemoryScheduler):
         if self.metrics is not None:
             self.metrics.on_load_change(best, old_load, old_load + 1, now)
         return best
+
+
+class PredictiveScheduler(SharedMemoryScheduler):
+    """Measured-cost placement: minimize *predicted* finish time.
+
+    :class:`WeightedScheduler` fixed the device axis of Algorithm 1's
+    blindness (unequal devices); this scheduler fixes the task axis —
+    unequal *tasks*.  The shared segment gains a per-device ``backlog``
+    array holding the summed predicted cost (integer picosecond ticks)
+    of every admitted task, maintained by the caller passing each task's
+    predicted cost (from the online EWMA
+    :class:`~repro.obs.attribution.CostModel`) to ``sche_alloc`` /
+    ``sche_free``.  SCHE-ALLOC places the task on the device whose
+    backlog-plus-new-cost is smallest, history tie-break unchanged — so
+    with equal costs it reduces exactly to Algorithm 1 (backlog is then
+    load x cost).
+
+    The CPU fallback turns from a queue-*depth* rule into a predicted-
+    *seconds* rule: ``cpu_threshold_s`` rejects a placement whose
+    predicted finish time would exceed the threshold, which is the
+    quantity the paper's max-queue-length bound was approximating under
+    the equal-size-task assumption.  The slot bound stays as a hard cap
+    (the shared arrays are still bounded).
+
+    ``on_steal`` is the work-stealing transfer: an idle device pulls one
+    admitted task from a loaded victim, moving its slot and predicted
+    backlog atomically on the segment (conservation is validated at end
+    of run — no slot or tick is lost or duplicated).
+    """
+
+    def __init__(
+        self,
+        n_devices: int,
+        max_queue_length: int,
+        metrics: Optional[MetricsLedger] = None,
+        segment: Optional[SharedSegment] = None,
+        cpu_threshold_s: Optional[float] = None,
+        tie_break: str = "history",
+    ) -> None:
+        super().__init__(
+            n_devices, max_queue_length, metrics, segment, tie_break
+        )
+        if cpu_threshold_s is not None and cpu_threshold_s <= 0.0:
+            raise ValueError("cpu_threshold_s must be positive or None")
+        self.cpu_threshold_s = cpu_threshold_s
+
+    @staticmethod
+    def cost_ticks(cost_s: float) -> int:
+        """A predicted cost in the segment's integer tick resolution."""
+        if cost_s < 0.0:
+            raise ValueError("predicted cost must be non-negative")
+        return int(round(cost_s * TICKS_PER_S))
+
+    def sche_alloc(self, now: float = 0.0, cost_s: float = 0.0) -> int:
+        """Place one task of predicted cost ``cost_s`` (seconds).
+
+        Scans for the minimum predicted finish time (device backlog +
+        this task's cost), history tie-break among exact tick ties; the
+        new cost is added to the winner's backlog in the same atomic
+        admission step.  Returns ``NO_DEVICE`` when every queue is at
+        the slot cap or the best predicted finish time crosses
+        ``cpu_threshold_s``.
+        """
+        if self.n_devices == 0:
+            return NO_DEVICE
+        ticks = self.cost_ticks(cost_s)
+        load, history = self.segment.attach()
+        backlog = self.segment.backlog
+        use_history = self.tie_break == "history"
+        best = -1
+        best_finish = 0
+        best_history = 0
+        for d in range(self.n_devices):
+            if load[d] >= self.max_queue_length:
+                continue
+            finish = backlog[d] + ticks
+            h_d = history[d]
+            if (
+                best < 0
+                or finish < best_finish
+                or (use_history and finish == best_finish and h_d < best_history)
+            ):
+                best, best_finish, best_history = d, finish, h_d
+        if best < 0:
+            return NO_DEVICE
+        if (
+            self.cpu_threshold_s is not None
+            and best_finish > self.cost_ticks(self.cpu_threshold_s)
+        ):
+            return NO_DEVICE
+        old_load = self.queues[best].load
+        self.queues[best].occupy(ticks)
+        if self.metrics is not None:
+            self.metrics.on_load_change(best, old_load, old_load + 1, now)
+        return best
+
+    def sche_free(self, device: int, now: float = 0.0, cost_s: float = 0.0) -> None:
+        """Release one slot, removing the cost admitted for the task.
+
+        ``cost_s`` must be the value passed to the matching
+        ``sche_alloc`` (or carried through ``on_steal``) — the tick
+        conversion is deterministic, so the backlog returns to exactly
+        what it was.
+        """
+        if not 0 <= device < self.n_devices:
+            raise ValueError(f"device {device} out of range")
+        old_load = self.queues[device].load
+        self.queues[device].release(self.cost_ticks(cost_s))
+        if self.metrics is not None:
+            self.metrics.on_load_change(device, old_load, old_load - 1, now)
+
+    def on_steal(
+        self, victim: int, thief: int, now: float = 0.0, cost_s: float = 0.0
+    ) -> None:
+        """Transfer one admitted task's slot + backlog from victim to thief."""
+        for d in (victim, thief):
+            if not 0 <= d < self.n_devices:
+                raise ValueError(f"device {d} out of range")
+        ticks = self.cost_ticks(cost_s)
+        victim_old = self.queues[victim].load
+        thief_old = self.queues[thief].load
+        self.queues[victim].transfer_to(self.queues[thief], ticks)
+        if self.metrics is not None:
+            self.metrics.on_load_change(victim, victim_old, victim_old - 1, now)
+            self.metrics.on_load_change(thief, thief_old, thief_old + 1, now)
+            self.metrics.on_steal(victim, thief)
+
+    def backlogs_s(self) -> list[float]:
+        """Predicted backlog per device, in seconds (diagnostics)."""
+        return [q.backlog_ticks / TICKS_PER_S for q in self.queues]

@@ -63,6 +63,16 @@ class Task:
     #: request root); 0 = untraced.  The hybrid runner parents the task
     #: span — and through it every gpusim sub-span — under this id.
     trace_parent: int = 0
+    #: Quadrature method for cost-model keying; request compilers stamp
+    #: the rule ("simpson" | "romberg") so predictive scheduling queries
+    #: the same (ion, method, width) keys the attribution ledger feeds.
+    #: Empty for workloads with no rule axis (falls back to the kind).
+    method: str = ""
+
+    @property
+    def cost_key_method(self) -> str:
+        """The method axis of this task's cost-model key."""
+        return self.method or self.kind.value
 
     def __post_init__(self) -> None:
         if self.task_id < 0:

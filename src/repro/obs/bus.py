@@ -60,6 +60,20 @@ class RunBus:
     def on_task_timing(self, wait_s: float, service_s: float) -> None:
         self.ledger.on_task_timing(wait_s, service_s)
 
+    def on_steal(self, victim: int, thief: int) -> None:
+        self.ledger.on_steal(victim, thief)
+        t = self.tracer
+        if t.enabled and thief < len(self.device_tracks):
+            t.instant(
+                self.device_tracks[thief],
+                "steal",
+                cat="sched",
+                args={"victim": victim},
+            )
+
+    def on_prediction(self, predicted_s: float, measured_s: float) -> None:
+        self.ledger.on_prediction(predicted_s, measured_s)
+
     def on_task_event(self, event) -> None:
         self.ledger.on_task_event(event)
 

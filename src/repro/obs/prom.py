@@ -694,6 +694,64 @@ def _cost_metrics(reg: MetricsRegistry, broker) -> None:
         model_err.set(model.mean_abs_rel_error)
 
 
+#: Relative-error buckets for the predicted-vs-measured histogram: the
+#: EWMA cost model converges to a few percent, so the resolution sits
+#: there, with a long tail for cold-start mispredictions.
+SCHED_ERROR_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+
+def _sched_metrics(
+    reg: MetricsRegistry,
+    n_devices: int,
+    steals,
+    donations,
+    prediction_errors,
+    mean_loads,
+    imbalance: float,
+) -> None:
+    """Export the predictive-scheduling families under ``repro_sched_*``.
+
+    Zeroed-schema convention: the families are always emitted — all-zero
+    counters, an empty histogram, a 0.0 imbalance — when the run used a
+    non-predictive scheduler, so scrapers and the CI validation step see
+    a stable exposition either way.
+    """
+    steal_c = reg.counter(
+        "repro_sched_steals_total",
+        "Tasks each device pulled from another device's queue",
+        ("device",),
+    )
+    donation_c = reg.counter(
+        "repro_sched_donations_total",
+        "Tasks pulled away from each device's queue",
+        ("device",),
+    )
+    err_h = reg.histogram(
+        "repro_sched_prediction_error",
+        "Relative |predicted - measured| / measured task cost",
+        buckets=SCHED_ERROR_BUCKETS,
+    )
+    load_g = reg.gauge(
+        "repro_sched_mean_device_load",
+        "Time-weighted mean queue load per device",
+        ("device",),
+    )
+    for d in range(max(1, n_devices)):
+        steal_c.inc(float(steals[d]) if d < len(steals) else 0.0, device=d)
+        donation_c.inc(
+            float(donations[d]) if d < len(donations) else 0.0, device=d
+        )
+        load_g.set(
+            float(mean_loads[d]) if d < len(mean_loads) else 0.0, device=d
+        )
+    for err in prediction_errors:
+        err_h.observe(float(err))
+    reg.gauge(
+        "repro_sched_load_imbalance",
+        "Spread (max - min) of time-weighted mean device loads",
+    ).set(float(imbalance))
+
+
 def service_registry(broker) -> MetricsRegistry:
     """Derive the serving-stack metric set from one broker's ledgers."""
     reg = MetricsRegistry()
@@ -784,6 +842,15 @@ def service_registry(broker) -> MetricsRegistry:
                 residency.set(
                     float(tel.load_residency[d, load]), device=d, load=load
                 )
+    _sched_metrics(
+        reg,
+        tel.load_residency.shape[0] if tel.load_residency is not None else 1,
+        tel.sched_steals,
+        tel.sched_donations,
+        tel.sched_prediction_errors,
+        tel.sched_mean_loads(),
+        tel.sched_imbalance(),
+    )
     reg.gauge("repro_virtual_time_seconds", "Virtual end time of the run").set(
         tel.end_time
     )
@@ -817,6 +884,15 @@ def run_registry(result, wall_s: Optional[float] = None) -> MetricsRegistry:
     for d in range(m.n_devices):
         for load in range(m.max_queue_length + 1):
             residency.set(float(m.load_residency[d, load]), device=d, load=load)
+    _sched_metrics(
+        reg,
+        m.n_devices,
+        m.steals,
+        m.donations,
+        m.prediction_errors(),
+        [m.mean_device_load(d) for d in range(m.n_devices)],
+        m.load_imbalance(),
+    )
     if wall_s is not None:
         reg.gauge("repro_wall_seconds", "Host wall-clock time of the run").set(wall_s)
     return reg

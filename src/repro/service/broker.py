@@ -238,6 +238,7 @@ class SpectrumBroker:
         slo=None,
         tsdb=None,
         anomaly=None,
+        cost_model=None,
     ) -> None:
         self.clock = clock
         #: Optional :class:`repro.obs.slo.SLOEngine`; sampled at each
@@ -291,15 +292,26 @@ class SpectrumBroker:
         self._idle: deque[Signal] = deque()
         self._batch_seq = 0
         self._started = False
-        # Causal cost attribution rides the trace: with tracing off both
-        # handles stay None and the hot path pays nothing.
+        # Causal cost attribution rides the trace: with tracing off the
+        # handle stays None and the hot path pays nothing.  The online
+        # cost model additionally backs predictive scheduling, so it is
+        # built whenever the trace *or* the scheduler needs it (or the
+        # caller injects a persisted one via ``cost_model`` — the
+        # ``--cost-model PATH`` round-trip).
         if self.tracer.enabled:
             self.attribution: Optional[Attribution] = Attribution(self.tracer)
-            self.cost_model: Optional[SpanCostModel] = (
-                SpanCostModel.seeded_from_counters(self.config.hybrid.device)
-            )
         else:
             self.attribution = None
+        if cost_model is not None:
+            self.cost_model: Optional[SpanCostModel] = cost_model
+        elif (
+            self.tracer.enabled
+            or self.config.hybrid.scheduler_kind == "predictive"
+        ):
+            self.cost_model = SpanCostModel.seeded_from_counters(
+                self.config.hybrid.device
+            )
+        else:
             self.cost_model = None
         self._payload_backend: Optional[ExecutionBackend] = None
         # Built on the first positive-accuracy request, so exact-only
@@ -373,8 +385,12 @@ class SpectrumBroker:
         if self.attribution is None:
             return None
         self.attribution.ingest()
-        if self.cost_model is not None:
-            self.cost_model.ingest(self.attribution.drain_observations())
+        observations = self.attribution.drain_observations()
+        if (
+            self.cost_model is not None
+            and self.config.hybrid.scheduler_kind != "predictive"
+        ):
+            self.cost_model.ingest(observations)
         return self.attribution.result()
 
     # ------------------------------------------------------------------
@@ -599,7 +615,10 @@ class SpectrumBroker:
 
     def _worker(self, wid: int) -> Generator:
         runner = HybridRunner(
-            self.config.hybrid, tracer=self.tracer, scope=f"svc{wid}"
+            self.config.hybrid,
+            tracer=self.tracer,
+            scope=f"svc{wid}",
+            span_cost_model=self.cost_model,
         )
         traced = self.tracer.enabled
         worker_track = (
@@ -771,10 +790,16 @@ class SpectrumBroker:
             self.bus.on_batch(result, len(batch))
             if self.attribution is not None:
                 # Fold the batch's new spans into the ledger and feed the
-                # completed tasks' measured costs to the online model.
+                # completed tasks' measured costs to the online model —
+                # unless the predictive dispatch already observed them
+                # directly (each measurement must update the EWMA once).
                 self.attribution.ingest()
-                if self.cost_model is not None:
-                    self.cost_model.ingest(self.attribution.drain_observations())
+                observations = self.attribution.drain_observations()
+                if (
+                    self.cost_model is not None
+                    and self.config.hybrid.scheduler_kind != "predictive"
+                ):
+                    self.cost_model.ingest(observations)
             registry = None
             if self.tsdb.enabled and self.tsdb.due(now):
                 registry = self.registry()
@@ -802,6 +827,7 @@ def run_trace(
     flight_window_s: float = 10.0,
     tsdb=None,
     anomaly=None,
+    cost_model=None,
 ) -> tuple[SpectrumBroker, list[Optional[Ticket]]]:
     """Play a traffic trace through a fresh broker to completion.
 
@@ -828,7 +854,8 @@ def run_trace(
     if tracer is not None:
         tracer.bind(clock)
     broker = SpectrumBroker(
-        clock, config, db=db, tracer=tracer, slo=slo, tsdb=tsdb, anomaly=anomaly
+        clock, config, db=db, tracer=tracer, slo=slo, tsdb=tsdb,
+        anomaly=anomaly, cost_model=cost_model,
     )
     broker.flight = None
     if flight_dir is not None and (slo is not None or anomaly is not None):

@@ -70,6 +70,14 @@ class TrafficSpec:
     rule: str = "simpson"
     tolerance: float = 1.0e-6
     tail_tol: float = 0.0
+    #: Heavy-tail work mix: fraction of requests whose ``z_max`` is
+    #: inflated by a Pareto(``tail_alpha``) factor (capped at
+    #: ``tail_z_max``), making task costs skewed the way a survey mixes
+    #: light and heavy plasmas.  ``0`` adds no draws, so legacy traces
+    #: replay bit for bit; any ``tail > 0`` branches the sequence.
+    tail: float = 0.0
+    tail_alpha: float = 1.5
+    tail_z_max: int = 26
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
@@ -94,6 +102,12 @@ class TrafficSpec:
             raise ValueError("interactive_fraction must be in [0, 1]")
         if not 0.0 < self.t_min_k <= self.t_max_k:
             raise ValueError("need 0 < t_min <= t_max")
+        if not 0.0 <= self.tail < 1.0:
+            raise ValueError("tail fraction must be in [0, 1)")
+        if self.tail_alpha <= 0.0:
+            raise ValueError("tail_alpha must be positive")
+        if self.tail > 0.0 and self.tail_z_max < self.z_max:
+            raise ValueError("tail_z_max must be >= z_max")
 
 
 def zipf_weights(n: int, s: float) -> np.ndarray:
@@ -164,14 +178,24 @@ def generate_trace(spec: TrafficSpec) -> list[Arrival]:
         "interactive",
         "survey",
     )
+    z_maxes = np.full(spec.n_requests, spec.z_max, dtype=np.int64)
+    if spec.tail > 0.0:
+        # Heavy-tail draws come after every legacy draw, so tail=0
+        # leaves the established sequences untouched.
+        heavy = rng.random(spec.n_requests) < spec.tail
+        factors = 1.0 + rng.pareto(spec.tail_alpha, size=spec.n_requests)
+        inflated = np.minimum(
+            spec.tail_z_max, np.round(spec.z_max * factors).astype(np.int64)
+        )
+        z_maxes = np.where(heavy, inflated, z_maxes)
     trace = []
-    for t, temp, lane in zip(times, request_temps, lanes):
+    for t, temp, lane, z in zip(times, request_temps, lanes, z_maxes):
         trace.append(
             Arrival(
                 t=float(t),
                 request=SpectrumRequest(
                     temperature_k=float(temp),
-                    z_max=spec.z_max,
+                    z_max=int(z),
                     n_bins=spec.n_bins,
                     rule=spec.rule,
                     tolerance=spec.tolerance,

@@ -357,6 +357,7 @@ def compile_tasks(
                 cpu_execute=execute,
                 label=f"req{point_index}/{ion.name}",
                 trace_parent=trace_parent,
+                method=request.rule,
             )
         )
         tid += 1
@@ -457,6 +458,7 @@ def compile_group_tasks(
                 cpu_execute=execute,
                 label=label,
                 trace_parent=trace_parent,
+                method=lead.rule,
             )
         )
         tid += 1

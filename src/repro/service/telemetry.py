@@ -179,6 +179,12 @@ class ServiceTelemetry:
         #: Summed device load residency across batches (device x load
         #: virtual seconds), grown to the widest batch shape seen.
         self.load_residency: Optional[np.ndarray] = None
+        # Predictive-scheduling ledger folded from batch metrics: steal /
+        # donation counts per device index and the cost model's relative
+        # prediction errors.  All stay empty/zero on depth-scheduled runs.
+        self.sched_steals: list[int] = []
+        self.sched_donations: list[int] = []
+        self.sched_prediction_errors: list[float] = []
         self.end_time = 0.0
 
     def _lane(self, lane: str) -> LaneStats:
@@ -262,6 +268,17 @@ class ServiceTelemetry:
         self.gpu_tasks += int(result.metrics.gpu_tasks.sum())
         self.cpu_tasks += result.metrics.cpu_tasks
         self.evals_saved += result.metrics.evals_saved
+        for d, (stolen, donated) in enumerate(
+            zip(result.metrics.steals, result.metrics.donations)
+        ):
+            while len(self.sched_steals) <= d:
+                self.sched_steals.append(0)
+                self.sched_donations.append(0)
+            self.sched_steals[d] += int(stolen)
+            self.sched_donations[d] += int(donated)
+        self.sched_prediction_errors.extend(
+            result.metrics.prediction_errors()
+        )
         batch = result.metrics.load_residency
         if self.load_residency is None:
             self.load_residency = batch.copy()
@@ -284,6 +301,30 @@ class ServiceTelemetry:
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
+    def sched_mean_loads(self) -> list[float]:
+        """Time-weighted mean queue load per device (all batches pooled)."""
+        if self.load_residency is None:
+            return []
+        out = []
+        for row in self.load_residency:
+            total = row.sum()
+            if total == 0.0:
+                out.append(0.0)
+                continue
+            out.append(float((row * np.arange(row.size)).sum() / total))
+        return out
+
+    def sched_imbalance(self) -> float:
+        """Spread (max - min) of the pooled mean device loads."""
+        means = self.sched_mean_loads()
+        if len(means) < 2:
+            return 0.0
+        return max(means) - min(means)
+
+    @property
+    def total_steals(self) -> int:
+        return sum(self.sched_steals)
+
     @property
     def arrivals(self) -> int:
         return sum(s.arrivals for s in self.lanes.values())
@@ -343,6 +384,13 @@ class ServiceTelemetry:
             "batched_temperatures": self.batched_temperatures,
             "batch_coalesced_requests": self.batch_coalesced_requests,
             "batch_window_waits": self.batch_window_waits,
+            "sched_steals": self.total_steals,
+            "sched_prediction_error_mean": (
+                float(np.mean(self.sched_prediction_errors))
+                if self.sched_prediction_errors
+                else 0.0
+            ),
+            "sched_load_imbalance": self.sched_imbalance(),
             "anomalies": self.anomalies,
             "virtual_time_s": self.end_time,
             "lanes": {lane: s.as_dict() for lane, s in self.lanes.items()},

@@ -181,3 +181,120 @@ class TestWeightedScheduler:
             )
             times[kind] = HybridRunner(cfg).run(tasks).makespan_s
         assert times["weighted"] <= times["shared"] * 1.02
+
+
+class TestPredictiveScheduler:
+    def _make(self, n=3, max_len=4, **kw):
+        from repro.core.scheduler import PredictiveScheduler
+
+        return PredictiveScheduler(n, max_len, **kw)
+
+    def test_equal_costs_reduce_to_algorithm_1(self):
+        """With every predicted cost equal, backlog is load x cost, so the
+        placement sequence is exactly Algorithm 1's."""
+        reference = SharedMemoryScheduler(n_devices=3, max_queue_length=4)
+        predictive = self._make()
+        for _ in range(9):
+            assert predictive.sche_alloc(cost_s=0.5) == reference.sche_alloc()
+
+    def test_places_by_predicted_seconds_not_count(self):
+        s = self._make(n=2)
+        assert s.sche_alloc(cost_s=10.0) == 0
+        # Device 0 holds one 10 s task; two 1 s tasks still finish
+        # sooner on device 1 despite its higher count.
+        assert s.sche_alloc(cost_s=1.0) == 1
+        assert s.sche_alloc(cost_s=1.0) == 1
+        assert s.backlogs_s() == pytest.approx([10.0, 2.0])
+
+    def test_free_restores_backlog_exactly(self):
+        s = self._make(n=2)
+        d = s.sche_alloc(cost_s=0.123456789)
+        s.sche_free(d, cost_s=0.123456789)
+        assert s.backlogs_s() == [0.0, 0.0]
+        assert s.loads() == [0, 0]
+        s.validate()
+
+    def test_cpu_threshold_in_predicted_seconds(self):
+        from repro.core.scheduler import NO_DEVICE
+
+        s = self._make(n=2, cpu_threshold_s=5.0)
+        assert s.sche_alloc(cost_s=3.0) == 0
+        assert s.sche_alloc(cost_s=3.0) == 1
+        # Best finish would be 6 s > 5 s threshold -> CPU fallback even
+        # though both queues have free slots.
+        assert s.sche_alloc(cost_s=3.0) == NO_DEVICE
+        # A cheap task still fits under the threshold.
+        assert s.sche_alloc(cost_s=1.0) == 0
+
+    def test_slot_cap_still_hard(self):
+        from repro.core.scheduler import NO_DEVICE
+
+        s = self._make(n=2, max_len=1)
+        assert s.sche_alloc(cost_s=0.1) == 0
+        assert s.sche_alloc(cost_s=0.1) == 1
+        assert s.sche_alloc(cost_s=0.1) == NO_DEVICE
+
+    def test_history_tie_break_on_exact_tick_ties(self):
+        s = self._make(n=2)
+        # Alternates on exact ties like Algorithm 1.
+        assert s.sche_alloc(cost_s=1.0) == 0
+        assert s.sche_alloc(cost_s=1.0) == 1
+        s.sche_free(0, cost_s=1.0)
+        s.sche_free(1, cost_s=1.0)
+        # Equal backlogs (zero) again; histories [1, 1] -> device 0.
+        assert s.sche_alloc(cost_s=2.0) == 0
+
+    def test_first_tie_break_is_positional(self):
+        s = self._make(n=3, tie_break="first")
+        for _ in range(2):
+            d = s.sche_alloc(cost_s=1.0)
+            s.sche_free(d, cost_s=1.0)
+            assert d == 0
+
+    def test_on_steal_moves_slot_and_backlog(self):
+        s = self._make(n=2)
+        assert s.sche_alloc(cost_s=1.0) == 0
+        assert s.sche_alloc(cost_s=2.0) == 1
+        assert s.sche_alloc(cost_s=0.5) == 0  # finish 1.5 vs 2.5
+        s.on_steal(victim=0, thief=1, cost_s=0.5)
+        assert s.loads() == [1, 2]
+        assert s.backlogs_s() == pytest.approx([1.0, 2.5])
+        s.validate()
+        # Conservation: freeing each with its carried cost zeroes out.
+        s.sche_free(0, cost_s=1.0)
+        s.sche_free(1, cost_s=2.0)
+        s.sche_free(1, cost_s=0.5)
+        assert s.backlogs_s() == [0.0, 0.0]
+        s.validate()
+
+    def test_on_steal_rejects_out_of_range(self):
+        s = self._make(n=2)
+        s.sche_alloc(cost_s=1.0)
+        with pytest.raises(ValueError):
+            s.on_steal(victim=0, thief=5, cost_s=1.0)
+        with pytest.raises(ValueError):
+            s.on_steal(victim=-1, thief=1, cost_s=1.0)
+
+    def test_on_steal_books_metrics(self):
+        m = MetricsLedger(n_devices=2, max_queue_length=4)
+        s = self._make(n=2, metrics=m)
+        s.sche_alloc(now=0.0, cost_s=2.0)
+        s.on_steal(victim=0, thief=1, now=1.0, cost_s=2.0)
+        assert int(m.steals[1]) == 1
+        assert int(m.donations[0]) == 1
+        assert int(m.steals.sum()) == int(m.donations.sum())
+
+    def test_negative_cost_rejected(self):
+        s = self._make()
+        with pytest.raises(ValueError):
+            s.sche_alloc(cost_s=-1.0)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            self._make(cpu_threshold_s=0.0)
+
+    def test_zero_devices_always_cpu(self):
+        from repro.core.scheduler import NO_DEVICE
+
+        s = self._make(n=0)
+        assert s.sche_alloc(cost_s=1.0) == NO_DEVICE

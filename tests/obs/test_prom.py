@@ -217,6 +217,119 @@ class TestDerivations:
         completed = sum(1 for t in tickets if t is not None and t.done)
         assert count == completed
 
+    def test_sched_families_zeroed_without_predictive(self):
+        from repro.service.broker import ServiceConfig, run_trace
+        from repro.service.loadgen import TrafficSpec, generate_trace
+
+        trace = generate_trace(TrafficSpec(n_requests=8, seed=3, n_distinct=4))
+        broker, _ = run_trace(trace, ServiceConfig(n_service_workers=1))
+        rendered = service_registry(broker).render()
+        fams = parse_exposition(rendered)
+        # Stable schema: scheduler families exist (at zero) even on the
+        # depth scheduler, where nothing is ever stolen or predicted.
+        for family in (
+            "repro_sched_steals_total",
+            "repro_sched_donations_total",
+        ):
+            assert sum(v for _lbl, v in fams[family]) == 0
+        assert "repro_sched_load_imbalance" in fams
+        # The empty prediction-error histogram still declares itself.
+        assert "repro_sched_prediction_error" in rendered
+
+    def test_sched_families_book_predictive_run(self):
+        from dataclasses import replace
+
+        from repro.service.broker import ServiceConfig, _default_hybrid, run_trace
+        from repro.service.loadgen import TrafficSpec, generate_trace
+
+        trace = generate_trace(
+            TrafficSpec(
+                n_requests=24,
+                seed=7,
+                mean_interarrival_s=0.02,
+                burst=6,
+                pattern="uniform",
+                n_distinct=8,
+                tail=0.35,
+                tail_z_max=14,
+            )
+        )
+        hybrid = replace(_default_hybrid(), scheduler_kind="predictive")
+        broker, _ = run_trace(
+            trace, ServiceConfig(n_service_workers=2, hybrid=hybrid)
+        )
+        fams = parse_exposition(service_registry(broker).render())
+        steals = sum(v for _lbl, v in fams["repro_sched_steals_total"])
+        donations = sum(v for _lbl, v in fams["repro_sched_donations_total"])
+        assert steals == donations == broker.telemetry.total_steals
+        errors = sum(
+            v for _lbl, v in fams["repro_sched_prediction_error_count"]
+        )
+        assert errors == len(broker.telemetry.sched_prediction_errors)
+        assert errors > 0
+        assert "repro_sched_mean_device_load" in fams
+
+    def test_run_registry_sched_families_from_predictive_result(self):
+        import numpy as np
+
+        from repro.core.calibration import CostModel
+        from repro.core.hybrid import HybridConfig, HybridRunner
+        from repro.core.task import Task, TaskKind
+        from repro.gpusim.kernel import KernelSpec
+
+        tasks = []
+        for tid in range(24):
+            heavy = tid % 5 == 0
+            n_levels = 120 if heavy else 4
+            label = f"pt{tid % 6}/Ion+{tid % 3}"
+            arr = np.full(8, float(tid) + 0.5)
+            kern = KernelSpec.for_ion_task(
+                n_levels=n_levels,
+                n_bins=200,
+                evals_per_integral=65,
+                label=label,
+                efficiency=0.1 if heavy else 1.0,
+                execute=(lambda a=arr: a),
+            )
+            tasks.append(
+                Task(
+                    task_id=tid,
+                    kind=TaskKind.ION,
+                    kernel=kern,
+                    point_index=tid % 6,
+                    n_levels=n_levels,
+                    cpu_execute=(lambda a=arr: a),
+                    label=label,
+                    method="simpson",
+                )
+            )
+        host = CostModel(
+            point_overhead_s=0.0,
+            prep_fixed_s=1.0e-4,
+            prep_per_level_s=1.0e-6,
+            submit_overhead_s=1.0e-4,
+        )
+        result = HybridRunner(
+            HybridConfig(
+                n_workers=6,
+                n_gpus=2,
+                max_queue_length=8,
+                cost=host,
+                stagger_s=0.001,
+                scheduler_kind="predictive",
+            )
+        ).run(tasks)
+        fams = parse_exposition(run_registry(result, wall_s=0.1).render())
+        steals = sum(v for _lbl, v in fams["repro_sched_steals_total"])
+        assert steals == result.metrics.total_steals
+        errors = sum(
+            v for _lbl, v in fams["repro_sched_prediction_error_count"]
+        )
+        assert errors == len(result.metrics.prediction_errors())
+        assert fams["repro_sched_load_imbalance"][0][1] == pytest.approx(
+            result.metrics.load_imbalance()
+        )
+
     def test_batch_families_zeroed_without_batching(self):
         from repro.service.broker import ServiceConfig, run_trace
         from repro.service.loadgen import TrafficSpec, generate_trace

@@ -170,6 +170,40 @@ class TestBurst:
         assert [x.request.key for x in a] == [x.request.key for x in b]
 
 
+class TestHeavyTail:
+    def test_tail_zero_replays_legacy_trace_bit_for_bit(self):
+        a = generate_trace(TrafficSpec(n_requests=50, seed=11))
+        b = generate_trace(TrafficSpec(n_requests=50, seed=11, tail=0.0))
+        assert [x.t for x in a] == [x.t for x in b]
+        assert [x.request.key for x in a] == [x.request.key for x in b]
+        assert [x.lane for x in a] == [x.lane for x in b]
+
+    def test_tail_draws_branch_after_legacy_draws(self):
+        """Heavy-tail draws come last, so everything but z_max matches
+        the tail=0 trace for the same seed."""
+        base = generate_trace(TrafficSpec(n_requests=80, seed=7))
+        tailed = generate_trace(TrafficSpec(n_requests=80, seed=7, tail=0.3))
+        assert [x.t for x in base] == [x.t for x in tailed]
+        assert [x.lane for x in base] == [x.lane for x in tailed]
+        assert [x.request.temperature_k for x in base] == [
+            x.request.temperature_k for x in tailed
+        ]
+
+    def test_tail_inflates_some_z_max_within_cap(self):
+        spec = TrafficSpec(n_requests=200, seed=7, tail=0.3, tail_z_max=20)
+        zs = [x.request.z_max for x in generate_trace(spec)]
+        inflated = [z for z in zs if z != spec.z_max]
+        assert inflated  # the tail engaged
+        assert all(spec.z_max < z <= 20 for z in inflated)
+        # Roughly the requested fraction of requests went heavy.
+        assert len(inflated) / len(zs) == pytest.approx(0.3, abs=0.12)
+
+    def test_tail_deterministic_per_spec(self):
+        spec = TrafficSpec(n_requests=60, seed=4, tail=0.4)
+        a, b = generate_trace(spec), generate_trace(spec)
+        assert [x.request.z_max for x in a] == [x.request.z_max for x in b]
+
+
 class TestValidation:
     @pytest.mark.parametrize(
         "kwargs",
@@ -184,6 +218,10 @@ class TestValidation:
             {"t_min_k": 0.0},
             {"walk_sigma_dex": 0.0},
             {"accuracy": -1.0e-3},
+            {"tail": -0.1},
+            {"tail": 1.0},
+            {"tail_alpha": 0.0},
+            {"tail": 0.2, "tail_z_max": 4},
         ],
     )
     def test_rejects_bad_specs(self, kwargs):

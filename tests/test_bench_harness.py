@@ -143,6 +143,8 @@ class TestTolerance:
             "p95_latency_s",
             # A latency ratio: batched p95 over the unbatched baseline.
             "p95_vs_unbatched",
+            # A makespan ratio: predictive over the depth scheduler.
+            "makespan_vs_depth",
             # A prediction-error figure: mean |rel err| of the cost model.
             "cost_model_rel_err",
             # False alarms on a seeded steady trace: any increase regresses.

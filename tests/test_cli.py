@@ -51,6 +51,9 @@ class TestParser:
             ["bench", "--quick", "--dash", "dash.html"],
             ["query", "rate(repro_requests_total[2s])", "--tsdb", "t.json"],
             ["query", "depth", "--tsdb", "t.json", "--at", "3.5", "--json"],
+            ["serve", "--scheduler", "predictive", "--tail", "0.3"],
+            ["serve", "--scheduler", "predictive", "--cost-model", "cm.json"],
+            ["submit", "--scheduler", "predictive", "--cost-model", "cm.json"],
         ],
     )
     def test_all_subcommands_parse(self, argv):
